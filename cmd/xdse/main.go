@@ -1,0 +1,297 @@
+// Command xdse regenerates the tables and figures of the Explainable-DSE
+// paper (ASPLOS'23) on this repository's substrates. Each -exp value maps
+// to one experiment of the per-experiment index in DESIGN.md; budgets are
+// reduced by default and restored to paper scale with -full (or
+// XDSE_FULL=1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"xdse/internal/accelmodel"
+	"xdse/internal/arch"
+	"xdse/internal/dse"
+	"xdse/internal/eval"
+	"xdse/internal/exp"
+	"xdse/internal/workload"
+)
+
+func main() {
+	var (
+		expName = flag.String("exp", "fig3", "experiment: fig3|fig4|fig9|fig10|fig11|fig12|table2|table3|table7|fig14|fig15|ablation|energy|multiworkload|joint|all")
+		full    = flag.Bool("full", false, "use the paper-scale budgets (2500 iterations, 10000 mapping trials)")
+		budget  = flag.Int("budget", 0, "override the static iteration budget")
+		seed    = flag.Int64("seed", 1, "random seed")
+		models  = flag.String("models", "", "comma-separated model filter (default: full 11-model suite)")
+		modelFn = flag.String("modelfile", "", "workload definition file (see workload.ParseModel) used instead of the built-in suite")
+		csvDir  = flag.String("csvdir", "", "directory for per-run CSV acquisition traces (created if missing)")
+		explore = flag.Bool("explore", false, "run one explained Explainable-DSE exploration instead of an experiment")
+		mapOnly = flag.Bool("map", false, "map the selected models onto one fixed design and print per-layer breakdowns")
+		design  = flag.String("design", "", "-map design as comma-separated name=value pairs over the space parameters (defaults per parameter: mid-range)")
+		spec    = flag.String("spec", "", "design-space specification file for -explore (default: the Table 1 edge space)")
+		mode    = flag.String("mode", "fixdf", "-explore mapper mode: fixdf|codesign")
+		quiet   = flag.Bool("quiet", false, "-explore: suppress the per-attempt reasoning log")
+	)
+	flag.Parse()
+
+	cfg := exp.FromEnv()
+	if *full {
+		cfg = exp.Full()
+	}
+	if *budget > 0 {
+		cfg.Budget = *budget
+		cfg.CodesignBudget = *budget
+	}
+	cfg.Seed = *seed
+	if *modelFn != "" {
+		data, err := os.ReadFile(*modelFn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xdse: %v\n", err)
+			os.Exit(1)
+		}
+		m, err := workload.ParseModel(string(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xdse: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Models = []*workload.Model{m}
+	} else if *models != "" {
+		var ms []*workload.Model
+		for _, name := range strings.Split(*models, ",") {
+			m := workload.ByName(strings.TrimSpace(name))
+			if m == nil {
+				fmt.Fprintf(os.Stderr, "xdse: unknown model %q\n", name)
+				os.Exit(2)
+			}
+			ms = append(ms, m)
+		}
+		cfg.Models = ms
+	}
+	cfg.Out = os.Stdout
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "xdse: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.CSVDir = *csvDir
+	}
+
+	if *mapOnly {
+		if err := runMapper(cfg, *spec, *design); err != nil {
+			fmt.Fprintf(os.Stderr, "xdse: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *explore {
+		if err := runExplore(cfg, *spec, *mode, *quiet); err != nil {
+			fmt.Fprintf(os.Stderr, "xdse: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	run := func(name string) {
+		switch name {
+		case "fig3":
+			exp.ReportFig3(cfg, exp.RunFig3(cfg))
+		case "fig4":
+			exp.ReportFig4(cfg, exp.RunFig4(cfg))
+		case "fig9", "fig10", "fig12", "table3", "static":
+			c := exp.RunCampaign(cfg, exp.AllTechniques(), cfg.Models, 0)
+			exp.ReportFig9(cfg, c, "Fig9 (static exploration)")
+			exp.ReportFig10(cfg, c)
+			exp.ReportFig12(cfg, c)
+			exp.ReportTable3(cfg, c)
+			s := exp.Summarize(cfg, c, "ExplainableDSE-Codesign")
+			fmt.Printf("\nHeadline vs all non-explainable techniques: %.1fx lower latency (vs best other), %.1fx fewer iterations, %.1fx less time\n",
+				s.LatencyRatioVsBest, s.IterRatio, s.TimeRatio)
+			sc := exp.SummarizeVs(cfg, c, "ExplainableDSE-Codesign", func(t string) bool {
+				return strings.HasSuffix(t, "-Codesign") && !strings.Contains(t, "ExplainableDSE")
+			})
+			fmt.Printf("Headline vs black-box codesign only (like-for-like): %.1fx lower latency, %.1fx fewer iterations, %.1fx less time\n",
+				sc.LatencyRatioVsBest, sc.IterRatio, sc.TimeRatio)
+		case "table2":
+			c := exp.RunCampaign(cfg, exp.AllTechniques(), cfg.Models, cfg.DynamicBudget)
+			exp.ReportFig9(cfg, c, fmt.Sprintf("Table2 (dynamic DSE, %d iterations)", cfg.DynamicBudget))
+		case "fig11":
+			exp.ReportFig11(cfg, exp.RunFig11(cfg))
+		case "table7":
+			exp.ReportTable7(cfg, exp.RunTable7(cfg))
+		case "fig14":
+			exp.ReportFig14(cfg, exp.RunFig14(cfg))
+		case "fig15":
+			exp.ReportFig15(cfg, exp.RunFig15(cfg))
+		case "ablation":
+			exp.ReportAblations(cfg, exp.RunAblations(cfg))
+		case "energy":
+			exp.ReportEnergyObjective(cfg, exp.RunEnergyObjective(cfg))
+		case "multiworkload":
+			exp.ReportMultiWorkload(cfg, exp.RunMultiWorkload(cfg))
+		case "joint":
+			exp.ReportJointVsTwoStage(cfg, exp.RunJointVsTwoStage(cfg))
+		default:
+			fmt.Fprintf(os.Stderr, "xdse: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *expName == "all" {
+		for _, name := range []string{"fig3", "fig4", "fig9", "table2", "fig11", "table7", "fig14", "fig15", "ablation", "energy", "multiworkload", "joint"} {
+			run(name)
+		}
+		return
+	}
+	run(*expName)
+}
+
+// runExplore performs one ad-hoc Explainable-DSE exploration over a
+// (possibly user-specified) design space, printing the bottleneck reasoning
+// behind every acquisition.
+func runExplore(cfg exp.Config, specPath, mode string, quiet bool) error {
+	specText := arch.EdgeSpaceSpec
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return err
+		}
+		specText = string(data)
+	}
+	space, err := arch.ParseSpace(specText)
+	if err != nil {
+		return err
+	}
+
+	mapper := eval.FixedDataflow
+	switch mode {
+	case "fixdf":
+	case "codesign":
+		mapper = eval.PrunedMappings
+	default:
+		return fmt.Errorf("unknown -mode %q", mode)
+	}
+
+	cons := eval.EdgeConstraints()
+	ev := eval.New(eval.Config{
+		Space:       space,
+		Models:      cfg.Models,
+		Constraints: cons,
+		Mode:        mapper,
+		MapTrials:   cfg.MapTrials,
+		Seed:        cfg.Seed,
+	})
+	ex := dse.New(accelmodel.New(space, cons))
+	if !quiet {
+		ex.Opts.Log = os.Stdout
+	}
+	names := make([]string, len(cfg.Models))
+	for i, m := range cfg.Models {
+		names[i] = m.Name
+	}
+	fmt.Printf("exploring %v over %s designs (%s, budget %d)\n\n", names, space.Size(), mode, cfg.Budget)
+
+	tr := ex.Run(ev.Problem(cfg.Budget), rand.New(rand.NewSource(cfg.Seed)))
+	fmt.Printf("\n%d designs evaluated, %.0f%% of acquisitions feasible\n",
+		tr.Evaluations, tr.FeasibleFraction()*100)
+	if tr.Best == nil {
+		fmt.Println("no feasible design found")
+		return nil
+	}
+	r := ev.Evaluate(tr.Best)
+	fmt.Printf("best: %v\n  latency %.2f ms | area %.1f mm^2 | power %.2f W\n",
+		r.Design, r.LatencyMs, r.AreaMM2, r.PowerW)
+	return nil
+}
+
+// runMapper is the standalone-mapper mode: optimize and report the mapping
+// of every layer of the selected workloads on one fixed design — the
+// dMazeRunner-style substrate exposed directly.
+func runMapper(cfg exp.Config, specPath, designSpec string) error {
+	specText := arch.EdgeSpaceSpec
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return err
+		}
+		specText = string(data)
+	}
+	space, err := arch.ParseSpace(specText)
+	if err != nil {
+		return err
+	}
+	pt, err := parseDesign(space, designSpec)
+	if err != nil {
+		return err
+	}
+
+	ev := eval.New(eval.Config{
+		Space:       space,
+		Models:      cfg.Models,
+		Constraints: eval.EdgeConstraints(),
+		Mode:        eval.PrunedMappings,
+		MapTrials:   cfg.MapTrials,
+		Seed:        cfg.Seed,
+	})
+	r := ev.Evaluate(pt)
+	fmt.Printf("design: %v\n", r.Design)
+	fmt.Printf("area %.1f mm^2 | power %.2f W\n\n", r.AreaMM2, r.PowerW)
+	for _, me := range r.Models {
+		fmt.Printf("%s: %.2f ms (%.0f cycles), %.1f mJ\n", me.Model.Name, me.LatencyMs, me.Cycles, me.EnergyMJ)
+		for _, le := range me.Layers {
+			if !le.Perf.Valid {
+				fmt.Printf("  %-16s INCOMPATIBLE: %s\n", le.Layer.Name, le.Perf.Incompat)
+				continue
+			}
+			op, tn := le.Perf.MaxTNoC()
+			bound := "comp"
+			switch {
+			case le.Perf.TDMA >= le.Perf.TComp && le.Perf.TDMA >= tn:
+				bound = "dma"
+			case tn >= le.Perf.TComp:
+				bound = "noc-" + op.String()
+			}
+			fmt.Printf("  %-16s %10.0f cyc x%-3d PEs=%-4d %s-bound\n",
+				le.Layer.Name, le.Perf.Cycles, le.Layer.Mult, le.Perf.PEsUsed, bound)
+		}
+	}
+	return nil
+}
+
+// parseDesign resolves "name=value,..." over the space, defaulting every
+// unmentioned parameter to its mid-range value.
+func parseDesign(space *arch.Space, designSpec string) (arch.Point, error) {
+	pt := space.Initial()
+	for i, p := range space.Params {
+		pt[i] = len(p.Values) / 2
+	}
+	if designSpec == "" {
+		return pt, nil
+	}
+	for _, kv := range strings.Split(designSpec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad design term %q", kv)
+		}
+		name := parts[0]
+		var value int
+		if _, err := fmt.Sscanf(parts[1], "%d", &value); err != nil {
+			return nil, fmt.Errorf("bad value in %q", kv)
+		}
+		found := false
+		for i, p := range space.Params {
+			if p.Name != name {
+				continue
+			}
+			found = true
+			pt[i] = p.RoundUpIndex(value)
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown parameter %q", name)
+		}
+	}
+	return pt, nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"xdse/internal/arch"
+	"xdse/internal/exp"
+	"xdse/internal/workload"
+)
+
+func TestParseDesignDefaultsToMidRange(t *testing.T) {
+	space := arch.EdgeSpace()
+	pt, err := parseDesign(space, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range space.Params {
+		if pt[i] != len(p.Values)/2 {
+			t.Fatalf("%s default index = %d", p.Name, pt[i])
+		}
+	}
+}
+
+func TestParseDesignOverrides(t *testing.T) {
+	space := arch.EdgeSpace()
+	pt, err := parseDesign(space, "PEs=512, L2_KB=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := space.Decode(pt)
+	if d.PEs != 512 {
+		t.Fatalf("PEs = %d", d.PEs)
+	}
+	if d.L2KB != 1024 { // rounded up to the nearest legal value
+		t.Fatalf("L2 = %d", d.L2KB)
+	}
+}
+
+func TestParseDesignErrors(t *testing.T) {
+	space := arch.EdgeSpace()
+	for name, spec := range map[string]string{
+		"unknown param": "bogus=3",
+		"no equals":     "PEs",
+		"bad value":     "PEs=lots",
+	} {
+		if _, err := parseDesign(space, spec); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestRunExploreRejectsBadMode(t *testing.T) {
+	cfg := testConfig()
+	if err := runExplore(cfg, "", "warp", true); err == nil || !strings.Contains(err.Error(), "mode") {
+		t.Fatalf("bad mode accepted: %v", err)
+	}
+}
+
+func TestRunExploreRejectsMissingSpec(t *testing.T) {
+	cfg := testConfig()
+	if err := runExplore(cfg, "/nonexistent/spec", "fixdf", true); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+}
+
+// testConfig builds a tiny config for the CLI helper tests.
+func testConfig() exp.Config {
+	cfg := exp.Default()
+	cfg.Budget = 5
+	cfg.Models = []*workload.Model{workload.ResNet18()}
+	return cfg
+}

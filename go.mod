@@ -1,0 +1,3 @@
+module xdse
+
+go 1.22

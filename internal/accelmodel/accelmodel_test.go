@@ -1,0 +1,465 @@
+package accelmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"xdse/internal/arch"
+	"xdse/internal/bottleneck"
+	"xdse/internal/energy"
+	"xdse/internal/eval"
+	"xdse/internal/workload"
+)
+
+func setup() (*arch.Space, *Model, *eval.Evaluator) {
+	space := arch.EdgeSpace()
+	cons := eval.EdgeConstraints()
+	ev := eval.New(eval.Config{
+		Space:       space,
+		Models:      []*workload.Model{workload.ResNet18()},
+		Constraints: cons,
+		Mode:        eval.FixedDataflow,
+		Seed:        1,
+	})
+	return space, New(space, cons), ev
+}
+
+// compatiblePoint returns a point whose fixed-dataflow mapping is valid.
+func compatiblePoint(space *arch.Space) arch.Point {
+	pt := space.Initial()
+	pt[arch.PPEs] = 2 // 256 PEs
+	pt[arch.PL1] = 4  // 128 B
+	pt[arch.PL2] = 3  // 512 KB
+	for op := 0; op < arch.NumOperands; op++ {
+		pt[arch.PVirt0+op] = 2 // 64-way time-sharing
+	}
+	return pt
+}
+
+func TestLatencyTreeMatchesBreakdown(t *testing.T) {
+	space, _, ev := setup()
+	r := ev.Evaluate(compatiblePoint(space))
+	le := r.Models[0].Layers[1] // conv2_x
+	if !le.Perf.Valid {
+		t.Fatalf("layer invalid: %s", le.Perf.Incompat)
+	}
+	root := LatencyTree(le, r.Design)
+	if err := root.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := root.Eval(); math.Abs(got-le.Perf.Cycles) > 1e-6*le.Perf.Cycles {
+		t.Fatalf("tree root = %v, breakdown cycles = %v", got, le.Perf.Cycles)
+	}
+	if got := root.Find(FactorComp).Value; math.Abs(got-le.Perf.TComp) > 1e-9 {
+		t.Fatalf("T_comp node = %v, want %v", got, le.Perf.TComp)
+	}
+	if got := root.Find(FactorDMA).Value; math.Abs(got-le.Perf.TDMA) > 1e-6*le.Perf.TDMA {
+		t.Fatalf("T_dma node = %v, want %v", got, le.Perf.TDMA)
+	}
+	for _, op := range arch.Operands {
+		if got := root.Find(nocFactor(op)).Value; got != le.Perf.TNoC[op] {
+			t.Fatalf("T_noc_%v node = %v, want %v", op, got, le.Perf.TNoC[op])
+		}
+	}
+}
+
+func TestLatencyTreeParamsDictionary(t *testing.T) {
+	space, _, ev := setup()
+	r := ev.Evaluate(compatiblePoint(space))
+	root := LatencyTree(r.Models[0].Layers[0], r.Design)
+	// Fig. 8 dictionary: computation -> PEs; DMA -> bandwidth and L2;
+	// NoC -> width, links, L1.
+	comp := root.Find(FactorComp)
+	if len(comp.Params) == 0 || comp.Params[0] != "PEs" {
+		t.Fatalf("comp params = %v", comp.Params)
+	}
+	dma := root.Find(FactorDMA)
+	joined := strings.Join(dma.Params, ",")
+	if !strings.Contains(joined, "offchip_MBps") || !strings.Contains(joined, "L2_KB") {
+		t.Fatalf("dma params = %v", dma.Params)
+	}
+	nocW := root.Find(nocFactor(arch.OpW))
+	joined = strings.Join(nocW.Params, ",")
+	for _, want := range []string{"noc_width_bits", "phys_unicast_W", "virt_unicast_W", "L1_bytes"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("W NoC params missing %s: %v", want, nocW.Params)
+		}
+	}
+}
+
+func TestSubCostsFlattenAndWeight(t *testing.T) {
+	space, m, ev := setup()
+	r := ev.Evaluate(compatiblePoint(space))
+	costs := m.SubCosts(r)
+	if len(costs) != len(r.Models[0].Layers) {
+		t.Fatalf("sub costs = %d, want %d", len(costs), len(r.Models[0].Layers))
+	}
+	for i, le := range r.Models[0].Layers {
+		if costs[i] != le.TotalCycles {
+			t.Fatalf("sub %d cost = %v, want %v", i, costs[i], le.TotalCycles)
+		}
+	}
+}
+
+func TestSubCostsRankIncompatibleFirst(t *testing.T) {
+	space, m, ev := setup()
+	r := ev.Evaluate(space.Initial()) // incompatible at the minimum design
+	costs := m.SubCosts(r)
+	for i, le := range r.Models[0].Layers {
+		if !le.Perf.Valid && costs[i] < 1e100 {
+			t.Fatalf("incompatible layer %d cost = %v, must dominate", i, costs[i])
+		}
+	}
+}
+
+func TestMitigateObjectivePredictsPEsForComputeBound(t *testing.T) {
+	space, m, ev := setup()
+	// Compute-bound configuration: few PEs, generous everything else.
+	pt := compatiblePoint(space)
+	pt[arch.PPEs] = 0                                     // 64 PEs
+	pt[arch.PBW] = len(space.Params[arch.PBW].Values) - 1 // max bandwidth
+	pt[arch.PNoCWidth] = 15
+	for op := 0; op < arch.NumOperands; op++ {
+		pt[arch.PPhys0+op] = 63
+		pt[arch.PVirt0+op] = 3
+	}
+	pt[arch.PL1] = 5
+	pt[arch.PL2] = 5
+	r := ev.Evaluate(pt)
+
+	// Find a compute-bound layer and check the PE prediction.
+	for i, le := range r.Models[0].Layers {
+		if !le.Perf.Valid || le.Perf.TComp <= le.Perf.TDMA {
+			continue
+		}
+		if op, tn := le.Perf.MaxTNoC(); tn > le.Perf.TComp {
+			_ = op
+			continue
+		}
+		preds, explain := m.MitigateObjective(r, i, 1)
+		if len(preds) == 0 {
+			t.Fatalf("no predictions for compute-bound layer %d\n%s", i, explain)
+		}
+		if space.Params[preds[0].Param].Name != "PEs" {
+			t.Fatalf("predicted %s, want PEs", space.Params[preds[0].Param].Name)
+		}
+		if preds[0].Value <= r.Design.PEs {
+			t.Fatalf("PE prediction %d does not grow from %d", preds[0].Value, r.Design.PEs)
+		}
+		if !strings.Contains(explain, "T_comp") {
+			t.Fatal("explanation missing the bottleneck factor")
+		}
+		return
+	}
+	t.Skip("no compute-bound layer in this configuration")
+}
+
+func TestMitigateObjectivePredictsBandwidthForDMABound(t *testing.T) {
+	space, m, ev := setup()
+	// DMA-bound configuration: many PEs, minimal bandwidth.
+	pt := compatiblePoint(space)
+	pt[arch.PPEs] = 4 // 1024 PEs
+	pt[arch.PBW] = 0  // 1024 MBps
+	r := ev.Evaluate(pt)
+	for i, le := range r.Models[0].Layers {
+		if !le.Perf.Valid || le.Perf.TDMA <= le.Perf.TComp {
+			continue
+		}
+		if _, tn := le.Perf.MaxTNoC(); tn > le.Perf.TDMA {
+			continue
+		}
+		preds, _ := m.MitigateObjective(r, i, 1)
+		names := map[string]bool{}
+		for _, p := range preds {
+			names[space.Params[p.Param].Name] = true
+			if p.Reduce {
+				t.Fatal("objective mitigation must not shrink parameters")
+			}
+		}
+		if !names["offchip_MBps"] && !names["L2_KB"] {
+			t.Fatalf("DMA-bound predictions = %v, want bandwidth or L2", names)
+		}
+		return
+	}
+	t.Skip("no DMA-bound layer in this configuration")
+}
+
+func TestBandwidthFormula(t *testing.T) {
+	// §4.7: offchip_BW_new = (footprint / (T_dma/s)) * freq.
+	space, m, _ := setup()
+	le := eval.LayerEval{Layer: workload.ResNet18().Layers[0]}
+	le.Perf.Valid = true
+	le.Perf.TDMA = 1000
+	le.Perf.DataOffchip[arch.OpW] = 3000
+	le.Perf.DataOffchip[arch.OpI] = 1000
+	d := space.Decode(space.Initial())
+	preds := m.predictDMA(2.0, arch.OpW, le, d)
+	wantBW := int(math.Ceil(4000.0 / 500.0 * float64(d.FreqMHz)))
+	found := false
+	for _, p := range preds {
+		if space.Params[p.Param].Name == "offchip_MBps" {
+			found = true
+			if p.Value != wantBW {
+				t.Fatalf("BW prediction = %d, want %d", p.Value, wantBW)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no bandwidth prediction")
+	}
+}
+
+func TestNoCWidthClampedToBroadcast(t *testing.T) {
+	// §4.7: noc_width_new = min(width*s, bytes_per_group*8).
+	space, m, _ := setup()
+	le := eval.LayerEval{Layer: workload.ResNet18().Layers[1]}
+	le.Perf.Valid = true
+	le.Perf.NoCBytesPerGroup[arch.OpI] = 6 // cap = 48 bits
+	le.Perf.NoCGroups[arch.OpI] = 4
+	d := space.Decode(space.Initial()) // width 16, 1 link
+	preds := m.predictNoC(8.0, arch.OpI, le, d)
+	for _, p := range preds {
+		if space.Params[p.Param].Name == "noc_width_bits" {
+			if p.Value != 48 { // min(16*8, 48)
+				t.Fatalf("width prediction = %d, want 48", p.Value)
+			}
+			return
+		}
+	}
+	t.Fatal("no width prediction")
+}
+
+func TestNoCLinksClampedToGroups(t *testing.T) {
+	space, m, _ := setup()
+	le := eval.LayerEval{Layer: workload.ResNet18().Layers[1]}
+	le.Perf.Valid = true
+	le.Perf.NoCBytesPerGroup[arch.OpI] = 1000 // width unclamped
+	le.Perf.NoCGroups[arch.OpI] = 3
+	d := space.Decode(space.Initial())
+	preds := m.predictNoC(16.0, arch.OpI, le, d)
+	for _, p := range preds {
+		if space.Params[p.Param].Name == "phys_unicast_I" {
+			if p.Value != 3 { // min(1*16, groups=3)
+				t.Fatalf("links prediction = %d, want 3", p.Value)
+			}
+			return
+		}
+	}
+	t.Fatal("no links prediction")
+}
+
+func TestAmdahlScaling(t *testing.T) {
+	// A = s*f / (1 - s + s*f); s=4, f=0.5 -> 2/(1-4+2) < 0 means
+	// unachievable, so the target collapses to the available reuse.
+	space, m, _ := setup()
+	le := eval.LayerEval{Layer: workload.ResNet18().Layers[1]}
+	le.Perf.Valid = true
+	le.Perf.TDMA = 100
+	le.Perf.DataOffchip[arch.OpW] = 50
+	le.Perf.DataOffchip[arch.OpI] = 50
+	le.Perf.ReuseAvailSPM[0] = 8 // TW
+	le.Perf.DataSPM[0] = 1024
+	le.Perf.DataSPM[1] = 1024
+	le.Perf.DataSPM[2] = 1024
+	le.Perf.ReuseAvailSPM[1] = 1
+	le.Perf.ReuseAvailSPM[2] = 1
+	d := space.Decode(space.Initial()) // L2 = 64 KB
+	preds := m.predictDMA(4.0, arch.OpW, le, d)
+	for _, p := range preds {
+		if space.Params[p.Param].Name == "L2_KB" {
+			// target = min(8, +inf) = 8; new SPM = 1024*8/8 clamp ->
+			// 1024 + 1024*8 + 1024*8 = 17408 B -> 17 KB. Current is
+			// 64 KB so no growth prediction should fire.
+			t.Fatalf("unexpected L2 prediction %d (current larger)", p.Value)
+		}
+	}
+	// Shrink L2 so the prediction fires and check the arithmetic.
+	d.L2KB = 4
+	preds = m.predictDMA(4.0, arch.OpW, le, d)
+	for _, p := range preds {
+		if space.Params[p.Param].Name == "L2_KB" {
+			if p.Value != 17 {
+				t.Fatalf("L2 prediction = %d KB, want 17", p.Value)
+			}
+			return
+		}
+	}
+	t.Fatal("no L2 prediction")
+}
+
+func TestMitigateConstraintsShrinks(t *testing.T) {
+	space, m, ev := setup()
+	pt := space.Initial()
+	for i := range pt {
+		pt[i] = len(space.Params[i].Values) - 1 // maximal design
+	}
+	r := ev.Evaluate(pt)
+	if r.MeetsAreaPower {
+		t.Fatal("maximal design should violate area/power")
+	}
+	preds, explain := m.MitigateConstraints(r)
+	if len(preds) == 0 {
+		t.Fatalf("no constraint mitigations\n%s", explain)
+	}
+	for _, p := range preds {
+		if !p.Reduce {
+			t.Fatalf("constraint mitigation must shrink: %+v", p)
+		}
+	}
+	if !strings.Contains(explain, "area") && !strings.Contains(explain, "power") {
+		t.Fatal("explanation missing violated constraint")
+	}
+}
+
+func TestMitigateIncompatiblePredictsVirtualLinks(t *testing.T) {
+	space, m, ev := setup()
+	r := ev.Evaluate(space.Initial())
+	var sub int
+	found := false
+	for i, le := range r.Models[0].Layers {
+		if !le.Perf.Valid {
+			sub = i
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("initial design unexpectedly compatible")
+	}
+	preds, _ := m.MitigateObjective(r, sub, 2)
+	if len(preds) == 0 {
+		t.Fatal("no incompatibility mitigation")
+	}
+	sawVirt := false
+	for _, p := range preds {
+		if strings.HasPrefix(space.Params[p.Param].Name, "virt_unicast") {
+			sawVirt = true
+		}
+	}
+	if !sawVirt {
+		t.Fatal("incompatibility mitigation must raise virtual unicast")
+	}
+}
+
+func TestAreaPowerTrees(t *testing.T) {
+	space, _, _ := setup()
+	var em energy.Model
+	est := em.Estimate(space.Decode(space.Initial()))
+	at := AreaTree(est)
+	if err := at.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := at.Eval(); math.Abs(got-est.AreaMM2) > 1e-9 {
+		t.Fatalf("area tree = %v, want %v", got, est.AreaMM2)
+	}
+	ptree := PowerTree(est)
+	if got := ptree.Eval(); math.Abs(got-est.MaxPowerW) > 1e-9 {
+		t.Fatalf("power tree = %v, want %v", got, est.MaxPowerW)
+	}
+	// Bottleneck analysis of the component tree yields mitigable
+	// parameters among the top components (the fixed control overhead
+	// legitimately has none).
+	withParams := 0
+	for _, bn := range bottleneck.Analyze(at, 3) {
+		if len(bn.Params) > 0 {
+			withParams++
+		}
+	}
+	if withParams == 0 {
+		t.Fatal("no area bottleneck carries parameters")
+	}
+}
+
+func TestSubRefOutOfRange(t *testing.T) {
+	space, m, ev := setup()
+	r := ev.Evaluate(compatiblePoint(space))
+	preds, explain := m.MitigateObjective(r, 999, 2)
+	if preds != nil || explain != "" {
+		t.Fatal("out-of-range sub-function should be a no-op")
+	}
+}
+
+func TestMitigateDispatchNoC(t *testing.T) {
+	// Force a NoC-bottleneck dispatch through the public path: a design
+	// with a tiny NoC but fast everything else.
+	space, m, ev := setup()
+	pt := compatiblePoint(space)
+	pt[arch.PPEs] = 3                                     // 512 PEs
+	pt[arch.PBW] = len(space.Params[arch.PBW].Values) - 1 // max BW
+	pt[arch.PNoCWidth] = 0                                // 16-bit NoC
+	pt[arch.PL1] = 6                                      // 512 B RF
+	r := ev.Evaluate(pt)
+	for i, le := range r.Models[0].Layers {
+		if !le.Perf.Valid {
+			continue
+		}
+		_, tn := le.Perf.MaxTNoC()
+		if tn <= le.Perf.TComp || tn <= le.Perf.TDMA {
+			continue
+		}
+		preds, _ := m.MitigateObjective(r, i, 1)
+		if len(preds) == 0 {
+			t.Fatal("NoC-bound layer produced no mitigation")
+		}
+		return
+	}
+	t.Skip("no NoC-bound layer in this configuration")
+}
+
+func TestMitigateIncompatibleBufferOverflows(t *testing.T) {
+	space, m, _ := setup()
+	d := space.Decode(space.Initial())
+	le := eval.LayerEval{Layer: workload.ResNet18().Layers[0]}
+	le.Perf.Incompat = "RF tile exceeds L1 capacity"
+	le.Perf.IncompatCount = 1
+	preds, explain := m.mitigateIncompatible(le, d)
+	if len(preds) != 1 || space.Params[preds[0].Param].Name != "L1_bytes" || preds[0].Value != 2*d.L1Bytes {
+		t.Fatalf("RF overflow mitigation = %+v", preds)
+	}
+	if !strings.Contains(explain, "RF tile") {
+		t.Fatal("explanation missing")
+	}
+
+	le.Perf.Incompat = "L2 tile exceeds scratchpad capacity"
+	preds, _ = m.mitigateIncompatible(le, d)
+	if len(preds) != 1 || space.Params[preds[0].Param].Name != "L2_KB" {
+		t.Fatalf("L2 overflow mitigation = %+v", preds)
+	}
+}
+
+func TestCurrentPhysicalResolvesEveryParameter(t *testing.T) {
+	space, m, _ := setup()
+	pt := compatiblePoint(space)
+	d := space.Decode(pt)
+	for i, p := range space.Params {
+		got := m.currentPhysical(i, d)
+		want := space.PhysicalValue(i, pt[i], d.PEs)
+		if got != want {
+			t.Fatalf("%s: currentPhysical = %d, want %d", p.Name, got, want)
+		}
+	}
+}
+
+func TestParamIndexUnknown(t *testing.T) {
+	_, m, _ := setup()
+	if _, ok := m.paramIndex("not-a-parameter"); ok {
+		t.Fatal("unknown parameter resolved")
+	}
+}
+
+func TestPredictSpatialEnableCapsAtPEs(t *testing.T) {
+	space, m, _ := setup()
+	d := space.Decode(space.Initial()) // 64 PEs
+	le := eval.LayerEval{Layer: workload.ResNet18().Layers[1]}
+	le.Perf.Valid = true
+	le.Perf.PEsUsed = 32
+	// Scaling 64 would ask for 2048-way parallelism; it must cap at the
+	// 64 PEs the design has.
+	preds := m.predictSpatialEnable(64, le, d)
+	for _, p := range preds {
+		if strings.HasPrefix(space.Params[p.Param].Name, "virt_unicast") && p.Value > 64 {
+			t.Fatalf("virt prediction %d exceeds the PE count", p.Value)
+		}
+	}
+}

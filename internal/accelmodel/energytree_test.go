@@ -1,0 +1,169 @@
+package accelmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"xdse/internal/arch"
+	"xdse/internal/energy"
+	"xdse/internal/eval"
+	"xdse/internal/workload"
+)
+
+func TestEnergyTreeMatchesComposition(t *testing.T) {
+	space, _, ev := setup()
+	r := ev.Evaluate(compatiblePoint(space))
+	le := r.Models[0].Layers[1]
+	root := EnergyTree(le, r.Energy)
+	if err := root.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := root.Eval()
+
+	// Recompose from the breakdown.
+	var noc, dram float64
+	for _, op := range arch.Operands {
+		noc += le.Perf.DataNoC[op]
+		dram += le.Perf.DataOffchip[op]
+	}
+	est := r.Energy
+	want := le.Perf.MACs*est.MACPJ + 3*le.Perf.MACs*est.RFAccessPJ +
+		noc/2*est.L2AccessPJ + noc*est.NoCPerByte + dram*est.DRAMPerByte
+	if math.Abs(total-want) > 1e-6*want {
+		t.Fatalf("energy tree = %v, want %v", total, want)
+	}
+}
+
+func TestEnergyTreeConsistentWithEvaluator(t *testing.T) {
+	// The tree's total (pJ, one occurrence) must match the evaluator's
+	// per-layer energy accounting (mJ, multiplicity included).
+	space, _, ev := setup()
+	r := ev.Evaluate(compatiblePoint(space))
+	for _, le := range r.Models[0].Layers {
+		if !le.Perf.Valid {
+			continue
+		}
+		root := EnergyTree(le, r.Energy)
+		pj := root.Eval()
+		wantMJ := pj * float64(le.Layer.Mult) * 1e-9
+		if math.Abs(wantMJ-le.EnergyMJ) > 1e-9+1e-6*le.EnergyMJ {
+			t.Fatalf("%s: tree %v mJ vs evaluator %v mJ", le.Layer.Name, wantMJ, le.EnergyMJ)
+		}
+	}
+}
+
+func TestEnergyObjectiveMitigationGrowsBuffers(t *testing.T) {
+	space := arch.EdgeSpace()
+	cons := eval.EdgeConstraints()
+	ev := eval.New(eval.Config{
+		Space: space, Models: []*workload.Model{workload.ResNet18()},
+		Constraints: cons, Mode: eval.FixedDataflow, Objective: eval.MinEnergy, Seed: 1,
+	})
+	m := New(space, cons)
+	m.Objective = eval.MinEnergy
+
+	r := ev.Evaluate(compatiblePoint(space))
+	costs := m.SubCosts(r)
+	for i, le := range r.Models[0].Layers {
+		if costs[i] != le.EnergyMJ {
+			t.Fatalf("energy sub cost %d = %v, want %v", i, costs[i], le.EnergyMJ)
+		}
+	}
+
+	// DRAM energy dominates on this design; the mitigation must propose
+	// growing a buffer (L1 or L2), never bandwidth (irrelevant to energy).
+	grewBuffer := false
+	for i := range r.Models[0].Layers {
+		preds, explain := m.MitigateObjective(r, i, 2)
+		if !strings.Contains(explain, FactorEnergy) && explain != "" {
+			t.Fatalf("explanation not from the energy tree:\n%s", explain)
+		}
+		for _, p := range preds {
+			name := space.Params[p.Param].Name
+			if name == "offchip_MBps" || name == "PEs" {
+				t.Fatalf("energy mitigation proposed %s", name)
+			}
+			if name == "L1_bytes" || name == "L2_KB" {
+				grewBuffer = true
+			}
+		}
+	}
+	if !grewBuffer {
+		t.Fatal("no buffer-growth prediction from the energy model")
+	}
+}
+
+func TestPredictSpatialEnableVirtFirst(t *testing.T) {
+	space, m, _ := setup()
+	d := space.Decode(space.Initial()) // 64 PEs, 1 link, 1 virt per NoC
+	le := eval.LayerEval{Layer: workload.ResNet18().Layers[1]}
+	le.Perf.Valid = true
+	le.Perf.PEsUsed = 1
+
+	preds := m.predictSpatialEnable(16, le, d)
+	if len(preds) == 0 {
+		t.Fatal("no spatial-enable predictions")
+	}
+	for _, p := range preds {
+		name := space.Params[p.Param].Name
+		if !strings.HasPrefix(name, "virt_unicast") {
+			t.Fatalf("expected virtual-unicast predictions first, got %s", name)
+		}
+		if p.Value != 16 {
+			t.Fatalf("virt prediction = %d, want 16", p.Value)
+		}
+	}
+}
+
+func TestPredictSpatialEnableLinksWhenVirtMaxed(t *testing.T) {
+	space, m, _ := setup()
+	pt := space.Initial()
+	pt[arch.PPEs] = 6 // 4096 PEs
+	for op := 0; op < arch.NumOperands; op++ {
+		pt[arch.PVirt0+op] = 3 // 512-way, the maximum
+	}
+	d := space.Decode(pt)
+	le := eval.LayerEval{Layer: workload.ResNet18().Layers[1]}
+	le.Perf.Valid = true
+	le.Perf.PEsUsed = 1
+
+	// desired = 64*1 = 64 <= 512 virt -> no predictions at small scaling;
+	// push scaling so desired parallelism exceeds virt capacity per link.
+	preds := m.predictSpatialEnable(64, le, d)
+	// With 64 links (4096*1/64) and 512 virt, capacity is 32768 >= 64,
+	// so the engine falls through to plain PE scaling.
+	for _, p := range preds {
+		if space.Params[p.Param].Name != "PEs" {
+			t.Fatalf("expected PE prediction fallback, got %s", space.Params[p.Param].Name)
+		}
+	}
+	if len(preds) == 0 {
+		t.Fatal("expected fallback PE prediction")
+	}
+}
+
+func TestMitigateEnergyDispatch(t *testing.T) {
+	space, _, _ := setup()
+	d := space.Decode(compatiblePoint(space))
+	le := eval.LayerEval{Layer: workload.ResNet18().Layers[1]}
+	le.Perf.Valid = true
+	le.Perf.DataOffchip[arch.OpI] = 1e6
+	le.Perf.DataOffchip[arch.OpW] = 1e5
+	le.Perf.ReuseAvailSPM[1] = 8 // TI has remaining reuse
+	le.Perf.DataSPM = [3]float64{2048, 2048, 2048}
+	le.Perf.ReuseAvailSPM[0] = 1
+	le.Perf.ReuseAvailSPM[2] = 1
+
+	var em energy.Model
+	est := em.Estimate(d)
+	root := EnergyTree(le, est)
+	if root.Eval() <= 0 {
+		t.Fatal("zero energy")
+	}
+	// The DRAM factor must dominate this construction.
+	contribDram := root.Find(FactorEDRAM)
+	if contribDram == nil {
+		t.Fatal("no DRAM factor")
+	}
+}

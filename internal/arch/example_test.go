@@ -1,0 +1,31 @@
+package arch_test
+
+import (
+	"fmt"
+
+	"xdse/internal/arch"
+)
+
+// ExampleParseSpace declares a design space in the §4.2 specification
+// language and decodes a point from it.
+func ExampleParseSpace() {
+	space, err := arch.ParseSpace(`
+freq 500
+param PEs     range 64 1024 mul 2
+param L2_KB   range 64 512 mul 2
+param offchip_MBps list 1024 4096 8192
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("designs:", space.Size())
+
+	pt := space.Initial()
+	pt[0] = 2 // 256 PEs
+	pt[2] = 1 // 4096 MBps
+	d := space.Decode(pt)
+	fmt.Printf("PEs=%d L2=%dKB BW=%dMBps\n", d.PEs, d.L2KB, d.OffchipMBps)
+	// Output:
+	// designs: 60
+	// PEs=256 L2=64KB BW=4096MBps
+}

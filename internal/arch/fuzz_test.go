@@ -1,0 +1,40 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpace checks that arbitrary specification text never panics and
+// that accepted specs produce structurally sound spaces.
+func FuzzParseSpace(f *testing.F) {
+	f.Add(EdgeSpaceSpec)
+	f.Add("freq 100\nparam a list 1 2 3\n")
+	f.Add("freq 1\nparam b range 2 64 mul 2\nparam c perel 1 4 step 1 base 4\n")
+	f.Add("freq 0\nparam x list\n")
+	f.Add("# only comments\n")
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSpace(spec)
+		if err != nil {
+			return
+		}
+		if s.FreqMHz <= 0 || len(s.Params) == 0 {
+			t.Fatalf("accepted spec with bad header: %+v", s)
+		}
+		for _, p := range s.Params {
+			if len(p.Values) == 0 {
+				t.Fatalf("parameter %q with no values accepted", p.Name)
+			}
+			for i := 1; i < len(p.Values); i++ {
+				if p.Values[i] <= p.Values[i-1] {
+					t.Fatalf("parameter %q not increasing: %v", p.Name, p.Values)
+				}
+			}
+		}
+		// Accepted spaces must decode their initial point.
+		_ = s.Decode(s.Initial())
+		if !strings.Contains(spec, "param") {
+			t.Fatal("space without param directives accepted")
+		}
+	})
+}

@@ -1,0 +1,220 @@
+package bottleneck
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// fig8Tree builds a tree shaped like the paper's Fig. 8 example: DMA time
+// dominates a max root, with computation at 24.4% and NoC at 25.9%.
+func fig8Tree() *Node {
+	comp := NewLeaf("T_comp", 24.4).WithParams("PEs")
+	noc := NewLeaf("T_noc", 25.9).WithParams("noc_width")
+	dma := Add("T_dma",
+		NewLeaf("T_dma_A", 70).WithParams("L2"),
+		NewLeaf("T_dma_B", 30).WithParams("offchip_BW"),
+	)
+	return Max("latency", comp, noc, dma)
+}
+
+func TestEvalOps(t *testing.T) {
+	cases := []struct {
+		node *Node
+		want float64
+	}{
+		{Add("a", NewLeaf("x", 2), NewLeaf("y", 3)), 5},
+		{Mul("m", NewLeaf("x", 2), NewLeaf("y", 3)), 6},
+		{Div("d", NewLeaf("x", 6), NewLeaf("y", 3)), 2},
+		{Max("mx", NewLeaf("x", 2), NewLeaf("y", 3)), 3},
+		{New("mn", MinOp, NewLeaf("x", 2), NewLeaf("y", 3)), 2},
+		{NewLeaf("l", 7), 7},
+	}
+	for _, c := range cases {
+		if got := c.node.Eval(); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.node.Name, got, c.want)
+		}
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	n := Div("d", NewLeaf("x", 1), NewLeaf("y", 0))
+	if got := n.Eval(); !math.IsInf(got, 1) {
+		t.Fatalf("div by zero = %v, want +Inf", got)
+	}
+}
+
+func TestFig8Analysis(t *testing.T) {
+	root := fig8Tree()
+	bns := Analyze(root, 3)
+	if len(bns) != 3 {
+		t.Fatalf("got %d bottlenecks", len(bns))
+	}
+	if bns[0].Factor.Name != "T_dma" {
+		t.Fatalf("primary bottleneck = %s, want T_dma", bns[0].Factor.Name)
+	}
+	// Fig. 8: scaling = 100 / 25.9 = 3.86x (root / runner-up).
+	if s := bns[0].Scaling; math.Abs(s-100.0/25.9) > 1e-9 {
+		t.Fatalf("scaling = %v, want %v", s, 100.0/25.9)
+	}
+	// Critical path of the additive DMA factor descends into tensor A.
+	last := bns[0].Critical[len(bns[0].Critical)-1]
+	if last.Name != "T_dma_A" {
+		t.Fatalf("critical leaf = %s, want T_dma_A", last.Name)
+	}
+	// Parameter associations are collected along the path.
+	found := false
+	for _, p := range bns[0].Params {
+		if p == "L2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("params %v missing L2", bns[0].Params)
+	}
+	// Secondary bottlenecks ranked by contribution.
+	if bns[1].Factor.Name != "T_noc" || bns[2].Factor.Name != "T_comp" {
+		t.Fatalf("ranking wrong: %s, %s", bns[1].Factor.Name, bns[2].Factor.Name)
+	}
+}
+
+func TestContributionsAtMaxRoot(t *testing.T) {
+	root := fig8Tree()
+	contrib := Contributions(root)
+	if got := contrib[root]; got != 1 {
+		t.Fatalf("root contribution = %v", got)
+	}
+	dma := root.Find("T_dma")
+	if got := contrib[dma]; got != 1 {
+		t.Fatalf("dominant factor contribution = %v, want 1", got)
+	}
+	comp := root.Find("T_comp")
+	if got := contrib[comp]; math.Abs(got-0.244) > 1e-9 {
+		t.Fatalf("comp contribution = %v, want 0.244", got)
+	}
+}
+
+func TestContributionsAddChildrenSumToParent(t *testing.T) {
+	root := fig8Tree()
+	contrib := Contributions(root)
+	dma := root.Find("T_dma")
+	sum := 0.0
+	for _, c := range dma.Children {
+		sum += contrib[c]
+	}
+	if math.Abs(sum-contrib[dma]) > 1e-9 {
+		t.Fatalf("children contributions %v != parent %v", sum, contrib[dma])
+	}
+}
+
+func TestContributionsNonNegativeProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		root := Max("r",
+			NewLeaf("a", float64(a)),
+			Add("s", NewLeaf("b", float64(b)), NewLeaf("c", float64(c))),
+		)
+		for _, v := range Contributions(root) {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalingAddRoot(t *testing.T) {
+	// At an additive root the Amdahl balance 1/(1-contribution) applies.
+	root := Add("total", NewLeaf("a", 75), NewLeaf("b", 25))
+	bns := Analyze(root, 1)
+	if math.Abs(bns[0].Scaling-4) > 1e-9 {
+		t.Fatalf("scaling = %v, want 4 (1/(1-0.75))", bns[0].Scaling)
+	}
+}
+
+func TestScalingSingleFactorDefaultsToDoubling(t *testing.T) {
+	root := Max("total", NewLeaf("only", 10))
+	bns := Analyze(root, 1)
+	if bns[0].Scaling != 2 {
+		t.Fatalf("scaling = %v, want 2", bns[0].Scaling)
+	}
+}
+
+func TestScalingCapped(t *testing.T) {
+	root := Max("total", NewLeaf("a", 1e12), NewLeaf("b", 1))
+	bns := Analyze(root, 1)
+	if bns[0].Scaling != 64 {
+		t.Fatalf("scaling = %v, want cap 64", bns[0].Scaling)
+	}
+}
+
+func TestAnalyzeLimitsCount(t *testing.T) {
+	root := fig8Tree()
+	if got := len(Analyze(root, 1)); got != 1 {
+		t.Fatalf("Analyze(1) returned %d", got)
+	}
+	if got := len(Analyze(root, 0)); got != 0 {
+		t.Fatalf("Analyze(0) returned %d", got)
+	}
+	if got := len(Analyze(NewLeaf("x", 1), 5)); got != 0 {
+		t.Fatalf("leaf root returned %d bottlenecks", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := fig8Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Node{Name: "leaf-with-kids", Op: Leaf, Children: []*Node{NewLeaf("x", 1)}}
+	if bad.Validate() == nil {
+		t.Fatal("leaf with children must fail validation")
+	}
+	empty := &Node{Name: "empty-add", Op: AddOp}
+	if empty.Validate() == nil {
+		t.Fatal("childless interior node must fail validation")
+	}
+	d := &Node{Name: "bad-div", Op: DivOp, Children: []*Node{NewLeaf("x", 1)}}
+	if d.Validate() == nil {
+		t.Fatal("one-child div must fail validation")
+	}
+}
+
+func TestWalkAndFind(t *testing.T) {
+	root := fig8Tree()
+	n := 0
+	root.Walk(func(*Node) { n++ })
+	if n != 6 {
+		t.Fatalf("walked %d nodes, want 6", n)
+	}
+	if root.Find("T_dma_B") == nil {
+		t.Fatal("Find failed")
+	}
+	if root.Find("missing") != nil {
+		t.Fatal("Find invented a node")
+	}
+}
+
+func TestRenderShowsValuesAndParams(t *testing.T) {
+	out := Render(fig8Tree())
+	for _, want := range []string{"latency", "T_dma", "100", "25.9", "params=[PEs]", "%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCriticalChildMinAndDiv(t *testing.T) {
+	mn := New("mn", MinOp, NewLeaf("a", 5), NewLeaf("b", 2))
+	mn.Eval()
+	if c := criticalChild(mn); c.Name != "b" {
+		t.Fatalf("min critical child = %s", c.Name)
+	}
+	dv := Div("d", NewLeaf("num", 8), NewLeaf("den", 2))
+	dv.Eval()
+	if c := criticalChild(dv); c.Name != "num" {
+		t.Fatalf("div critical child = %s", c.Name)
+	}
+}

@@ -1,0 +1,80 @@
+package bottleneck
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON serialization of bottleneck trees. §C of the paper anticipates
+// design tools and ML-based approaches that construct bottleneck models
+// automatically; a stable interchange format lets external tools emit trees
+// this DSE consumes (and lets the DSE archive the populated trees behind
+// each acquisition decision).
+
+var opNames = map[Op]string{
+	Leaf: "leaf", AddOp: "add", MulOp: "mul", DivOp: "div", MaxOp: "max", MinOp: "min",
+}
+
+var opValues = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, s := range opNames {
+		m[s] = op
+	}
+	return m
+}()
+
+type nodeJSON struct {
+	Name     string   `json:"name"`
+	Op       string   `json:"op"`
+	Value    *float64 `json:"value,omitempty"`
+	Params   []string `json:"params,omitempty"`
+	Children []*Node  `json:"children,omitempty"`
+}
+
+// MarshalJSON encodes the node with symbolic operation names. Leaf values
+// are always encoded; interior values are omitted (they are derived).
+func (n *Node) MarshalJSON() ([]byte, error) {
+	j := nodeJSON{Name: n.Name, Op: opNames[n.Op], Params: n.Params, Children: n.Children}
+	if n.Op == Leaf {
+		v := n.Value
+		j.Value = &v
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes a node, validating operation names.
+func (n *Node) UnmarshalJSON(data []byte) error {
+	var j nodeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	op, ok := opValues[j.Op]
+	if !ok {
+		return fmt.Errorf("bottleneck: unknown op %q", j.Op)
+	}
+	n.Name = j.Name
+	n.Op = op
+	n.Params = j.Params
+	n.Children = j.Children
+	if j.Value != nil {
+		n.Value = *j.Value
+	}
+	return nil
+}
+
+// ToJSON renders the tree as indented JSON.
+func ToJSON(root *Node) ([]byte, error) {
+	return json.MarshalIndent(root, "", "  ")
+}
+
+// FromJSON parses a tree and validates its structure.
+func FromJSON(data []byte) (*Node, error) {
+	var n Node
+	if err := json.Unmarshal(data, &n); err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return &n, nil
+}

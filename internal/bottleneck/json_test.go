@@ -1,0 +1,48 @@
+package bottleneck
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	root := fig8Tree()
+	root.Eval()
+	data, err := ToJSON(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Eval() != root.Eval() {
+		t.Fatalf("round-trip changed the evaluation: %v vs %v", back.Eval(), root.Eval())
+	}
+	if back.Find("T_dma_A") == nil {
+		t.Fatal("round-trip lost a node")
+	}
+	bns := Analyze(back, 1)
+	if bns[0].Factor.Name != "T_dma" {
+		t.Fatal("round-trip changed the analysis")
+	}
+	if !strings.Contains(string(data), `"op": "max"`) {
+		t.Fatalf("ops not symbolic:\n%s", data)
+	}
+	// Interior values are derived, not serialized.
+	if strings.Count(string(data), `"value"`) != 4 {
+		t.Fatalf("expected exactly the 4 leaf values serialized:\n%s", data)
+	}
+}
+
+func TestFromJSONRejectsBadTrees(t *testing.T) {
+	if _, err := FromJSON([]byte(`{"name":"x","op":"pow"}`)); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := FromJSON([]byte(`{"name":"x","op":"add"}`)); err == nil {
+		t.Fatal("childless interior node accepted")
+	}
+	if _, err := FromJSON([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

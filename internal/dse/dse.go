@@ -1,0 +1,556 @@
+// Package dse implements the Explainable-DSE engine of §4: a
+// constraints-aware exploration driven by domain-specific bottleneck models.
+// Every acquisition attempt analyzes the current solution's per-sub-function
+// bottleneck trees, aggregates the predicted parameter values across
+// sub-functions (§4.4), acquires one candidate per predicted value (§4.5),
+// and updates the solution with constraint-budget awareness (§4.6). The
+// engine is domain-independent: all domain knowledge enters through the
+// DomainModel interface, the Go incarnation of the paper's Fig. 7 API.
+package dse
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"xdse/internal/arch"
+	"xdse/internal/search"
+)
+
+// DomainModel is the bottleneck-model interface a domain plugs into the
+// engine: sub-function cost attribution, objective-bottleneck mitigation,
+// and constraint-violation mitigation. internal/accelmodel implements it
+// for DNN accelerators; examples/customdomain implements it for a different
+// domain to demonstrate the decoupling.
+type DomainModel interface {
+	// SubCosts returns the objective contribution of each sub-function
+	// (e.g. per-unique-layer total cycles) for an evaluated solution.
+	SubCosts(raw any) []float64
+	// MitigateObjective analyzes sub-function sub's bottleneck tree and
+	// returns parameter predictions plus a rendered explanation.
+	MitigateObjective(raw any, sub, maxBottlenecks int) ([]search.Prediction, string)
+	// MitigateConstraints analyzes a constraint-violating solution and
+	// returns shrinking predictions plus an explanation.
+	MitigateConstraints(raw any) ([]search.Prediction, string)
+}
+
+// Options tunes the engine; zero values select the paper's settings.
+type Options struct {
+	// TopK bounds the number of bottleneck sub-functions whose
+	// mitigations are aggregated per attempt (§4.4ii; default 5).
+	TopK int
+	// ThresholdScale sets the sub-function contribution floor as
+	// ThresholdScale*(1/l) for l sub-functions (default 0.5).
+	ThresholdScale float64
+	// MaxBottlenecksPerSub bounds bottleneck factors analyzed per
+	// sub-function (default 2).
+	MaxBottlenecksPerSub int
+	// Aggregate merges multiple predicted values of one parameter
+	// (default AggregateMin, the paper's choice; see §4.4i).
+	Aggregate Aggregation
+	// Patience is the number of consecutive non-improving acquisition
+	// attempts tolerated before termination (default 3).
+	Patience int
+	// Log, when non-nil, receives the per-attempt explanations that make
+	// the exploration auditable.
+	Log io.Writer
+	// DisableBudgetAwareUpdate replaces the §4.6 constraint-budget-aware
+	// solution update with plain greedy feasible-min (ablation hook).
+	DisableBudgetAwareUpdate bool
+	// JointAcquisition applies all aggregated predictions to a single
+	// candidate instead of one candidate per parameter (ablation hook
+	// for §4.5).
+	JointAcquisition bool
+	// Restarts runs the exploration from this many initial points
+	// (the first is the problem's initial point, the rest random),
+	// splitting the budget — the §C workaround for bottleneck-oriented
+	// greediness converging to local optima. Default 1.
+	Restarts int
+}
+
+// Aggregation selects how multiple predicted values of the same parameter
+// collapse into the final prediction (§4.4i).
+type Aggregation int
+
+const (
+	// AggregateMin picks the minimum predicted value — the paper's
+	// choice, avoiding over-aggressive scaling that exhausts constraints.
+	AggregateMin Aggregation = iota
+	// AggregateMax picks the maximum (fast but constraint-hungry).
+	AggregateMax
+	// AggregateMean picks the arithmetic mean.
+	AggregateMean
+)
+
+// String names the aggregation rule.
+func (a Aggregation) String() string { return [...]string{"min", "max", "mean"}[a] }
+
+// Explorer is the Explainable-DSE optimizer.
+type Explorer struct {
+	Model DomainModel
+	Opts  Options
+}
+
+// New returns an Explorer with the paper's default options.
+func New(model DomainModel) *Explorer { return &Explorer{Model: model} }
+
+// Name implements search.Optimizer.
+func (e *Explorer) Name() string { return "ExplainableDSE" }
+
+func (e *Explorer) opts() Options {
+	o := e.Opts
+	if o.TopK <= 0 {
+		o.TopK = 5
+	}
+	if o.ThresholdScale <= 0 {
+		o.ThresholdScale = 0.5
+	}
+	if o.MaxBottlenecksPerSub <= 0 {
+		o.MaxBottlenecksPerSub = 2
+	}
+	if o.Patience <= 0 {
+		o.Patience = 5
+	}
+	return o
+}
+
+// dirKey identifies a parameter/direction range for §4.6 monomodal pruning.
+type dirKey struct {
+	param  int
+	reduce bool
+}
+
+// evaluated pairs an acquired candidate with its evaluation.
+type evaluated struct {
+	pt    arch.Point
+	costs search.Costs
+	pred  *search.Prediction
+}
+
+// Run implements search.Optimizer. With Restarts > 1 it explores from
+// several initial points, splitting the budget, and returns the merged
+// trace.
+func (e *Explorer) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
+	o := e.opts()
+	restarts := o.Restarts
+	if restarts <= 1 {
+		return e.runFrom(p, p.Start(), rng)
+	}
+	merged := &search.Trace{Name: e.Name()}
+	start := time.Now()
+	share := p.Budget / restarts
+	if share < 2 {
+		share = 2
+	}
+	for i := 0; i < restarts; i++ {
+		sub := *p
+		sub.Budget = share
+		if i == 0 {
+			sub.Initial = p.Start()
+		} else {
+			sub.Initial = p.Space.Random(rng)
+		}
+		tr := e.runFrom(&sub, sub.Initial, rng)
+		for _, s := range tr.Steps {
+			merged.Record(p, s.Point, s.Costs)
+		}
+	}
+	merged.Elapsed = time.Since(start)
+	return merged
+}
+
+// runFrom is one exploration from a given initial point.
+func (e *Explorer) runFrom(p *search.Problem, initial arch.Point, rng *rand.Rand) *search.Trace {
+	o := e.opts()
+	t := &search.Trace{Name: e.Name()}
+	start := time.Now()
+	defer func() { t.Elapsed = time.Since(start) }()
+
+	cur := initial.Clone()
+	curCosts := p.Evaluate(cur)
+	if !t.Record(p, cur, curCosts) {
+		return t
+	}
+	e.logf(o, "initial solution: obj=%.4g feasible=%v budget=%.2f\n",
+		curCosts.Objective, curCosts.Feasible, curCosts.BudgetUtil)
+
+	// blocked remembers parameter/direction ranges abandoned after §4.6
+	// monomodal pruning (a candidate violating more constraints than the
+	// solution stops that parameter's range).
+	blocked := map[dirKey]bool{}
+
+	stale := 0
+	for attempt := 1; ; attempt++ {
+		preds, explain := e.analyze(o, curCosts)
+		if explain != "" {
+			e.logf(o, "--- attempt %d ---\n%s", attempt, explain)
+		}
+
+		cands := e.acquire(p, cur, preds, blocked)
+		if len(cands) == 0 {
+			// Bottleneck analysis yields nothing new: fall back to
+			// the black-box counterpart (§4.3) — neighbor sampling.
+			cands = e.neighborCandidates(p, cur, rng)
+			if len(cands) == 0 {
+				e.logf(o, "no candidates remain; converged after %d attempts\n", attempt)
+				return t
+			}
+			e.logf(o, "no bottleneck-guided candidates; sampling %d neighbors\n", len(cands))
+		}
+
+		var evs []evaluated
+		budgetLeft := true
+		for i := range cands {
+			c := p.Evaluate(cands[i].pt)
+			evs = append(evs, evaluated{cands[i].pt, c, cands[i].pred})
+			if !t.Record(p, cands[i].pt, c) {
+				budgetLeft = false
+				break
+			}
+		}
+
+		// §4.6 solution update.
+		next, nextCosts, why := e.update(o, curCosts, evs, func(ev evaluated) {
+			if ev.pred != nil && ev.costs.Violations > curCosts.Violations {
+				blocked[dirKey{ev.pred.Param, ev.pred.Reduce}] = true
+			}
+		})
+		if next != nil {
+			e.logf(o, "attempt %d: new solution (%s): obj=%.4g feasible=%v budget=%.2f point=%s\n",
+				attempt, why, nextCosts.Objective, nextCosts.Feasible, nextCosts.BudgetUtil, describePoint(p.Space, next))
+			cur, curCosts = next, nextCosts
+			stale = 0
+			// A new solution re-opens previously blocked ranges.
+			blocked = map[dirKey]bool{}
+		} else {
+			stale++
+			e.logf(o, "attempt %d: no candidate improved the solution (%d stale)\n", attempt, stale)
+			// Block the grow-directions that failed so the next
+			// attempt explores other parameters.
+			for _, ev := range evs {
+				if ev.pred != nil {
+					blocked[dirKey{ev.pred.Param, ev.pred.Reduce}] = true
+				}
+			}
+		}
+		if !budgetLeft {
+			return t
+		}
+		// Convergence: patience applies once a feasible solution exists;
+		// while still infeasible the engine keeps pushing toward the
+		// feasible region (a 4x-patience guard stops true dead ends).
+		patience := o.Patience
+		if !curCosts.Feasible {
+			patience *= 4
+		}
+		if stale >= patience {
+			e.logf(o, "converged: %d attempts without improvement\n", stale)
+			return t
+		}
+	}
+}
+
+// analyze performs the per-sub-function bottleneck analysis and §4.4
+// aggregation, returning the final predictions for this attempt.
+func (e *Explorer) analyze(o Options, costs search.Costs) ([]search.Prediction, string) {
+	var explain string
+
+	// Unmet area/power constraints take priority: reach feasible
+	// subspaces first (§4.6 and footnote 4).
+	if !costs.MeetsAreaPower {
+		preds, ex := e.Model.MitigateConstraints(costs.Raw)
+		if len(preds) > 0 {
+			return e.aggregate(o, preds), "constraint mitigation:\n" + ex
+		}
+	}
+
+	subCosts := e.Model.SubCosts(costs.Raw)
+	l := len(subCosts)
+	if l == 0 {
+		return nil, ""
+	}
+	total := 0.0
+	for _, c := range subCosts {
+		total += c
+	}
+	if total <= 0 {
+		return nil, ""
+	}
+	threshold := o.ThresholdScale * (1.0 / float64(l))
+
+	// Rank sub-functions by contribution; keep top-K above threshold.
+	idx := make([]int, l)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return subCosts[idx[a]] > subCosts[idx[b]] })
+
+	var preds []search.Prediction
+	taken := 0
+	for _, i := range idx {
+		if taken >= o.TopK {
+			break
+		}
+		frac := subCosts[i] / total
+		if frac < threshold {
+			break
+		}
+		ps, ex := e.Model.MitigateObjective(costs.Raw, i, o.MaxBottlenecksPerSub)
+		if ex != "" {
+			explain += fmt.Sprintf("sub-function %d (%.1f%% of cost):\n%s", i, frac*100, ex)
+		}
+		preds = append(preds, ps...)
+		taken++
+	}
+	return e.aggregate(o, preds), explain
+}
+
+// aggregate collapses multiple predicted values per parameter (§4.4i).
+func (e *Explorer) aggregate(o Options, preds []search.Prediction) []search.Prediction {
+	byParam := map[int][]search.Prediction{}
+	var order []int
+	for _, p := range preds {
+		if _, seen := byParam[p.Param]; !seen {
+			order = append(order, p.Param)
+		}
+		byParam[p.Param] = append(byParam[p.Param], p)
+	}
+	var out []search.Prediction
+	for _, param := range order {
+		ps := byParam[param]
+		agg := ps[0]
+		switch o.Aggregate {
+		case AggregateMin:
+			for _, p := range ps[1:] {
+				if less(p, agg) {
+					agg = p
+				}
+			}
+		case AggregateMax:
+			for _, p := range ps[1:] {
+				if less(agg, p) {
+					agg = p
+				}
+			}
+		case AggregateMean:
+			sum := 0
+			for _, p := range ps {
+				sum += p.Value
+			}
+			agg.Value = sum / len(ps)
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+// less orders predictions by aggressiveness: for growth the smaller value
+// is less aggressive; for reduction the larger value is.
+func less(a, b search.Prediction) bool {
+	if a.Reduce {
+		return a.Value > b.Value
+	}
+	return a.Value < b.Value
+}
+
+// candidate pairs an acquired point with the prediction that produced it.
+type candidate struct {
+	pt   arch.Point
+	pred *search.Prediction
+}
+
+// acquire materializes the candidate set CS: one candidate per aggregated
+// prediction, each differing from the current solution in one parameter
+// (§4.5), with predicted values rounded up (or down, for reductions) to the
+// design space.
+func (e *Explorer) acquire(p *search.Problem, cur arch.Point, preds []search.Prediction, blocked map[dirKey]bool) []candidate {
+	o := e.opts()
+	var cands []candidate
+	seen := map[string]bool{cur.Key(): true}
+	joint := cur.Clone()
+	jointChanged := 0
+
+	// PE-relative parameters resolve against the space's "PEs" parameter
+	// when it exists; domains without one have no such parameters.
+	pes := basePEs(p.Space, cur)
+	for i := range preds {
+		pred := preds[i]
+		if blocked[dirKey{pred.Param, pred.Reduce}] {
+			continue
+		}
+		var idx int
+		if pred.Reduce {
+			idx = roundDownPhysical(p.Space, pred.Param, pred.Value, pes)
+		} else {
+			idx = p.Space.RoundUpPhysical(pred.Param, pred.Value, pes)
+		}
+		idx = p.Space.Clamp(pred.Param, idx)
+		if idx == cur[pred.Param] {
+			// The rounding landed on the current value; take one
+			// step in the predicted direction instead.
+			if pred.Reduce {
+				idx = p.Space.Clamp(pred.Param, idx-1)
+			} else {
+				idx = p.Space.Clamp(pred.Param, idx+1)
+			}
+			if idx == cur[pred.Param] {
+				continue
+			}
+		}
+		joint[pred.Param] = idx
+		jointChanged++
+		if o.JointAcquisition {
+			continue
+		}
+		pt := cur.Clone()
+		pt[pred.Param] = idx
+		if seen[pt.Key()] {
+			continue
+		}
+		seen[pt.Key()] = true
+		cands = append(cands, candidate{pt, &preds[i]})
+	}
+	// When several parameters were predicted, also acquire the combined
+	// candidate: balanced bottleneck factors (e.g. T_comp == T_dma) can
+	// only improve when both are scaled in the same attempt.
+	if jointChanged >= 2 || (o.JointAcquisition && jointChanged > 0) {
+		if !seen[joint.Key()] {
+			seen[joint.Key()] = true
+			cands = append(cands, candidate{joint, nil})
+		}
+	}
+	return cands
+}
+
+// describePoint renders a point as name=value pairs without assuming the
+// accelerator space shape (custom domains have arbitrary parameters).
+func describePoint(s *arch.Space, pt arch.Point) string {
+	pes := basePEs(s, pt)
+	out := ""
+	for i, prm := range s.Params {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", prm.Name, s.PhysicalValue(i, pt[i], pes))
+	}
+	return out
+}
+
+// basePEs returns the physical value of the space's "PEs" parameter at pt,
+// or 1 when the domain has no such parameter.
+func basePEs(s *arch.Space, pt arch.Point) int {
+	for i, prm := range s.Params {
+		if prm.Name == "PEs" {
+			return prm.Values[pt[i]]
+		}
+	}
+	return 1
+}
+
+// roundDownPhysical mirrors Space.RoundUpPhysical for reductions.
+func roundDownPhysical(s *arch.Space, param, want, pes int) int {
+	prm := s.Params[param]
+	if prm.Kind != arch.KindPERelative {
+		return prm.RoundDownIndex(want)
+	}
+	idx := 0
+	for i := range prm.Values {
+		if s.PhysicalValue(param, i, pes) <= want {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// neighborCandidates is the black-box fallback: +-1 index moves on a few
+// random parameters.
+func (e *Explorer) neighborCandidates(p *search.Problem, cur arch.Point, rng *rand.Rand) []candidate {
+	var cands []candidate
+	seen := map[string]bool{cur.Key(): true}
+	for tries := 0; tries < 16 && len(cands) < 5; tries++ {
+		param := rng.Intn(len(p.Space.Params))
+		delta := 1
+		if rng.Intn(2) == 0 {
+			delta = -1
+		}
+		idx := p.Space.Clamp(param, cur[param]+delta)
+		if idx == cur[param] {
+			continue
+		}
+		pt := cur.Clone()
+		pt[param] = idx
+		if seen[pt.Key()] {
+			continue
+		}
+		seen[pt.Key()] = true
+		cands = append(cands, candidate{pt, nil})
+	}
+	return cands
+}
+
+// update selects the new solution among the evaluated candidates with
+// §4.6 constraint-budget awareness, returning nil when no candidate beats
+// the current solution. blockFn is called for every rejected candidate so
+// monomodal ranges can be pruned.
+func (e *Explorer) update(o Options, curCosts search.Costs, evs []evaluated, blockFn func(evaluated)) (arch.Point, search.Costs, string) {
+
+	var feasible, infeasible []int
+	for i, ev := range evs {
+		if ev.costs.Feasible {
+			feasible = append(feasible, i)
+		} else {
+			infeasible = append(infeasible, i)
+			blockFn(ev)
+		}
+	}
+
+	score := func(c search.Costs) float64 {
+		if o.DisableBudgetAwareUpdate {
+			return c.Objective
+		}
+		return c.Objective * math.Max(c.BudgetUtil, 1e-6)
+	}
+
+	// Scenario 2 (§4.6): some candidates satisfy all constraints — pick
+	// the lowest objective x budget product, but never regress from a
+	// feasible current solution.
+	if len(feasible) > 0 {
+		best := -1
+		for _, i := range feasible {
+			if best < 0 || score(evs[i].costs) < score(evs[best].costs) {
+				best = i
+			}
+		}
+		ev := evs[best]
+		if curCosts.Feasible && ev.costs.Objective >= curCosts.Objective {
+			return nil, search.Costs{}, ""
+		}
+		return ev.pt, ev.costs, "feasible, min objective x budget"
+	}
+
+	// Scenario 1: nothing feasible — move toward feasibility by least
+	// constraints budget, unless the current solution already uses less.
+	if curCosts.Feasible || len(infeasible) == 0 {
+		return nil, search.Costs{}, ""
+	}
+	best := -1
+	for _, i := range infeasible {
+		if best < 0 || evs[i].costs.BudgetUtil < evs[best].costs.BudgetUtil {
+			best = i
+		}
+	}
+	ev := evs[best]
+	if ev.costs.BudgetUtil >= curCosts.BudgetUtil {
+		return nil, search.Costs{}, ""
+	}
+	return ev.pt, ev.costs, "infeasible, min constraints budget"
+}
+
+func (e *Explorer) logf(o Options, format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format, args...)
+	}
+}

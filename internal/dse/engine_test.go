@@ -1,0 +1,232 @@
+package dse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xdse/internal/arch"
+	"xdse/internal/search"
+)
+
+// Additional white-box tests of the engine internals: acquisition rounding,
+// space-shape independence, and the fallback paths.
+
+func TestBasePEs(t *testing.T) {
+	space := arch.EdgeSpace()
+	pt := space.Initial()
+	pt[arch.PPEs] = 3
+	if got := basePEs(space, pt); got != 512 {
+		t.Fatalf("basePEs = %d, want 512", got)
+	}
+	// A domain without a PEs parameter resolves to 1.
+	custom := &arch.Space{Params: []arch.Param{{Name: "workers", Values: []int{1, 2, 4}}}}
+	if got := basePEs(custom, arch.Point{2}); got != 1 {
+		t.Fatalf("basePEs (custom) = %d, want 1", got)
+	}
+}
+
+func TestDescribePointIsSpaceShapeAgnostic(t *testing.T) {
+	custom := &arch.Space{Params: []arch.Param{
+		{Name: "alpha", Values: []int{10, 20}},
+		{Name: "beta", Values: []int{5}},
+	}}
+	got := describePoint(custom, arch.Point{1, 0})
+	if !strings.Contains(got, "alpha=20") || !strings.Contains(got, "beta=5") {
+		t.Fatalf("describePoint = %q", got)
+	}
+}
+
+func TestAcquireRoundsUpAndSteps(t *testing.T) {
+	e := New(nil)
+	space := arch.EdgeSpace()
+	p := &search.Problem{Space: space}
+	cur := space.Initial()
+
+	// 100 PEs rounds up to 128 (index 1).
+	preds := []search.Prediction{{Param: arch.PPEs, Value: 100}}
+	cands := e.acquire(p, cur, preds, map[dirKey]bool{})
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	if got := space.Decode(cands[0].pt).PEs; got != 128 {
+		t.Fatalf("rounded PEs = %d, want 128", got)
+	}
+
+	// A prediction equal to the current value still takes one step in
+	// the predicted direction (no wasted attempt).
+	preds = []search.Prediction{{Param: arch.PPEs, Value: 64}}
+	cands = e.acquire(p, cur, preds, map[dirKey]bool{})
+	if len(cands) != 1 || space.Decode(cands[0].pt).PEs != 128 {
+		t.Fatalf("same-value prediction did not step: %+v", cands)
+	}
+
+	// Reductions round down and step down at the boundary.
+	high := cur.Clone()
+	high[arch.PPEs] = 3 // 512
+	preds = []search.Prediction{{Param: arch.PPEs, Value: 300, Reduce: true}}
+	cands = e.acquire(p, high, preds, map[dirKey]bool{})
+	if len(cands) != 1 || space.Decode(cands[0].pt).PEs != 256 {
+		t.Fatalf("reduce prediction wrong: %+v", cands)
+	}
+}
+
+func TestAcquireBlockedDirections(t *testing.T) {
+	e := New(nil)
+	space := arch.EdgeSpace()
+	p := &search.Problem{Space: space}
+	cur := space.Initial()
+	preds := []search.Prediction{{Param: arch.PPEs, Value: 1000}}
+	blocked := map[dirKey]bool{{arch.PPEs, false}: true}
+	if cands := e.acquire(p, cur, preds, blocked); len(cands) != 0 {
+		t.Fatalf("blocked direction still acquired: %+v", cands)
+	}
+	// The opposite direction is not blocked.
+	blocked = map[dirKey]bool{{arch.PPEs, true}: true}
+	if cands := e.acquire(p, cur, preds, blocked); len(cands) != 1 {
+		t.Fatal("unblocked direction suppressed")
+	}
+}
+
+func TestAcquireJointCandidateForMultipleParams(t *testing.T) {
+	e := New(nil)
+	space := arch.EdgeSpace()
+	p := &search.Problem{Space: space}
+	cur := space.Initial()
+	preds := []search.Prediction{
+		{Param: arch.PPEs, Value: 256},
+		{Param: arch.PBW, Value: 8000},
+	}
+	cands := e.acquire(p, cur, preds, map[dirKey]bool{})
+	// Two single-parameter candidates plus the combined one.
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %d, want 3", len(cands))
+	}
+	joint := cands[2].pt
+	d := space.Decode(joint)
+	if d.PEs != 256 || d.OffchipMBps != 8192 {
+		t.Fatalf("joint candidate = %v", d)
+	}
+	if cands[2].pred != nil {
+		t.Fatal("joint candidate must not carry a single prediction")
+	}
+}
+
+func TestAcquirePERelativeRounding(t *testing.T) {
+	e := New(nil)
+	space := arch.EdgeSpace()
+	p := &search.Problem{Space: space}
+	cur := space.Initial()
+	cur[arch.PPEs] = 2 // 256 PEs
+	// Want 20 physical I links: 256*i/64 >= 20 -> i = 5.
+	preds := []search.Prediction{{Param: arch.PPhys0 + int(arch.OpI), Value: 20}}
+	cands := e.acquire(p, cur, preds, map[dirKey]bool{})
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	d := space.Decode(cands[0].pt)
+	if d.PhysLinks[arch.OpI] < 20 || d.PhysLinks[arch.OpI] >= 24 {
+		t.Fatalf("I links = %d, want minimal >= 20", d.PhysLinks[arch.OpI])
+	}
+}
+
+func TestNeighborCandidatesDiffer(t *testing.T) {
+	e := New(nil)
+	space := arch.EdgeSpace()
+	p := &search.Problem{Space: space}
+	cur := space.Random(rand.New(rand.NewSource(4)))
+	cands := e.neighborCandidates(p, cur, rand.New(rand.NewSource(5)))
+	if len(cands) == 0 {
+		t.Fatal("no neighbors")
+	}
+	seen := map[string]bool{cur.Key(): true}
+	for _, c := range cands {
+		if seen[c.pt.Key()] {
+			t.Fatal("duplicate neighbor")
+		}
+		seen[c.pt.Key()] = true
+		diff := 0
+		for i := range c.pt {
+			if c.pt[i] != cur[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("neighbor changed %d params", diff)
+		}
+	}
+}
+
+func TestRunSurvivesEmptyDomain(t *testing.T) {
+	// A domain model that never predicts anything: the engine must fall
+	// back to neighbors and terminate without finding (or panicking).
+	m := &emptyModel{}
+	space := arch.EdgeSpace()
+	p := &search.Problem{
+		Space:  space,
+		Budget: 30,
+		Evaluate: func(pt arch.Point) search.Costs {
+			return search.Costs{Objective: float64(pt[0] + 1), Feasible: true, BudgetUtil: 0.1}
+		},
+	}
+	ex := New(m)
+	tr := ex.Run(p, rand.New(rand.NewSource(1)))
+	if tr.Evaluations == 0 || tr.Evaluations > 30 {
+		t.Fatalf("evaluations = %d", tr.Evaluations)
+	}
+	if tr.Best == nil {
+		t.Fatal("feasible initial point not recorded as best")
+	}
+}
+
+type emptyModel struct{}
+
+func (emptyModel) SubCosts(any) []float64 { return []float64{1} }
+func (emptyModel) MitigateObjective(any, int, int) ([]search.Prediction, string) {
+	return nil, ""
+}
+func (emptyModel) MitigateConstraints(any) ([]search.Prediction, string) { return nil, "" }
+
+func TestInfeasiblePatienceIsExtended(t *testing.T) {
+	// While infeasible, the engine keeps exploring ~4x longer before
+	// declaring convergence — it must consume clearly more than
+	// Patience+1 attempts' worth of neighbor evaluations.
+	m := &emptyModel{}
+	space := arch.EdgeSpace()
+	evals := 0
+	p := &search.Problem{
+		Space:  space,
+		Budget: 1000,
+		Evaluate: func(pt arch.Point) search.Costs {
+			evals++
+			return search.Costs{Objective: 1, Feasible: false, BudgetUtil: 5, Violations: 1}
+		},
+	}
+	ex := New(m)
+	ex.Opts.Patience = 2
+	ex.Run(p, rand.New(rand.NewSource(2)))
+	if evals < 20 {
+		t.Fatalf("engine gave up after only %d evaluations while infeasible", evals)
+	}
+}
+
+func TestRestartsMergeTraces(t *testing.T) {
+	m := newToyModel()
+	ex := New(m)
+	ex.Opts.Restarts = 3
+	p := newToyProblem(m, 90)
+	tr := ex.Run(p, rand.New(rand.NewSource(6)))
+	if tr.Best == nil {
+		t.Fatal("restarted exploration found nothing")
+	}
+	if tr.Evaluations > 90+6 { // shares may slightly overrun on ties
+		t.Fatalf("evaluations = %d", tr.Evaluations)
+	}
+	// The merged trace tracks the global best across restarts.
+	best := tr.BestObjective()
+	for _, s := range tr.Steps {
+		if s.Costs.Feasible && s.Costs.Objective < best {
+			t.Fatal("merged best not global")
+		}
+	}
+}

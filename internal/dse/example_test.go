@@ -1,0 +1,27 @@
+package dse
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Example runs the engine on the synthetic two-factor domain from the test
+// suite: latency = max(compute/PEs, dma/BW) under an area cap. The engine
+// alternates compute and bandwidth mitigations until the bandwidth-limited
+// optimum is reached.
+func Example() {
+	model := newToyModel()
+	explorer := New(model)
+	problem := newToyProblem(model, 60)
+
+	trace := explorer.Run(problem, rand.New(rand.NewSource(1)))
+
+	d := problem.Space.Decode(trace.Best)
+	fmt.Printf("best objective: %.2f\n", trace.BestObjective())
+	fmt.Printf("PEs=%d BW=%d MBps\n", d.PEs, d.OffchipMBps)
+	fmt.Println("explored fraction of budget:", trace.Evaluations < 60)
+	// Output:
+	// best objective: 3906.25
+	// PEs=512 BW=51200 MBps
+	// explored fraction of budget: true
+}

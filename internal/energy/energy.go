@@ -1,0 +1,153 @@
+// Package energy estimates silicon area, peak power, and per-access energy
+// of accelerator designs, standing in for the Accelergy + CACTI/Aladdin
+// stack the paper uses (45 nm technology). Estimates are analytical,
+// component-wise, and monotone in each design parameter; the DSE only
+// relies on these properties, not on absolute calibration.
+package energy
+
+import (
+	"math"
+
+	"xdse/internal/arch"
+)
+
+// 45 nm component coefficients. Values are of the order published for
+// Eyeriss-class designs: a 16-bit MAC near 2 pJ and 2500 um^2, register
+// files near 1 pJ/access, SRAM macros around 0.45 um^2/bit with CACTI-like
+// sqrt growth of access energy, and DRAM accesses near 80 pJ/byte.
+const (
+	macEnergyPJ          = 2.0    // per 16-bit MAC
+	macAreaMM2           = 0.0025 // per MAC unit
+	rfEnergyPJ           = 1.0    // per 2-byte register-file access
+	rfAreaMM2PB          = 6.0e-6 // per byte of register file
+	sramAreaMM2PKB       = 0.0044 // per KB of shared scratchpad (incl. periphery)
+	sramEnergyBasePJ     = 4.0    // per 2-byte access of a 64 KB macro
+	dramEnergyPJPB       = 80.0   // per byte moved over the DRAM interface
+	nocEnergyPJPB        = 1.0    // per byte moved over one NoC hop
+	nocAreaMM2PerBitLink = 1.6e-5 // wiring+buffering per bit of width per link
+	dmaAreaMM2           = 0.25   // DMA engine and DRAM PHY share
+	ctrlAreaMM2          = 0.5    // global control overhead
+
+	// l2FeedCapBytes bounds the scratchpad's per-cycle read bandwidth
+	// (banked ports); peak L2 power is limited by the ports, not by the
+	// aggregate width of every NoC link it fans out to.
+	l2FeedCapBytes = 128.0
+)
+
+// Component identifies an area/power contributor of the design; the
+// area/power bottleneck trees used under unmet constraints are built from
+// these names.
+type Component int
+
+const (
+	// CompPEs is the MAC array.
+	CompPEs Component = iota
+	// CompRF is the per-PE register files.
+	CompRF
+	// CompL2 is the shared scratchpad.
+	CompL2
+	// CompNoC is the operand NoCs.
+	CompNoC
+	// CompDMA is the DMA engine and DRAM interface.
+	CompDMA
+	// CompCtrl is the global control overhead.
+	CompCtrl
+	// NumComponents is the component count.
+	NumComponents
+)
+
+// String names the component.
+func (c Component) String() string {
+	switch c {
+	case CompPEs:
+		return "PE-array"
+	case CompRF:
+		return "RFs"
+	case CompL2:
+		return "L2-SPM"
+	case CompNoC:
+		return "NoCs"
+	case CompDMA:
+		return "DMA"
+	case CompCtrl:
+		return "control"
+	}
+	return "component"
+}
+
+// Estimate is the area/power report of a design, with per-component
+// breakdowns, plus the per-access energy table the performance model uses
+// to integrate energy over an execution.
+type Estimate struct {
+	AreaMM2     float64
+	MaxPowerW   float64
+	AreaByComp  [NumComponents]float64
+	PowerByComp [NumComponents]float64
+
+	// Per-event energies in picojoules.
+	MACPJ       float64 // one MAC operation
+	RFAccessPJ  float64 // one 2-byte RF access
+	L2AccessPJ  float64 // one 2-byte scratchpad access
+	DRAMPerByte float64 // one byte over the DRAM interface
+	NoCPerByte  float64 // one byte over a NoC
+}
+
+// Model estimates area/power/access-energy for designs of the edge
+// accelerator template. The zero value is ready to use.
+type Model struct{}
+
+// Estimate computes the report for a design.
+func (Model) Estimate(d arch.Design) Estimate {
+	var e Estimate
+	pes := float64(d.PEs)
+
+	// CACTI-like access energy growth with macro capacity.
+	l2AccessPJ := sramEnergyBasePJ * math.Sqrt(float64(d.L2KB)/64.0)
+	rfAccessPJ := rfEnergyPJ * math.Sqrt(float64(d.L1Bytes)/64.0)
+	if rfAccessPJ < 0.3 {
+		rfAccessPJ = 0.3
+	}
+
+	e.MACPJ = macEnergyPJ
+	e.RFAccessPJ = rfAccessPJ
+	e.L2AccessPJ = l2AccessPJ
+	e.DRAMPerByte = dramEnergyPJPB
+	e.NoCPerByte = nocEnergyPJPB
+
+	// Area.
+	e.AreaByComp[CompPEs] = pes * macAreaMM2
+	e.AreaByComp[CompRF] = pes * float64(d.L1Bytes) * rfAreaMM2PB
+	e.AreaByComp[CompL2] = float64(d.L2KB) * sramAreaMM2PKB
+	nocArea := 0.0
+	for op := range d.PhysLinks {
+		nocArea += float64(d.NoCWidthBits) * float64(d.PhysLinks[op]) * nocAreaMM2PerBitLink
+		// Virtual (time-shared) unicast needs per-link staging buffers.
+		nocArea += float64(d.NoCWidthBits) * math.Log2(float64(d.VirtLinks[op])+1) * nocAreaMM2PerBitLink
+	}
+	e.AreaByComp[CompNoC] = nocArea
+	// DMA area grows mildly with provisioned bandwidth.
+	e.AreaByComp[CompDMA] = dmaAreaMM2 * math.Sqrt(float64(d.OffchipMBps)/1024.0)
+	e.AreaByComp[CompCtrl] = ctrlAreaMM2
+	for _, a := range e.AreaByComp {
+		e.AreaMM2 += a
+	}
+
+	// Peak power: every component active in the same cycle.
+	wattsPerPJ := float64(d.FreqMHz) * 1e6 * 1e-12 // pJ/cycle -> W
+	e.PowerByComp[CompPEs] = pes * macEnergyPJ * wattsPerPJ
+	e.PowerByComp[CompRF] = pes * 2 * rfAccessPJ * wattsPerPJ // read+write per cycle
+	// L2 feeds the NoCs up to its banked port bandwidth each cycle.
+	nocBytesPerCycle := 0.0
+	for op := range d.PhysLinks {
+		nocBytesPerCycle += float64(d.NoCWidthBits) / 8.0 * float64(d.PhysLinks[op])
+	}
+	l2Feed := math.Min(nocBytesPerCycle, l2FeedCapBytes)
+	e.PowerByComp[CompL2] = l2Feed / 2.0 * l2AccessPJ * wattsPerPJ
+	e.PowerByComp[CompNoC] = nocBytesPerCycle * nocEnergyPJPB * wattsPerPJ
+	e.PowerByComp[CompDMA] = d.BytesPerCycle() * dramEnergyPJPB * wattsPerPJ
+	e.PowerByComp[CompCtrl] = 0.05 // fixed control/clock tree share in W
+	for _, p := range e.PowerByComp {
+		e.MaxPowerW += p
+	}
+	return e
+}

@@ -1,0 +1,138 @@
+package energy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xdse/internal/arch"
+)
+
+func baseDesign() arch.Design {
+	s := arch.EdgeSpace()
+	return s.Decode(s.Initial())
+}
+
+func TestEstimatePositive(t *testing.T) {
+	var m Model
+	e := m.Estimate(baseDesign())
+	if e.AreaMM2 <= 0 || e.MaxPowerW <= 0 {
+		t.Fatalf("non-positive estimates: %+v", e)
+	}
+	if e.MACPJ <= 0 || e.RFAccessPJ <= 0 || e.L2AccessPJ <= 0 || e.DRAMPerByte <= 0 || e.NoCPerByte <= 0 {
+		t.Fatal("non-positive access energies")
+	}
+}
+
+func TestComponentBreakdownSums(t *testing.T) {
+	var m Model
+	e := m.Estimate(baseDesign())
+	var area, power float64
+	for c := Component(0); c < NumComponents; c++ {
+		area += e.AreaByComp[c]
+		power += e.PowerByComp[c]
+	}
+	if diff := area - e.AreaMM2; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("area breakdown sum %v != total %v", area, e.AreaMM2)
+	}
+	if diff := power - e.MaxPowerW; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("power breakdown sum %v != total %v", power, e.MaxPowerW)
+	}
+}
+
+// TestMonotonicity verifies the property the DSE's constraint mitigation
+// relies on: growing any resource never shrinks area or power.
+func TestMonotonicity(t *testing.T) {
+	var m Model
+	grow := []struct {
+		name string
+		mut  func(*arch.Design)
+	}{
+		{"PEs", func(d *arch.Design) { d.PEs *= 2 }},
+		{"L1", func(d *arch.Design) { d.L1Bytes *= 2 }},
+		{"L2", func(d *arch.Design) { d.L2KB *= 2 }},
+		{"BW", func(d *arch.Design) { d.OffchipMBps *= 2 }},
+		{"NoCWidth", func(d *arch.Design) { d.NoCWidthBits *= 2 }},
+		{"PhysLinks", func(d *arch.Design) {
+			for op := range d.PhysLinks {
+				d.PhysLinks[op] *= 2
+			}
+		}},
+	}
+	for _, g := range grow {
+		d := baseDesign()
+		before := m.Estimate(d)
+		g.mut(&d)
+		after := m.Estimate(d)
+		if after.AreaMM2 < before.AreaMM2 {
+			t.Errorf("%s: area shrank %v -> %v", g.name, before.AreaMM2, after.AreaMM2)
+		}
+		if after.MaxPowerW < before.MaxPowerW {
+			t.Errorf("%s: power shrank %v -> %v", g.name, before.MaxPowerW, after.MaxPowerW)
+		}
+	}
+}
+
+func TestMaxDesignExceedsEdgeConstraints(t *testing.T) {
+	// The largest design must bust the 75 mm^2 / 4 W envelope, otherwise
+	// the Table 1 constraints never bind and the constrained-DSE
+	// machinery is untested by construction.
+	s := arch.EdgeSpace()
+	pt := s.Initial()
+	for i := range pt {
+		pt[i] = len(s.Params[i].Values) - 1
+	}
+	var m Model
+	e := m.Estimate(s.Decode(pt))
+	if e.AreaMM2 <= 75 {
+		t.Errorf("max design area %v <= 75mm2; constraint can never bind", e.AreaMM2)
+	}
+	if e.MaxPowerW <= 4 {
+		t.Errorf("max design power %v <= 4W; constraint can never bind", e.MaxPowerW)
+	}
+}
+
+func TestMinDesignWithinEdgeConstraints(t *testing.T) {
+	s := arch.EdgeSpace()
+	var m Model
+	e := m.Estimate(s.Decode(s.Initial()))
+	if e.AreaMM2 >= 75 || e.MaxPowerW >= 4 {
+		t.Fatalf("minimal design already violates constraints: %v mm2, %v W", e.AreaMM2, e.MaxPowerW)
+	}
+}
+
+func TestSRAMEnergyGrowsWithCapacity(t *testing.T) {
+	var m Model
+	small := baseDesign()
+	big := small
+	big.L2KB = 4096
+	if m.Estimate(big).L2AccessPJ <= m.Estimate(small).L2AccessPJ {
+		t.Fatal("larger SRAM must cost more per access (CACTI-like)")
+	}
+}
+
+func TestEstimateDeterministicProperty(t *testing.T) {
+	var m Model
+	s := arch.EdgeSpace()
+	f := func(seed int64) bool {
+		pt := s.Random(rand.New(rand.NewSource(seed)))
+		a := m.Estimate(s.Decode(pt))
+		b := m.Estimate(s.Decode(pt))
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	names := map[Component]string{
+		CompPEs: "PE-array", CompRF: "RFs", CompL2: "L2-SPM",
+		CompNoC: "NoCs", CompDMA: "DMA", CompCtrl: "control",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("component %d = %q, want %q", c, c.String(), want)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package eval
+
+import (
+	"xdse/internal/arch"
+	"xdse/internal/search"
+)
+
+// Problem adapts the evaluator into the domain-independent search contract
+// consumed by every DSE technique. The evaluation budget counts unique
+// design points (memoized re-visits are free, matching how the paper counts
+// DSE iterations).
+func (e *Evaluator) Problem(budget int) *search.Problem {
+	return &search.Problem{
+		Space:  e.cfg.Space,
+		Budget: budget,
+		Evaluate: func(pt arch.Point) search.Costs {
+			r := e.Evaluate(pt)
+			return search.Costs{
+				Objective:      r.Objective,
+				Feasible:       r.Feasible,
+				MeetsAreaPower: r.MeetsAreaPower,
+				BudgetUtil:     r.BudgetUtil,
+				Violations:     len(r.Violations),
+				Raw:            r,
+			}
+		},
+	}
+}

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xdse/internal/accelmodel"
+	"xdse/internal/arch"
+	"xdse/internal/dse"
+	"xdse/internal/eval"
+	"xdse/internal/workload"
+)
+
+// AblationResult is one Explainable-DSE variant's outcome.
+type AblationResult struct {
+	Variant     string
+	BestLatency float64
+	Feasible    bool
+	Evaluations int
+}
+
+// RunAblations explores EfficientNetB0 (fixed dataflow, for speed) with
+// Explainable-DSE variants that disable or alter the design decisions
+// DESIGN.md calls out: the §4.4 aggregation rule, the top-K sub-function
+// filter, the §4.6 budget-aware update, and the §4.5 one-parameter-per-
+// candidate acquisition.
+func RunAblations(cfg Config) []AblationResult {
+	variants := []struct {
+		name string
+		opts dse.Options
+	}{
+		{"paper-defaults", dse.Options{}},
+		{"aggregate-max", dse.Options{Aggregate: dse.AggregateMax}},
+		{"aggregate-mean", dse.Options{Aggregate: dse.AggregateMean}},
+		{"topK-1", dse.Options{TopK: 1}},
+		{"topK-all", dse.Options{TopK: 1 << 20, ThresholdScale: 1e-9}},
+		{"no-budget-aware-update", dse.Options{DisableBudgetAwareUpdate: true}},
+		{"joint-acquisition", dse.Options{JointAcquisition: true}},
+	}
+
+	model := workload.EfficientNetB0()
+	var out []AblationResult
+	for _, v := range variants {
+		space := arch.EdgeSpace()
+		cons := eval.EdgeConstraints()
+		ev := eval.New(eval.Config{
+			Space: space, Models: []*workload.Model{model}, Constraints: cons,
+			Mode: eval.FixedDataflow, Seed: cfg.Seed,
+		})
+		ex := dse.New(accelmodel.New(space, cons))
+		ex.Opts = v.opts
+		tr := ex.Run(ev.Problem(cfg.Budget), rand.New(rand.NewSource(cfg.Seed)))
+		out = append(out, AblationResult{
+			Variant:     v.name,
+			BestLatency: tr.BestObjective(),
+			Feasible:    tr.Best != nil,
+			Evaluations: ev.Evaluations(),
+		})
+	}
+	return out
+}
+
+// ReportAblations renders the variant comparison.
+func ReportAblations(cfg Config, results []AblationResult) {
+	w := cfg.out()
+	fmt.Fprintf(w, "\n== Ablations: Explainable-DSE design decisions (EfficientNetB0, fixed dataflow) ==\n")
+	tb := newTable("Variant", "BestLatency(ms)", "Designs")
+	for _, r := range results {
+		lat := "-"
+		if r.Feasible {
+			lat = fmt.Sprintf("%.2f", r.BestLatency)
+		}
+		tb.add(r.Variant, lat, fmt.Sprintf("%d", r.Evaluations))
+	}
+	tb.write(w)
+}

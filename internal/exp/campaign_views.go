@@ -1,0 +1,214 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"xdse/internal/workload"
+)
+
+// This file renders the campaign-derived views of the paper: Fig. 9 (best
+// latency per technique/model), Fig. 10 (search time and iterations),
+// Fig. 12 (feasibility of acquisitions), Table 2 (dynamic 100-iteration
+// DSE), and Table 3 (per-attempt objective reduction).
+
+// modelNames extracts the model order of a config.
+func modelNames(models []*workload.Model) []string {
+	out := make([]string, len(models))
+	for i, m := range models {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// ReportFig9 renders the best feasible latency (ms) achieved by every
+// technique on every model — the Fig. 9 result (and, when the campaign ran
+// at DynamicBudget, the Table 2 result).
+func ReportFig9(cfg Config, c *Campaign, title string) {
+	w := cfg.out()
+	fmt.Fprintf(w, "\n== %s: best feasible latency (ms; '-' = none found) ==\n", title)
+	names := modelNames(cfg.Models)
+	header := append([]string{"Technique"}, shortNames(names)...)
+	tb := newTable(header...)
+	for _, tech := range techniqueOrder(c) {
+		row := []string{tech}
+		for _, m := range names {
+			if r := c.Get(tech, m); r != nil {
+				row = append(row, fmtLatency(r.Trace))
+			} else {
+				row = append(row, "")
+			}
+		}
+		tb.add(row...)
+	}
+	tb.write(w)
+}
+
+// ReportFig10 renders exploration wall-clock time and evaluated designs —
+// the Fig. 10 result (bars = time, triangles = designs evaluated).
+func ReportFig10(cfg Config, c *Campaign) {
+	w := cfg.out()
+	fmt.Fprintf(w, "\n== Fig10: search time (s) / designs evaluated ==\n")
+	names := modelNames(cfg.Models)
+	tb := newTable(append([]string{"Technique"}, shortNames(names)...)...)
+	for _, tech := range techniqueOrder(c) {
+		row := []string{tech}
+		for _, m := range names {
+			if r := c.Get(tech, m); r != nil {
+				row = append(row, fmt.Sprintf("%.1fs/%d", r.Elapsed.Seconds(), r.Evaluations))
+			} else {
+				row = append(row, "")
+			}
+		}
+		tb.add(row...)
+	}
+	tb.write(w)
+}
+
+// ReportFig12 renders the fraction of acquisitions meeting (a) area+power
+// and (b) all constraints — the Fig. 12 feasibility analysis.
+func ReportFig12(cfg Config, c *Campaign) {
+	w := cfg.out()
+	fmt.Fprintf(w, "\n== Fig12: feasible acquisitions %% (area+power / all constraints) ==\n")
+	names := modelNames(cfg.Models)
+	tb := newTable(append([]string{"Technique"}, shortNames(names)...)...)
+	for _, tech := range techniqueOrder(c) {
+		row := []string{tech}
+		for _, m := range names {
+			if r := c.Get(tech, m); r != nil {
+				row = append(row, fmt.Sprintf("%.0f%%/%.0f%%",
+					r.Trace.AreaPowerFraction()*100, r.Trace.FeasibleFraction()*100))
+			} else {
+				row = append(row, "")
+			}
+		}
+		tb.add(row...)
+	}
+	tb.write(w)
+}
+
+// ReportTable3 renders the per-acquisition objective reduction (%), the
+// Table 3 metric ("N/A" when no feasible solution was ever found).
+func ReportTable3(cfg Config, c *Campaign) {
+	w := cfg.out()
+	fmt.Fprintf(w, "\n== Table3: objective reduction per acquisition attempt (%%) ==\n")
+	names := modelNames(cfg.Models)
+	tb := newTable(append([]string{"Technique"}, append(shortNames(names), "Average")...)...)
+	for _, tech := range techniqueOrder(c) {
+		row := []string{tech}
+		sum, n := 0.0, 0
+		for _, m := range names {
+			r := c.Get(tech, m)
+			if r == nil {
+				row = append(row, "")
+				continue
+			}
+			if r.Trace.Best == nil {
+				row = append(row, "N/A")
+				continue
+			}
+			red := r.Trace.ReductionPerAttempt()
+			row = append(row, fmt.Sprintf("%.2f%%", red))
+			sum += red
+			n++
+		}
+		if n > 0 {
+			row = append(row, fmt.Sprintf("%.2f%%", sum/float64(n)))
+		} else {
+			row = append(row, "N/A")
+		}
+		tb.add(row...)
+	}
+	tb.write(w)
+}
+
+// Summary aggregates campaign-level headline numbers (the paper's abstract
+// claims: latency ratio and iteration ratio of Explainable-DSE codesign
+// over the black-box techniques).
+type Summary struct {
+	// LatencyRatioVsBest is geomean(best black-box latency /
+	// Explainable-DSE latency) over models where both found solutions.
+	LatencyRatioVsBest float64
+	// IterRatio is geomean(black-box evaluations / Explainable-DSE
+	// evaluations).
+	IterRatio float64
+	// TimeRatio is geomean(black-box time / Explainable-DSE time).
+	TimeRatio float64
+}
+
+// Summarize computes the headline ratios of a campaign against the named
+// Explainable technique. Following the paper's comparison, the "other"
+// techniques are the non-explainable ones only.
+func Summarize(cfg Config, c *Campaign, explainableName string) Summary {
+	return SummarizeVs(cfg, c, explainableName, func(tech string) bool {
+		return !strings.Contains(tech, "ExplainableDSE")
+	})
+}
+
+// SummarizeVs computes the headline ratios against the baseline techniques
+// selected by the filter — e.g. only the codesign black-box techniques, the
+// like-for-like comparison behind the paper's 103x search-time claim.
+func SummarizeVs(cfg Config, c *Campaign, explainableName string, isBaseline func(string) bool) Summary {
+	var latLog, iterLog, timeLog float64
+	var latN, iterN int
+	for _, m := range modelNames(cfg.Models) {
+		ex := c.Get(explainableName, m)
+		if ex == nil || ex.Trace.Best == nil {
+			continue
+		}
+		bestOther := math.Inf(1)
+		var otherIters, nOthers int
+		var otherTime float64
+		for _, r := range c.Runs {
+			if r.Model != m || !isBaseline(r.Technique) {
+				continue
+			}
+			nOthers++
+			if r.Trace.Best != nil && r.Trace.BestObjective() < bestOther {
+				bestOther = r.Trace.BestObjective()
+			}
+			otherIters += r.Evaluations
+			otherTime += r.Elapsed.Seconds()
+		}
+		if !math.IsInf(bestOther, 1) {
+			latLog += math.Log(bestOther / ex.Trace.BestObjective())
+			latN++
+		}
+		if nOthers > 0 && ex.Evaluations > 0 {
+			iterLog += math.Log(float64(otherIters) / float64(nOthers) / float64(ex.Evaluations))
+			timeLog += math.Log(otherTime / float64(nOthers) / math.Max(ex.Elapsed.Seconds(), 1e-9))
+			iterN++
+		}
+	}
+	s := Summary{LatencyRatioVsBest: 1, IterRatio: 1, TimeRatio: 1}
+	if latN > 0 {
+		s.LatencyRatioVsBest = math.Exp(latLog / float64(latN))
+	}
+	if iterN > 0 {
+		s.IterRatio = math.Exp(iterLog / float64(iterN))
+		s.TimeRatio = math.Exp(timeLog / float64(iterN))
+	}
+	return s
+}
+
+// techniqueOrder lists the campaign's techniques in first-seen order.
+func techniqueOrder(c *Campaign) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range c.Runs {
+		if !seen[r.Technique] {
+			seen[r.Technique] = true
+			out = append(out, r.Technique)
+		}
+	}
+	return out
+}
+
+func shortNames(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = shortModel(n)
+	}
+	return out
+}

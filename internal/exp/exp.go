@@ -1,0 +1,260 @@
+// Package exp contains the experiment drivers that regenerate every table
+// and figure of the paper's evaluation (§6 and the appendices). Each
+// experiment has a Run function returning structured results plus a Report
+// function rendering the same rows/series the paper presents; cmd/xdse and
+// the root benchmark harness both drive this package.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"xdse/internal/accelmodel"
+	"xdse/internal/arch"
+	"xdse/internal/dse"
+	"xdse/internal/eval"
+	"xdse/internal/opt"
+	"xdse/internal/search"
+	"xdse/internal/workload"
+)
+
+// Config scales the experiments. The defaults are reduced from the paper's
+// budgets (2500 static iterations, 10,000 mapping trials) so the whole
+// suite regenerates in minutes on a laptop; set XDSE_FULL=1 (or call Full)
+// to restore the paper's budgets, which take correspondingly longer.
+type Config struct {
+	// Budget is the static-exploration iteration budget (paper: 2500).
+	Budget int
+	// CodesignBudget is the iteration budget for codesign explorations
+	// of black-box techniques (Explainable-DSE converges on its own).
+	CodesignBudget int
+	// DynamicBudget is the dynamic-DSE budget of Table 2 (paper: 100).
+	DynamicBudget int
+	// MapTrials is the per-layer mapping-search budget (paper: 10,000).
+	MapTrials int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Models is the workload suite (defaults to the 11-model suite).
+	Models []*workload.Model
+	// Out receives the reports (defaults to os.Stdout).
+	Out io.Writer
+	// CSVDir, when non-empty, receives one CSV trace per run
+	// ("<technique>_<model>.csv"), the raw series behind the figures.
+	CSVDir string
+}
+
+// Default returns the reduced-budget configuration.
+func Default() Config {
+	return Config{
+		Budget:         300,
+		CodesignBudget: 80,
+		DynamicBudget:  100,
+		MapTrials:      500,
+		Seed:           1,
+		Models:         workload.Suite(),
+		Out:            os.Stdout,
+	}
+}
+
+// Full returns the paper-scale configuration.
+func Full() Config {
+	c := Default()
+	c.Budget = 2500
+	c.CodesignBudget = 2500
+	c.MapTrials = 10000
+	return c
+}
+
+// FromEnv returns Full when XDSE_FULL=1, else Default.
+func FromEnv() Config {
+	if os.Getenv("XDSE_FULL") == "1" {
+		return Full()
+	}
+	return Default()
+}
+
+func (c Config) out() io.Writer {
+	if c.Out != nil {
+		return c.Out
+	}
+	return os.Stdout
+}
+
+// Technique describes one DSE technique under a mapper mode.
+type Technique struct {
+	Name string
+	Mode eval.MapperMode
+	// Make constructs a fresh optimizer; Explainable-DSE needs the space
+	// and constraints to build its domain bottleneck model.
+	Make func(space *arch.Space, cons eval.Constraints) search.Optimizer
+}
+
+func blackBox(name string, mode eval.MapperMode, mk func() search.Optimizer) Technique {
+	return Technique{
+		Name: name,
+		Mode: mode,
+		Make: func(*arch.Space, eval.Constraints) search.Optimizer { return mk() },
+	}
+}
+
+func explainable(name string, mode eval.MapperMode) Technique {
+	return Technique{
+		Name: name,
+		Mode: mode,
+		Make: func(space *arch.Space, cons eval.Constraints) search.Optimizer {
+			return dse.New(accelmodel.New(space, cons))
+		},
+	}
+}
+
+// FixDFTechniques returns the Fig. 9 fixed-dataflow technique roster.
+func FixDFTechniques() []Technique {
+	return []Technique{
+		blackBox("GridSearch-FixDF", eval.FixedDataflow, func() search.Optimizer { return opt.Grid{} }),
+		blackBox("RandomSearch-FixDF", eval.FixedDataflow, func() search.Optimizer { return opt.Random{} }),
+		blackBox("SimulatedAnnealing-FixDF", eval.FixedDataflow, func() search.Optimizer { return opt.Anneal{} }),
+		blackBox("GeneticAlgorithm-FixDF", eval.FixedDataflow, func() search.Optimizer { return opt.Genetic{} }),
+		blackBox("BayesianOpt-FixDF", eval.FixedDataflow, func() search.Optimizer { return opt.Bayes{} }),
+		blackBox("HyperMapper2.0-FixDF", eval.FixedDataflow, func() search.Optimizer { return opt.HyperMapper{} }),
+		blackBox("ReinforcementLearning-FixDF", eval.FixedDataflow, func() search.Optimizer { return opt.RL{} }),
+		explainable("ExplainableDSE-FixDF", eval.FixedDataflow),
+	}
+}
+
+// CodesignTechniques returns the Fig. 9 hardware/mapping codesign roster.
+func CodesignTechniques() []Technique {
+	return []Technique{
+		blackBox("RandomSearch-Codesign", eval.RandomMappings, func() search.Optimizer { return opt.Random{} }),
+		blackBox("HyperMapper2.0-Codesign", eval.RandomMappings, func() search.Optimizer { return opt.HyperMapper{} }),
+		explainable("ExplainableDSE-Codesign", eval.PrunedMappings),
+	}
+}
+
+// AllTechniques returns the combined roster in the paper's table order.
+func AllTechniques() []Technique {
+	return append(FixDFTechniques(), CodesignTechniques()...)
+}
+
+// Run is the outcome of one (technique, model) exploration.
+type Run struct {
+	Technique string
+	Model     string
+	Mode      eval.MapperMode
+	Trace     *search.Trace
+	// Evaluations is the number of unique design points evaluated.
+	Evaluations int
+	// Elapsed is the exploration wall-clock time.
+	Elapsed time.Duration
+}
+
+// RunOne performs one exploration of a model with a technique. A budget of
+// zero or less selects the configuration's per-technique static budget.
+func RunOne(cfg Config, tech Technique, model *workload.Model, budget int) Run {
+	if budget <= 0 {
+		budget = cfg.budgetFor(tech)
+	}
+	space := arch.EdgeSpace()
+	cons := eval.EdgeConstraints()
+	ev := eval.New(eval.Config{
+		Space:       space,
+		Models:      []*workload.Model{model},
+		Constraints: cons,
+		Mode:        tech.Mode,
+		MapTrials:   cfg.MapTrials,
+		Seed:        cfg.Seed,
+	})
+	o := tech.Make(space, cons)
+	start := time.Now()
+	tr := o.Run(ev.Problem(budget), rand.New(rand.NewSource(cfg.Seed)))
+	if cfg.CSVDir != "" {
+		writeTraceCSV(cfg.CSVDir, tech.Name, model.Name, tr)
+	}
+	return Run{
+		Technique:   tech.Name,
+		Model:       model.Name,
+		Mode:        tech.Mode,
+		Trace:       tr,
+		Evaluations: ev.Evaluations(),
+		Elapsed:     time.Since(start),
+	}
+}
+
+// budgetFor picks the iteration budget for a technique at static scale.
+func (c Config) budgetFor(tech Technique) int {
+	if tech.Mode == eval.FixedDataflow {
+		return c.Budget
+	}
+	return c.CodesignBudget
+}
+
+// Campaign is a set of runs covering techniques x models at one budget
+// scale; the Fig. 9/10/12 and Table 3 views all render from one campaign.
+type Campaign struct {
+	Runs []Run
+}
+
+// Get returns the run for (technique, model), or nil.
+func (c *Campaign) Get(tech, model string) *Run {
+	for i := range c.Runs {
+		if c.Runs[i].Technique == tech && c.Runs[i].Model == model {
+			return &c.Runs[i]
+		}
+	}
+	return nil
+}
+
+// RunCampaign explores every model with every technique. Budget <= 0 uses
+// the per-technique static budget from cfg.
+func RunCampaign(cfg Config, techs []Technique, models []*workload.Model, budget int) *Campaign {
+	c := &Campaign{}
+	for _, tech := range techs {
+		for _, m := range models {
+			b := budget
+			if b <= 0 {
+				b = cfg.budgetFor(tech)
+			}
+			c.Runs = append(c.Runs, RunOne(cfg, tech, m, b))
+		}
+	}
+	return c
+}
+
+// writeTraceCSV dumps one run's acquisition trace; export failures are
+// reported on stderr but never fail the experiment.
+func writeTraceCSV(dir, tech, model string, tr *search.Trace) {
+	name := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", sanitize(tech), sanitize(model)))
+	f, err := os.Create(name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "exp: trace export: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := tr.WriteCSV(f); err != nil {
+		fmt.Fprintf(os.Stderr, "exp: trace export: %v\n", err)
+	}
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// fmtLatency renders a best-objective cell like the paper's tables: the
+// latency in ms, or "-" when no feasible solution was found.
+func fmtLatency(tr *search.Trace) string {
+	if tr.Best == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", tr.BestObjective())
+}

@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEnergyObjectiveExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.Budget = 80
+	runs := RunEnergyObjective(cfg)
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	for _, r := range runs {
+		if !r.Feasible {
+			t.Fatalf("%v: no feasible design", r.Objective)
+		}
+	}
+	// Minimizing energy must not produce MORE energy than minimizing
+	// latency did (the whole point of swapping the bottleneck model).
+	if runs[1].EnergyMJ > runs[0].EnergyMJ*1.05 {
+		t.Fatalf("min-energy design uses more energy (%v mJ) than min-latency (%v mJ)",
+			runs[1].EnergyMJ, runs[0].EnergyMJ)
+	}
+	ReportEnergyObjective(cfg, runs)
+	if !strings.Contains(buf.String(), "min-energy") {
+		t.Fatal("report incomplete")
+	}
+}
+
+func TestMultiWorkloadExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.Budget = 80
+	runs := RunMultiWorkload(cfg)
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	if runs[0].Label != "shared accelerator" || len(runs[0].Models) != 2 {
+		t.Fatalf("shared run wrong: %+v", runs[0])
+	}
+	if !runs[0].Feasible {
+		t.Fatal("shared accelerator exploration found nothing feasible")
+	}
+	// The shared design serves both workloads; its summed latency cannot
+	// beat the sum of the dedicated optima (sanity of the aggregation).
+	dedicatedSum := runs[1].LatencyMs + runs[2].LatencyMs
+	if runs[1].Feasible && runs[2].Feasible && runs[0].LatencyMs < dedicatedSum*0.8 {
+		t.Fatalf("shared %.2fms implausibly beats dedicated sum %.2fms", runs[0].LatencyMs, dedicatedSum)
+	}
+	ReportMultiWorkload(cfg, runs)
+	if !strings.Contains(buf.String(), "shared accelerator") {
+		t.Fatal("report incomplete")
+	}
+}
+
+func TestJointVsTwoStageExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.CodesignBudget = 12
+	cfg.MapTrials = 100
+	runs := RunJointVsTwoStage(cfg)
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	// The two-stage organization spends far more mapping evaluations per
+	// hardware trial — the §G cost asymmetry.
+	if runs[1].MapEvalTotal <= runs[0].MapEvalTotal*10 {
+		t.Fatalf("two-stage mapping evals %d not >> joint %d", runs[1].MapEvalTotal, runs[0].MapEvalTotal)
+	}
+	ReportJointVsTwoStage(cfg, runs)
+	if !strings.Contains(buf.String(), "two-stage") {
+		t.Fatal("report incomplete")
+	}
+}
+
+func TestFig11ReportRenders(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.Budget = 30
+	cfg.CodesignBudget = 10
+	cfg.MapTrials = 100
+	c := RunFig11(cfg)
+	ReportFig11(cfg, c)
+	out := buf.String()
+	if !strings.Contains(out, "EfficientNetB0") || !strings.Contains(out, "Transformer") {
+		t.Fatalf("fig11 report incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "@1") {
+		t.Fatal("fig11 checkpoints missing")
+	}
+}
+
+func TestSummarizeExcludesExplainableFromBaselines(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	techs := []Technique{
+		FixDFTechniques()[1], // random
+		FixDFTechniques()[7], // explainable fixdf
+	}
+	c := RunCampaign(cfg, techs, cfg.Models, 0)
+	s := Summarize(cfg, c, "ExplainableDSE-FixDF")
+	// With only random search as a baseline, the iteration ratio must be
+	// (random evals / explainable evals), and explainable converges in
+	// far fewer evaluations.
+	if s.IterRatio <= 1 {
+		t.Fatalf("iteration ratio = %v, want > 1", s.IterRatio)
+	}
+}
+
+func TestSummarizeVsFiltersBaselines(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	techs := []Technique{
+		FixDFTechniques()[1],    // RandomSearch-FixDF
+		CodesignTechniques()[0], // RandomSearch-Codesign
+		FixDFTechniques()[7],    // ExplainableDSE-FixDF
+	}
+	c := RunCampaign(cfg, techs, cfg.Models, 0)
+	// A filter selecting only codesign baselines must ignore the FixDF run.
+	s := SummarizeVs(cfg, c, "ExplainableDSE-FixDF", func(tech string) bool {
+		return strings.HasSuffix(tech, "-Codesign")
+	})
+	all := Summarize(cfg, c, "ExplainableDSE-FixDF")
+	if s.IterRatio == all.IterRatio && s.TimeRatio == all.TimeRatio && s.LatencyRatioVsBest == all.LatencyRatioVsBest {
+		t.Fatal("filtered summary identical to the unfiltered one")
+	}
+}
+
+func TestRunOneWritesTraceCSV(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.Budget = 10
+	cfg.CSVDir = t.TempDir()
+	r := RunOne(cfg, FixDFTechniques()[1], cfg.Models[0], cfg.Budget)
+	if r.Evaluations == 0 {
+		t.Fatal("no evaluations")
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.CSVDir, "RandomSearch-FixDF_ResNet18.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "iter,objective") {
+		t.Fatalf("csv header wrong: %.40s", data)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != r.Evaluations+1 {
+		t.Fatalf("csv rows = %d, want %d", lines, r.Evaluations+1)
+	}
+}

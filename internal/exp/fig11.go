@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"xdse/internal/workload"
+)
+
+// RunFig11 reproduces Fig. 11: latency reduction over iterations for
+// EfficientNetB0 (CV) and Transformer (NLP) across the technique roster.
+func RunFig11(cfg Config) *Campaign {
+	cfg.Models = []*workload.Model{workload.EfficientNetB0(), workload.Transformer()}
+	techs := []Technique{}
+	for _, t := range AllTechniques() {
+		switch t.Name {
+		case "RandomSearch-FixDF", "HyperMapper2.0-FixDF", "ExplainableDSE-FixDF",
+			"RandomSearch-Codesign", "HyperMapper2.0-Codesign", "ExplainableDSE-Codesign":
+			techs = append(techs, t)
+		}
+	}
+	return RunCampaign(cfg, techs, cfg.Models, 0)
+}
+
+// fig11Checkpoints returns the iteration counts at which the best-so-far
+// curve is sampled.
+func fig11Checkpoints(budget int) []int {
+	base := []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2500}
+	var out []int
+	for _, c := range base {
+		if c <= budget {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != budget {
+		out = append(out, budget)
+	}
+	return out
+}
+
+// ReportFig11 renders the best-so-far latency at exponential checkpoints.
+func ReportFig11(cfg Config, c *Campaign) {
+	w := cfg.out()
+	for _, model := range []string{"EfficientNetB0", "Transformer"} {
+		fmt.Fprintf(w, "\n== Fig11: best-so-far latency (ms) over iterations — %s ==\n", model)
+		budget := 0
+		for _, tech := range techniqueOrder(c) {
+			if r := c.Get(tech, model); r != nil && len(r.Trace.Steps) > budget {
+				budget = len(r.Trace.Steps)
+			}
+		}
+		cps := fig11Checkpoints(budget)
+		header := []string{"Technique"}
+		for _, cp := range cps {
+			header = append(header, fmt.Sprintf("@%d", cp))
+		}
+		tb := newTable(header...)
+		for _, tech := range techniqueOrder(c) {
+			r := c.Get(tech, model)
+			if r == nil {
+				continue
+			}
+			row := []string{tech}
+			for _, cp := range cps {
+				row = append(row, bestAt(r, cp))
+			}
+			tb.add(row...)
+		}
+		tb.write(w)
+	}
+}
+
+// bestAt returns the best-so-far objective after `iters` acquisitions.
+func bestAt(r *Run, iters int) string {
+	best := math.Inf(1)
+	for _, s := range r.Trace.Steps {
+		if s.Iter >= iters {
+			break
+		}
+		best = s.BestSoFar
+	}
+	if math.IsInf(best, 1) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", best)
+}

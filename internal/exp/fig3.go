@@ -1,0 +1,37 @@
+package exp
+
+import (
+	"fmt"
+
+	"xdse/internal/workload"
+)
+
+// RunFig3 reproduces Fig. 3: effectiveness of non-explainable vs
+// explainable DSE on the EfficientNetB0 edge-accelerator exploration —
+// (a) efficiency (best latency), (b) feasibility of evaluated solutions,
+// and (c) agility (exploration time).
+func RunFig3(cfg Config) *Campaign {
+	cfg.Models = []*workload.Model{workload.EfficientNetB0()}
+	return RunCampaign(cfg, AllTechniques(), cfg.Models, 0)
+}
+
+// ReportFig3 renders the three panels as one table.
+func ReportFig3(cfg Config, c *Campaign) {
+	w := cfg.out()
+	fmt.Fprintf(w, "\n== Fig3: (a) efficiency, (b) feasibility, (c) agility — EfficientNetB0 ==\n")
+	tb := newTable("Technique", "BestLatency(ms)", "Feasible(a+p)", "Feasible(all)", "Time(s)", "Designs")
+	for _, tech := range techniqueOrder(c) {
+		r := c.Get(tech, "EfficientNetB0")
+		if r == nil {
+			continue
+		}
+		tb.add(tech,
+			fmtLatency(r.Trace),
+			fmt.Sprintf("%.0f%%", r.Trace.AreaPowerFraction()*100),
+			fmt.Sprintf("%.0f%%", r.Trace.FeasibleFraction()*100),
+			fmt.Sprintf("%.1f", r.Elapsed.Seconds()),
+			fmt.Sprintf("%d", r.Evaluations),
+		)
+	}
+	tb.write(w)
+}

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"io"
+	"testing"
+
+	"xdse/internal/workload"
+)
+
+// TestExplainableFindsFeasibleForWholeSuite is the repository's headline
+// regression: Explainable-DSE (fixed dataflow) must find a feasible design
+// for every one of the 11 benchmark models within the reduced static
+// budget — the property behind the paper's Table 2 row.
+func TestExplainableFindsFeasibleForWholeSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite-wide exploration")
+	}
+	cfg := Default()
+	cfg.Out = io.Discard
+	tech := technique("ExplainableDSE-FixDF")
+	for _, m := range workload.Suite() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			t.Parallel()
+			r := RunOne(cfg, tech, m, cfg.Budget)
+			if r.Trace.Best == nil {
+				t.Fatalf("no feasible design within %d iterations", cfg.Budget)
+			}
+			raw := r.Trace.BestCosts
+			if raw.Objective > m.MaxLatencyMs {
+				t.Fatalf("best latency %.2f > ceiling %.2f", raw.Objective, m.MaxLatencyMs)
+			}
+			t.Logf("best %.2f ms in %d designs (%.0f%% feasible acquisitions)",
+				r.Trace.BestObjective(), r.Evaluations, r.Trace.FeasibleFraction()*100)
+		})
+	}
+}
+
+// TestCodesignFeasibleForHardModels checks the codesign path on the models
+// that historically stressed the pruned mapper and the power model.
+func TestCodesignFeasibleForHardModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("codesign exploration")
+	}
+	cfg := Default()
+	cfg.Out = io.Discard
+	cfg.CodesignBudget = 100
+	tech := technique("ExplainableDSE-Codesign")
+	for _, name := range []string{"VGG16", "YOLOv5", "BERT"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			r := RunOne(cfg, tech, workload.ByName(name), cfg.CodesignBudget)
+			if r.Trace.Best == nil {
+				t.Fatalf("no feasible codesign within %d iterations", cfg.CodesignBudget)
+			}
+			t.Logf("best %.2f ms in %d designs", r.Trace.BestObjective(), r.Evaluations)
+		})
+	}
+}
+
+// technique is shared with the bench harness semantics: resolve by name.
+func technique(name string) Technique {
+	for _, t := range AllTechniques() {
+		if t.Name == name {
+			return t
+		}
+	}
+	panic("unknown technique " + name)
+}

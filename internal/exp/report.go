@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// table accumulates rows and renders an aligned text table.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	seps := make([]string, len(t.header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// shortModel abbreviates model names for column headers.
+func shortModel(name string) string {
+	switch name {
+	case "VisionTransformer":
+		return "ViT"
+	case "FasterRCNN-MobileNetV3":
+		return "FasterRCNN"
+	case "EfficientNetB0":
+		return "EffNetB0"
+	case "MobileNetV2":
+		return "MobNetV2"
+	}
+	return name
+}

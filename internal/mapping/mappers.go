@@ -1,0 +1,360 @@
+package mapping
+
+import (
+	"math"
+	"math/rand"
+
+	"xdse/internal/workload"
+)
+
+// Cost evaluates a mapping and reports its latency in cycles and whether the
+// mapping is valid on the target design (fits buffers and PEs, NoC
+// time-sharing compatible). Mappers are decoupled from the cost model
+// through this callback, mirroring how the paper's mappers call into the
+// dMazeRunner cost model.
+type Cost func(m Mapping) (cycles float64, ok bool)
+
+// Result is the outcome of a mapping search.
+type Result struct {
+	Best      Mapping
+	Cycles    float64
+	Found     bool
+	Evaluated int
+}
+
+// RandomSearch explores `trials` random valid-factor mappings (Timeloop-like
+// random sampling over the factorization-constrained, reuse-aware space of
+// §F) and returns the best valid one.
+func RandomSearch(l workload.Layer, trials int, rng *rand.Rand, cost Cost) Result {
+	dims := Dims(l)
+	res := Result{Cycles: math.Inf(1)}
+	for i := 0; i < trials; i++ {
+		m := Random(dims, rng)
+		res.Evaluated++
+		if c, ok := cost(m); ok && c < res.Cycles {
+			res.Best, res.Cycles, res.Found = m, c, true
+		}
+	}
+	return res
+}
+
+// pickSpread selects up to max values from vs, preferring the largest and a
+// spread of smaller values; the ordering biases the pruned enumeration
+// toward high-utilization tiles first (dMazeRunner's pruning heuristic).
+func pickSpread(vs []int, max int) []int {
+	if len(vs) <= max {
+		out := make([]int, len(vs))
+		copy(out, vs)
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+		return out
+	}
+	out := make([]int, 0, max)
+	seen := map[int]bool{}
+	for i := 0; i < max; i++ {
+		idx := len(vs) - 1 - i*(len(vs)-1)/(max-1)
+		v := vs[idx]
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// GenConfig bounds the pruned enumeration.
+type GenConfig struct {
+	// PEs is the PE budget of the design under evaluation.
+	PEs int
+	// L1Bytes and L2Bytes are the buffer capacities used to prune
+	// overflowing tiles before evaluation (dMazeRunner's buffer
+	// utilization pruning); zero disables the corresponding filter.
+	L1Bytes, L2Bytes int
+	// MinN and MaxN bound the mapping-space budget; the generator relaxes
+	// utilization thresholds until at least MinN candidates exist and
+	// stops emitting after MaxN (the paper's auto-adjusted top-N space).
+	MinN, MaxN int
+	// BaseValid, when set, is consulted once per spatial tiling with a
+	// minimal temporal fill; if it rejects, every mapping sharing that
+	// spatial tiling is skipped (NoC-group demand and minimum tile
+	// footprints depend only on the spatial factors).
+	BaseValid func(Mapping) bool
+	// Orderings limits stationary-tensor combinations (default all 9).
+	Orderings []Mapping
+}
+
+// defaultOrderings enumerates the 3x3 stationary-tensor choices.
+func defaultOrderings() []Mapping {
+	var out []Mapping
+	for ds := Tensor(0); ds < NumTensors; ds++ {
+		for ns := Tensor(0); ns < NumTensors; ns++ {
+			out = append(out, Mapping{DRAMStationary: ds, NoCStationary: ns})
+		}
+	}
+	return out
+}
+
+// EnumeratePruned performs the dMazeRunner/Interstellar-style search of
+// §4.8: it formulates a pruned space of at most MaxN high-utilization
+// mappings (relaxing PE-utilization thresholds iteratively if the strict
+// space is smaller than MinN) and evaluates it linearly.
+func EnumeratePruned(l workload.Layer, cfg GenConfig, cost Cost) Result {
+	dims := Dims(l)
+	if cfg.MaxN <= 0 {
+		cfg.MaxN = 2000
+	}
+	if cfg.MinN <= 0 {
+		cfg.MinN = 10
+	}
+	orderings := cfg.Orderings
+	if orderings == nil {
+		orderings = defaultOrderings()
+	}
+
+	// Utilization bands are explored from high PE utilization downward,
+	// each with its own slice of the budget, so the search prefers
+	// high-utilization tiles (dMazeRunner's pruning) but still reaches
+	// low-parallelism mappings when links or buffers rule the big ones
+	// out. Unused slices roll over to the next band.
+	bands := [][2]float64{{0.75, 1.0}, {0.5, 0.75}, {0.25, 0.5}, {0, 0.25}}
+	res := Result{Cycles: math.Inf(1)}
+	budget := cfg.MaxN
+	for i, band := range bands {
+		share := budget / (len(bands) - i)
+		if share < cfg.MinN {
+			share = cfg.MinN
+		}
+		if share > budget {
+			share = budget
+		}
+		sub := enumerateAt(l, dims, cfg, band[0], band[1], share, orderings, cost)
+		res.Evaluated += sub.Evaluated
+		if sub.Found && sub.Cycles < res.Cycles {
+			res.Best, res.Cycles, res.Found = sub.Best, sub.Cycles, true
+		}
+		budget -= sub.Evaluated
+		if budget <= 0 {
+			break
+		}
+	}
+	return res
+}
+
+// enumerateAt runs one enumeration pass over spatial tilings whose PE
+// utilization falls in [minUtil, maxUtil], capped at maxN evaluations.
+func enumerateAt(l workload.Layer, dims [NumDims]int, cfg GenConfig, minUtil, maxUtil float64, maxN int, orderings []Mapping, cost Cost) Result {
+	res := Result{Cycles: math.Inf(1)}
+	perDim := 6
+
+	spatialDims := []Dim{DimK, DimC, DimY, DimX}
+	opt := make(map[Dim][]int, len(spatialDims))
+	for _, d := range spatialDims {
+		opt[d] = pickSpread(Divisors(dims[d]), perDim)
+	}
+
+	try := func(m Mapping) bool {
+		for _, ord := range orderings {
+			mm := m
+			mm.DRAMStationary = ord.DRAMStationary
+			mm.NoCStationary = ord.NoCStationary
+			res.Evaluated++
+			if c, ok := cost(mm); ok && c < res.Cycles {
+				res.Best, res.Cycles, res.Found = mm, c, true
+			}
+			if res.Evaluated >= maxN {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, sk := range opt[DimK] {
+		for _, sc := range opt[DimC] {
+			for _, sy := range opt[DimY] {
+				for _, sx := range opt[DimX] {
+					pes := sk * sc * sy * sx
+					util := float64(pes) / float64(cfg.PEs)
+					if pes > cfg.PEs || util < minUtil || util > maxUtil {
+						continue
+					}
+					var base Mapping
+					for d := Dim(0); d < NumDims; d++ {
+						for lv := Level(0); lv < NumLevels; lv++ {
+							base.F[d][lv] = 1
+						}
+						base.F[d][LvlDRAM] = dims[d]
+					}
+					base.F[DimK][LvlSpatial], base.F[DimK][LvlDRAM] = sk, dims[DimK]/sk
+					base.F[DimC][LvlSpatial], base.F[DimC][LvlDRAM] = sc, dims[DimC]/sc
+					base.F[DimY][LvlSpatial], base.F[DimY][LvlDRAM] = sy, dims[DimY]/sy
+					base.F[DimX][LvlSpatial], base.F[DimX][LvlDRAM] = sx, dims[DimX]/sx
+					// One validity probe per spatial base: NoC-group
+					// demand and minimum tile footprints depend only
+					// on the spatial factors, so a rejected base
+					// cannot host any valid mapping.
+					if cfg.BaseValid != nil && !cfg.BaseValid(base) {
+						continue
+					}
+					if !emitTemporal(l, base, dims, cfg, try) {
+						return res
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// fitOptions filters candidate factors of dimension d at level lv to those
+// whose resulting tile fits the corresponding buffer.
+func fitOptions(l workload.Layer, m Mapping, d Dim, lv Level, factors []int, capacity int, tileBytes func(workload.Layer, Mapping) int64) []int {
+	if capacity <= 0 {
+		return factors
+	}
+	var out []int
+	for _, f := range factors {
+		trial := m
+		trial.F[d][lv] = f
+		if tileBytes(l, trial) <= int64(capacity) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// emitTemporal fills the RF/L2/DRAM factors of K,C,Y,X around the spatial
+// base — pruning register-file and scratchpad overflows before evaluation —
+// and emits candidate mappings until the callback declines. Filter taps are
+// placed at the RF level when they fit, at the L2/DRAM boundary otherwise.
+func emitTemporal(l workload.Layer, base Mapping, dims [NumDims]int, cfg GenConfig, try func(Mapping) bool) bool {
+	// Prefer filter taps resident in the RF (maximal convolution reuse).
+	taps := base
+	taps.F[DimR][LvlRF], taps.F[DimR][LvlDRAM] = dims[DimR]/base.F[DimR][LvlSpatial], 1
+	taps.F[DimS][LvlRF], taps.F[DimS][LvlDRAM] = dims[DimS]/base.F[DimS][LvlSpatial], 1
+	if cfg.L1Bytes <= 0 || RFTileBytes(l, taps) <= int64(cfg.L1Bytes) {
+		base = taps
+	}
+
+	remK := dims[DimK] / base.F[DimK][LvlSpatial]
+	remC := dims[DimC] / base.F[DimC][LvlSpatial]
+	remY := dims[DimY] / base.F[DimY][LvlSpatial]
+	remX := dims[DimX] / base.F[DimX][LvlSpatial]
+
+	rfK := fitOptions(l, base, DimK, LvlRF, pickSpread(Divisors(remK), 3), cfg.L1Bytes, RFTileBytes)
+	for _, fk := range rfK {
+		mk := base
+		mk.F[DimK][LvlRF] = fk
+		rfC := fitOptions(l, mk, DimC, LvlRF, pickSpread(Divisors(remC), 3), cfg.L1Bytes, RFTileBytes)
+		for _, fc := range rfC {
+			m := mk
+			m.F[DimC][LvlRF] = fc
+			l2K := fitOptions(l, m, DimK, LvlL2, pickSpread(Divisors(remK/fk), 3), cfg.L2Bytes, L2TileBytes)
+			for _, gk := range l2K {
+				mg := m
+				mg.F[DimK][LvlL2] = gk
+				l2C := fitOptions(l, mg, DimC, LvlL2, pickSpread(Divisors(remC/fc), 3), cfg.L2Bytes, L2TileBytes)
+				for _, gc := range l2C {
+					mc := mg
+					mc.F[DimC][LvlL2] = gc
+					l2Y := fitOptions(l, mc, DimY, LvlL2, pickSpread(Divisors(remY), 3), cfg.L2Bytes, L2TileBytes)
+					for _, gy := range l2Y {
+						my := mc
+						my.F[DimY][LvlL2] = gy
+						l2X := fitOptions(l, my, DimX, LvlL2, pickSpread(Divisors(remX), 2), cfg.L2Bytes, L2TileBytes)
+						for _, gx := range l2X {
+							mm := my
+							mm.F[DimX][LvlL2] = gx
+							mm.F[DimK][LvlDRAM] = remK / fk / gk
+							mm.F[DimC][LvlDRAM] = remC / fc / gc
+							mm.F[DimY][LvlDRAM] = remY / gy
+							mm.F[DimX][LvlDRAM] = remX / gx
+							if !try(mm) {
+								return false
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// FixedOutputStationary builds the SOC-MOP output-stationary dataflow of the
+// paper's fixed-dataflow baselines: spatialize output rows/columns and
+// channels, keep partial sums stationary per PE, and greedily size temporal
+// tiles to the available buffers. The returned mapping may be incompatible
+// with the design's NoC time-sharing budget — such hardware/mapping
+// incompatibilities are exactly the infeasibilities §6.2 attributes to
+// fixed-dataflow DSE.
+func FixedOutputStationary(l workload.Layer, pes, l1Bytes, l2Bytes int) Mapping {
+	dims := Dims(l)
+	var m Mapping
+	for d := Dim(0); d < NumDims; d++ {
+		for lv := Level(0); lv < NumLevels; lv++ {
+			m.F[d][lv] = 1
+		}
+	}
+	m.DRAMStationary = TO
+	m.NoCStationary = TO
+
+	// fits reports whether the trial's RF and L2 tiles are within the
+	// buffer capacities (the minimal all-ones mapping always is on any
+	// non-degenerate design, so the greedy growth below is safe).
+	fits := func(trial Mapping) bool {
+		return RFTileBytes(l, trial) <= int64(l1Bytes) &&
+			L2TileBytes(l, trial) <= int64(l2Bytes)
+	}
+	rem := func(d Dim) int {
+		return dims[d] / (m.Factor(d, LvlSpatial) * m.Factor(d, LvlRF) * m.Factor(d, LvlL2))
+	}
+	// grow multiplies dimension d's factor at level lv by the largest
+	// remaining divisor (capped at limit) that keeps the tiles fitting.
+	grow := func(d Dim, lv Level, limit int) {
+		for _, f := range descendingDivisors(rem(d)) {
+			if f > limit {
+				continue
+			}
+			trial := m
+			trial.F[d][lv] *= f
+			if fits(trial) {
+				m = trial
+				return
+			}
+		}
+	}
+
+	// Spatial: Y and X up to sqrt(PEs) each, K fills the remainder.
+	budget := pes
+	side := int(math.Sqrt(float64(pes)))
+	grow(DimY, LvlSpatial, side)
+	budget /= m.Factor(DimY, LvlSpatial)
+	grow(DimX, LvlSpatial, side)
+	budget /= m.Factor(DimX, LvlSpatial)
+	grow(DimK, LvlSpatial, budget)
+
+	// RF: filter taps first, then input channels and output channels.
+	for _, d := range []Dim{DimR, DimS, DimC, DimK} {
+		grow(d, LvlRF, dims[d])
+	}
+	// L2: channels first, then spatial extents.
+	for _, d := range []Dim{DimC, DimK, DimY, DimX, DimR, DimS} {
+		grow(d, LvlL2, dims[d])
+	}
+
+	// DRAM level takes the remainder.
+	for d := Dim(0); d < NumDims; d++ {
+		m.F[d][LvlDRAM] = rem(d)
+	}
+	return m
+}
+
+func descendingDivisors(n int) []int {
+	ds := Divisors(n)
+	out := make([]int, len(ds))
+	for i, d := range ds {
+		out[len(ds)-1-i] = d
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package mapping
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xdse/internal/workload"
+)
+
+// covers reports whether every dimension's factors multiply to the padded
+// extent — the structural invariant of a valid mapping.
+func covers(m Mapping, dims [NumDims]int) bool {
+	for d := Dim(0); d < NumDims; d++ {
+		p := 1
+		for lv := Level(0); lv < NumLevels; lv++ {
+			p *= m.Factor(d, lv)
+		}
+		if p != dims[d] {
+			return false
+		}
+	}
+	return true
+}
+
+func testLayer() workload.Layer {
+	return workload.Layer{Kind: workload.Conv, Name: "t", K: 64, C: 32, Y: 14, X: 14, R: 3, S: 3, Stride: 1, Mult: 1}
+}
+
+func TestRandomMappingCoversProperty(t *testing.T) {
+	l := testLayer()
+	dims := Dims(l)
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool { return covers(Random(dims, rng), dims) }
+	if err := quick.Check(func(uint8) bool { return f() }, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedOutputStationaryFits(t *testing.T) {
+	// The fixed dataflow must produce buffer-fitting mappings for every
+	// suite layer on both the smallest and a mid-size design.
+	configs := []struct{ pes, l1, l2 int }{
+		{64, 8, 64 * 1024},
+		{512, 128, 512 * 1024},
+		{4096, 1024, 4096 * 1024},
+	}
+	for _, m := range workload.Suite() {
+		for _, l := range m.Layers {
+			for _, c := range configs {
+				mp := FixedOutputStationary(l, c.pes, c.l1, c.l2)
+				if !covers(mp, Dims(l)) {
+					t.Fatalf("%s/%s: mapping does not cover dims", m.Name, l.Name)
+				}
+				if got := RFTileBytes(l, mp); got > int64(c.l1) {
+					t.Fatalf("%s/%s: RF tile %dB > %dB", m.Name, l.Name, got, c.l1)
+				}
+				if got := L2TileBytes(l, mp); got > int64(c.l2) {
+					t.Fatalf("%s/%s: L2 tile %dB > %dB", m.Name, l.Name, got, c.l2)
+				}
+				if mp.SpatialPEs() > c.pes {
+					t.Fatalf("%s/%s: %d PEs > %d", m.Name, l.Name, mp.SpatialPEs(), c.pes)
+				}
+			}
+		}
+	}
+}
+
+func TestFixedOutputStationaryIsOutputStationary(t *testing.T) {
+	mp := FixedOutputStationary(testLayer(), 256, 128, 256*1024)
+	if mp.DRAMStationary != TO || mp.NoCStationary != TO {
+		t.Fatal("fixed dataflow must keep outputs stationary")
+	}
+}
+
+// fitCost is a synthetic cost: valid iff tiles fit the given budget, cost
+// favors more spatial parallelism.
+func fitCost(l workload.Layer, pes, l1, l2 int) Cost {
+	dims := Dims(l)
+	return func(m Mapping) (float64, bool) {
+		if !covers(m, dims) || m.SpatialPEs() > pes {
+			return 0, false
+		}
+		if RFTileBytes(l, m) > int64(l1) || L2TileBytes(l, m) > int64(l2) {
+			return 0, false
+		}
+		return 1e9 / float64(m.SpatialPEs()), true
+	}
+}
+
+func TestRandomSearchFindsValid(t *testing.T) {
+	l := testLayer()
+	rng := rand.New(rand.NewSource(2))
+	res := RandomSearch(l, 2000, rng, fitCost(l, 256, 512, 256*1024))
+	if !res.Found {
+		t.Fatal("random search found nothing")
+	}
+	if res.Evaluated != 2000 {
+		t.Fatalf("evaluated %d, want 2000", res.Evaluated)
+	}
+}
+
+func TestEnumeratePrunedFindsValidUnderTinyBuffers(t *testing.T) {
+	// The regression of the minimal edge design: L1 = 8 bytes only
+	// admits near-sequential mappings; the enumerator must still reach
+	// them within budget.
+	l := testLayer()
+	cost := fitCost(l, 64, 8, 64*1024)
+	res := EnumeratePruned(l, GenConfig{PEs: 64, L1Bytes: 8, L2Bytes: 64 * 1024, MaxN: 400}, cost)
+	if !res.Found {
+		t.Fatal("pruned enumeration found nothing under tiny buffers")
+	}
+	if res.Evaluated > 400 {
+		t.Fatalf("budget exceeded: %d", res.Evaluated)
+	}
+}
+
+func TestEnumeratePrunedPrefersUtilization(t *testing.T) {
+	l := testLayer()
+	cost := fitCost(l, 256, 1024, 1024*1024)
+	res := EnumeratePruned(l, GenConfig{PEs: 256, L1Bytes: 1024, L2Bytes: 1024 * 1024, MaxN: 2000}, cost)
+	if !res.Found {
+		t.Fatal("nothing found")
+	}
+	// With generous buffers the search must occupy a healthy share of
+	// the PE array (cost = 1e9/PEs, so Cycles reflects 1/utilization).
+	if got := 1e9 / res.Cycles; got < 64 {
+		t.Fatalf("best mapping uses only %.0f PEs", got)
+	}
+}
+
+func TestEnumeratePrunedBaseValidSkipsEverything(t *testing.T) {
+	l := testLayer()
+	calls := 0
+	cost := func(Mapping) (float64, bool) { calls++; return 1, true }
+	res := EnumeratePruned(l, GenConfig{PEs: 64, MaxN: 100, BaseValid: func(Mapping) bool { return false }}, cost)
+	if res.Found || calls != 0 {
+		t.Fatalf("BaseValid=false must suppress all evaluations (calls=%d)", calls)
+	}
+}
+
+func TestPickSpread(t *testing.T) {
+	vs := []int{1, 2, 4, 8, 16, 32, 64}
+	got := pickSpread(vs, 3)
+	if len(got) != 3 || got[0] != 64 {
+		t.Fatalf("pickSpread = %v", got)
+	}
+	all := pickSpread(vs, 10)
+	if len(all) != len(vs) || all[0] != 64 || all[len(all)-1] != 1 {
+		t.Fatalf("pickSpread full = %v", all)
+	}
+}
+
+func TestBlackBoxMappersRespectBudgetAndValidity(t *testing.T) {
+	l := testLayer()
+	cost := fitCost(l, 256, 512, 256*1024)
+	dims := Dims(l)
+	for name, fn := range map[string]func(workload.Layer, int, *rand.Rand, Cost) Result{
+		"random":  RandomSearch,
+		"anneal":  AnnealSearch,
+		"genetic": GeneticSearch,
+		"bayes":   BayesSearch,
+	} {
+		rng := rand.New(rand.NewSource(5))
+		res := fn(l, 300, rng, cost)
+		if res.Evaluated > 300 {
+			t.Errorf("%s: evaluated %d > budget", name, res.Evaluated)
+		}
+		if !res.Found {
+			t.Errorf("%s: found no valid mapping", name)
+			continue
+		}
+		if math.IsInf(res.Cycles, 1) {
+			t.Errorf("%s: infinite best cost", name)
+		}
+		if !covers(res.Best, dims) {
+			t.Errorf("%s: best mapping does not cover dims", name)
+		}
+	}
+}
+
+func TestMutatePreservesCoverage(t *testing.T) {
+	l := testLayer()
+	dims := Dims(l)
+	rng := rand.New(rand.NewSource(9))
+	m := Random(dims, rng)
+	for i := 0; i < 200; i++ {
+		m = mutate(m, dims, rng)
+		if !covers(m, dims) {
+			t.Fatalf("mutation %d broke coverage", i)
+		}
+	}
+}
+
+// TestEnumeratePrunedEmitsOnlyCoveringMappings: every mapping the pruned
+// generator evaluates must cover the padded dims exactly (the structural
+// invariant the cost model assumes).
+func TestEnumeratePrunedEmitsOnlyCoveringMappings(t *testing.T) {
+	l := testLayer()
+	dims := Dims(l)
+	bad := 0
+	cost := func(m Mapping) (float64, bool) {
+		if !covers(m, dims) {
+			bad++
+		}
+		return 1, true
+	}
+	EnumeratePruned(l, GenConfig{PEs: 256, L1Bytes: 512, L2Bytes: 256 * 1024, MaxN: 800}, cost)
+	if bad != 0 {
+		t.Fatalf("%d emitted mappings do not cover the dims", bad)
+	}
+}
+
+// TestEnumeratePrunedRespectsPEBudget: no emitted mapping occupies more PEs
+// than the generator was budgeted.
+func TestEnumeratePrunedRespectsPEBudget(t *testing.T) {
+	l := testLayer()
+	over := 0
+	cost := func(m Mapping) (float64, bool) {
+		if m.SpatialPEs() > 128 {
+			over++
+		}
+		return 1, true
+	}
+	EnumeratePruned(l, GenConfig{PEs: 128, MaxN: 600}, cost)
+	if over != 0 {
+		t.Fatalf("%d emitted mappings exceed the PE budget", over)
+	}
+}

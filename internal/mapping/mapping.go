@@ -1,0 +1,280 @@
+// Package mapping models the software half of the codesign: loop-nest
+// mappings of DNN operators onto the accelerator template. A mapping is a
+// four-level tiling (spatial / register-file / scratchpad / DRAM) of the six
+// operator loop dimensions plus a loop-ordering choice expressed as which
+// tensor stays temporally stationary at each memory boundary — the paper's
+// "orderings with unique data reuse" (§F).
+//
+// The package also provides the mapping-space machinery of §4.8/§F:
+// divisor-based valid tilings over smooth-padded dimensions, a
+// dMazeRunner-style pruned enumeration with utilization thresholds adjusted
+// to a top-N budget, a Timeloop-style random-search mapper, and the
+// combinatorial space-size accounting reproduced in Table 7.
+package mapping
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"xdse/internal/workload"
+)
+
+// Dim indexes a loop dimension of the operator nest.
+type Dim int
+
+const (
+	DimK Dim = iota // output channels / GEMM rows
+	DimC            // input channels / reduction
+	DimY            // output rows
+	DimX            // output columns
+	DimR            // filter rows
+	DimS            // filter columns
+	// NumDims is the loop-dimension count.
+	NumDims
+)
+
+// String names the dimension.
+func (d Dim) String() string { return [...]string{"K", "C", "Y", "X", "R", "S"}[d] }
+
+// Level indexes a tiling level of the processing hierarchy, innermost first.
+type Level int
+
+const (
+	LvlSpatial Level = iota // across PEs
+	LvlRF                   // temporal within a PE's register file
+	LvlL2                   // temporal within the shared scratchpad
+	LvlDRAM                 // temporal across off-chip tiles
+	// NumLevels is the tiling-level count.
+	NumLevels
+)
+
+// String names the level.
+func (l Level) String() string { return [...]string{"spatial", "RF", "L2", "DRAM"}[l] }
+
+// Tensor identifies one of the three logical tensors of an operator.
+type Tensor int
+
+const (
+	TW Tensor = iota // weights
+	TI               // input activations
+	TO               // output activations / partial sums
+	// NumTensors is the logical tensor count.
+	NumTensors
+)
+
+// String names the tensor.
+func (t Tensor) String() string { return [...]string{"W", "I", "O"}[t] }
+
+// Mapping is one point of the mapping space.
+type Mapping struct {
+	// F[d][l] is the tiling factor of dimension d at level l; the product
+	// over levels equals the smooth-padded dimension extent.
+	F [NumDims][NumLevels]int
+	// DRAMStationary is the tensor kept resident across DRAM-level loops
+	// (its off-chip refetch factor collapses to 1).
+	DRAMStationary Tensor
+	// NoCStationary is the tensor reused across scratchpad-level loops
+	// (its L2-to-PE refetch factor collapses to 1).
+	NoCStationary Tensor
+}
+
+// Factor returns the tiling factor of d at level l, treating zero as 1 so a
+// zero-valued Mapping is the trivial all-ones mapping.
+func (m Mapping) Factor(d Dim, l Level) int {
+	if f := m.F[d][l]; f > 0 {
+		return f
+	}
+	return 1
+}
+
+// TileThrough returns the tile extent of dimension d including all levels up
+// to and including l.
+func (m Mapping) TileThrough(d Dim, l Level) int {
+	t := 1
+	for lv := LvlSpatial; lv <= l; lv++ {
+		t *= m.Factor(d, lv)
+	}
+	return t
+}
+
+// SpatialPEs returns the number of PEs the mapping occupies.
+func (m Mapping) SpatialPEs() int {
+	p := 1
+	for d := Dim(0); d < NumDims; d++ {
+		p *= m.Factor(d, LvlSpatial)
+	}
+	return p
+}
+
+// LevelProduct returns the product of all factors at level l.
+func (m Mapping) LevelProduct(l Level) int {
+	p := 1
+	for d := Dim(0); d < NumDims; d++ {
+		p *= m.Factor(d, l)
+	}
+	return p
+}
+
+// String renders the mapping compactly.
+func (m Mapping) String() string {
+	s := ""
+	for d := Dim(0); d < NumDims; d++ {
+		s += fmt.Sprintf("%v:%d/%d/%d/%d ", d,
+			m.Factor(d, LvlSpatial), m.Factor(d, LvlRF), m.Factor(d, LvlL2), m.Factor(d, LvlDRAM))
+	}
+	return s + fmt.Sprintf("dramStat=%v nocStat=%v", m.DRAMStationary, m.NoCStationary)
+}
+
+// TensorDims reports which loop dimensions index tensor t for operator kind
+// k. Depthwise convolutions tie channels to K, so their inputs are indexed
+// by K rather than C.
+func TensorDims(k workload.Kind, t Tensor) []Dim {
+	switch t {
+	case TW:
+		if k == workload.DWConv {
+			return []Dim{DimK, DimR, DimS}
+		}
+		return []Dim{DimK, DimC, DimR, DimS}
+	case TI:
+		if k == workload.DWConv {
+			return []Dim{DimK, DimY, DimX, DimR, DimS}
+		}
+		return []Dim{DimC, DimY, DimX, DimR, DimS}
+	default:
+		return []Dim{DimK, DimY, DimX}
+	}
+}
+
+// ReductionDims reports the dimensions not indexing the output (partial-sum
+// dimensions) for operator kind k.
+func ReductionDims(k workload.Kind) []Dim {
+	if k == workload.DWConv {
+		return []Dim{DimR, DimS}
+	}
+	return []Dim{DimC, DimR, DimS}
+}
+
+// Indexes reports whether dimension d indexes tensor t under kind k.
+func Indexes(k workload.Kind, t Tensor, d Dim) bool {
+	for _, dd := range TensorDims(k, t) {
+		if dd == d {
+			return true
+		}
+	}
+	return false
+}
+
+// smoothTable holds all 7-smooth numbers up to the padding ceiling, sorted.
+var smoothTable = buildSmoothTable(1 << 17)
+
+func buildSmoothTable(limit int) []int {
+	var t []int
+	for a := 1; a <= limit; a *= 2 {
+		for b := a; b <= limit; b *= 3 {
+			for c := b; c <= limit; c *= 5 {
+				for d := c; d <= limit; d *= 7 {
+					t = append(t, d)
+				}
+			}
+		}
+	}
+	sort.Ints(t)
+	return t
+}
+
+// Smooth returns the smallest 7-smooth integer >= n. Mappers pad loop
+// extents to smooth values so every dimension has a rich divisor set (the
+// padding waste shows up as idle iterations in the cost model, as on real
+// mappers).
+func Smooth(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	i := sort.SearchInts(smoothTable, n)
+	if i < len(smoothTable) {
+		return smoothTable[i]
+	}
+	return n
+}
+
+// Dims returns the smooth-padded loop extents of a layer.
+func Dims(l workload.Layer) [NumDims]int {
+	k, c, y, x, r, s := l.K, l.C, l.Y, l.X, l.R, l.S
+	if l.Kind == workload.DWConv {
+		c = 1
+	}
+	pad := func(v int) int {
+		if v < 1 {
+			v = 1
+		}
+		return Smooth(v)
+	}
+	return [NumDims]int{pad(k), pad(c), pad(y), pad(x), pad(r), pad(s)}
+}
+
+// Divisors returns the sorted divisors of n.
+func Divisors(n int) []int {
+	if n < 1 {
+		return []int{1}
+	}
+	var ds []int
+	for i := 1; i*i <= n; i++ {
+		if n%i == 0 {
+			ds = append(ds, i)
+			if j := n / i; j != i {
+				ds = append(ds, j)
+			}
+		}
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+// RandomSplit4 returns a uniformly-ish random ordered 4-way factor split of
+// n (product of the four parts equals n), by repeatedly picking random
+// divisors of the remainder.
+func RandomSplit4(n int, rng *rand.Rand) [4]int {
+	var out [4]int
+	rem := n
+	for i := 0; i < 3; i++ {
+		ds := Divisors(rem)
+		f := ds[rng.Intn(len(ds))]
+		out[i] = f
+		rem /= f
+	}
+	out[3] = rem
+	return out
+}
+
+// NumSplits4 returns the number of ordered 4-way factor splits of n, i.e.
+// the product over prime exponents e of C(e+3,3).
+func NumSplits4(n int) float64 {
+	count := 1.0
+	for _, p := range []int{2, 3, 5, 7, 11, 13} {
+		e := 0
+		for n%p == 0 {
+			n /= p
+			e++
+		}
+		count *= float64((e + 1) * (e + 2) * (e + 3) / 6)
+	}
+	if n > 1 { // one residual prime factor
+		count *= 4
+	}
+	return count
+}
+
+// Random returns a random valid-factor mapping of the padded dims.
+func Random(dims [NumDims]int, rng *rand.Rand) Mapping {
+	var m Mapping
+	for d := Dim(0); d < NumDims; d++ {
+		sp := RandomSplit4(dims[d], rng)
+		for l := Level(0); l < NumLevels; l++ {
+			m.F[d][l] = sp[l]
+		}
+	}
+	m.DRAMStationary = Tensor(rng.Intn(int(NumTensors)))
+	m.NoCStationary = Tensor(rng.Intn(int(NumTensors)))
+	return m
+}

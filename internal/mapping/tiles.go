@@ -1,0 +1,98 @@
+package mapping
+
+import "xdse/internal/workload"
+
+// haloElems returns the input-tile element count for the given output-tile
+// extents (y, x), filter extents (r, s), channel count ch, and stride.
+func haloElems(ch, y, x, r, s, stride int) int64 {
+	iy := (y-1)*stride + r
+	ix := (x-1)*stride + s
+	return int64(ch) * int64(iy) * int64(ix)
+}
+
+// RFTileElems returns the per-PE register-file tile element count of tensor
+// t: the data one PE holds while iterating its RF-level loops.
+func RFTileElems(l workload.Layer, m Mapping, t Tensor) int64 {
+	k := m.Factor(DimK, LvlRF)
+	c := m.Factor(DimC, LvlRF)
+	y := m.Factor(DimY, LvlRF)
+	x := m.Factor(DimX, LvlRF)
+	r := m.Factor(DimR, LvlRF)
+	s := m.Factor(DimS, LvlRF)
+	switch t {
+	case TW:
+		if l.Kind == workload.DWConv {
+			return int64(k) * int64(r) * int64(s)
+		}
+		return int64(k) * int64(c) * int64(r) * int64(s)
+	case TI:
+		ch := c
+		if l.Kind == workload.DWConv {
+			ch = k
+		}
+		return haloElems(ch, y, x, r, s, l.Stride)
+	default:
+		return int64(k) * int64(y) * int64(x)
+	}
+}
+
+// L2TileElems returns the shared scratchpad tile element count of tensor t:
+// the data resident in L2 for one DRAM-level tile (all PEs combined).
+func L2TileElems(l workload.Layer, m Mapping, t Tensor) int64 {
+	th := func(d Dim) int { return m.TileThrough(d, LvlL2) }
+	k, c, y, x, r, s := th(DimK), th(DimC), th(DimY), th(DimX), th(DimR), th(DimS)
+	switch t {
+	case TW:
+		if l.Kind == workload.DWConv {
+			return int64(k) * int64(r) * int64(s)
+		}
+		return int64(k) * int64(c) * int64(r) * int64(s)
+	case TI:
+		ch := c
+		if l.Kind == workload.DWConv {
+			ch = k
+		}
+		return haloElems(ch, y, x, r, s, l.Stride)
+	default:
+		return int64(k) * int64(y) * int64(x)
+	}
+}
+
+// RFTileBytes returns the per-PE RF footprint of all tensors combined.
+func RFTileBytes(l workload.Layer, m Mapping) int64 {
+	var b int64
+	for t := Tensor(0); t < NumTensors; t++ {
+		b += RFTileElems(l, m, t) * workload.BytesPerElem
+	}
+	return b
+}
+
+// L2TileBytes returns the shared scratchpad footprint of all tensors.
+func L2TileBytes(l workload.Layer, m Mapping) int64 {
+	var b int64
+	for t := Tensor(0); t < NumTensors; t++ {
+		b += L2TileElems(l, m, t) * workload.BytesPerElem
+	}
+	return b
+}
+
+// PaddedTensorElems returns the whole-layer element count of tensor t over
+// the smooth-padded dimensions (the sizes the traffic model tiles).
+func PaddedTensorElems(l workload.Layer, dims [NumDims]int, t Tensor) int64 {
+	k, c, y, x, r, s := dims[DimK], dims[DimC], dims[DimY], dims[DimX], dims[DimR], dims[DimS]
+	switch t {
+	case TW:
+		if l.Kind == workload.DWConv {
+			return int64(k) * int64(r) * int64(s)
+		}
+		return int64(k) * int64(c) * int64(r) * int64(s)
+	case TI:
+		ch := c
+		if l.Kind == workload.DWConv {
+			ch = k
+		}
+		return haloElems(ch, y, x, r, s, l.Stride)
+	default:
+		return int64(k) * int64(y) * int64(x)
+	}
+}

@@ -1,0 +1,87 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"xdse/internal/arch"
+	"xdse/internal/search"
+)
+
+// Anneal is the simulated-annealing baseline (the paper uses SciPy's):
+// single-site neighbor moves over value indices with a geometric cooling
+// schedule over the penalized objective.
+type Anneal struct {
+	// T0 is the initial temperature as a fraction of the initial
+	// penalized score (default 0.5).
+	T0 float64
+	// Alpha is the per-step cooling factor (default tuned to reach ~1e-3
+	// of T0 by budget exhaustion).
+	Alpha float64
+}
+
+// Name implements search.Optimizer.
+func (Anneal) Name() string { return "SimulatedAnnealing" }
+
+// Run implements search.Optimizer.
+func (a Anneal) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
+	t := &search.Trace{Name: a.Name()}
+	start := time.Now()
+	defer func() { t.Elapsed = time.Since(start) }()
+
+	cur := p.Start()
+	curCosts := p.Evaluate(cur)
+	if !t.Record(p, cur, curCosts) {
+		return t
+	}
+	curScore := score(curCosts)
+
+	t0 := a.T0
+	if t0 <= 0 {
+		t0 = 0.5
+	}
+	alpha := a.Alpha
+	if alpha <= 0 {
+		alpha = math.Pow(1e-3, 1.0/float64(max(p.Budget, 2)))
+	}
+	temp := t0 * math.Abs(curScore)
+	if temp == 0 || math.IsInf(temp, 0) {
+		temp = t0 * infeasiblePenalty
+	}
+
+	for {
+		next := neighbor(p.Space, cur, rng)
+		nextCosts := p.Evaluate(next)
+		record := t.Record(p, next, nextCosts)
+		nextScore := score(nextCosts)
+		if nextScore <= curScore || rng.Float64() < math.Exp(-(nextScore-curScore)/math.Max(temp, 1e-12)) {
+			cur, curScore = next, nextScore
+		}
+		temp *= alpha
+		if !record {
+			return t
+		}
+	}
+}
+
+// neighbor moves one random parameter by +-1 index.
+func neighbor(space *arch.Space, pt arch.Point, rng *rand.Rand) arch.Point {
+	next := pt.Clone()
+	for tries := 0; tries < 8; tries++ {
+		i := rng.Intn(len(space.Params))
+		delta := 1
+		if rng.Intn(2) == 0 {
+			delta = -1
+		}
+		idx := space.Clamp(i, pt[i]+delta)
+		if idx != pt[i] {
+			next[i] = idx
+			return next
+		}
+	}
+	// Degenerate corner: re-randomize one parameter.
+	i := rng.Intn(len(space.Params))
+	next[i] = rng.Intn(len(space.Params[i].Values))
+	return next
+}

@@ -1,0 +1,101 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"xdse/internal/arch"
+	"xdse/internal/search"
+	"xdse/internal/surrogate"
+)
+
+// Bayes is the Gaussian-process Bayesian-optimization baseline (the paper
+// uses the fmfn/BayesianOptimization package): an RBF-kernel GP over the
+// unit-normalized parameter indices, fitted to the log-compressed penalized
+// objective, with expected-improvement acquisition over a random candidate
+// pool.
+type Bayes struct {
+	// Warmup is the number of initial random samples (default 10).
+	Warmup int
+	// Pool is the acquisition candidate pool size (default 300).
+	Pool int
+	// MaxFit caps the number of samples the GP is fitted to (default
+	// 150; the most recent samples are kept, O(n^3) fitting otherwise
+	// dominates).
+	MaxFit int
+	// Lengthscale is the RBF kernel lengthscale (default 0.3).
+	Lengthscale float64
+}
+
+// Name implements search.Optimizer.
+func (Bayes) Name() string { return "BayesianOptimization" }
+
+// Run implements search.Optimizer.
+func (b Bayes) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
+	t := &search.Trace{Name: b.Name()}
+	start := time.Now()
+	defer func() { t.Elapsed = time.Since(start) }()
+
+	warmup := b.Warmup
+	if warmup <= 0 {
+		warmup = 10
+	}
+	pool := b.Pool
+	if pool <= 0 {
+		pool = 300
+	}
+	maxFit := b.MaxFit
+	if maxFit <= 0 {
+		maxFit = 150
+	}
+	ls := b.Lengthscale
+	if ls <= 0 {
+		ls = 0.3
+	}
+
+	var xs [][]float64
+	var ys []float64
+	observe := func(pt arch.Point) bool {
+		c := p.Evaluate(pt)
+		ok := t.Record(p, pt, c)
+		xs = append(xs, normalize(p, pt))
+		ys = append(ys, math.Log10(score(c)+1))
+		return ok
+	}
+
+	for i := 0; i < warmup; i++ {
+		if !observe(p.Space.Random(rng)) {
+			return t
+		}
+	}
+
+	for {
+		fx, fy := xs, ys
+		if len(fx) > maxFit {
+			fx, fy = fx[len(fx)-maxFit:], fy[len(fy)-maxFit:]
+		}
+		gp := surrogate.FitGP(fx, fy, ls)
+
+		bestY := math.Inf(1)
+		for _, y := range fy {
+			if y < bestY {
+				bestY = y
+			}
+		}
+
+		var bestPt arch.Point
+		bestEI := math.Inf(-1)
+		for i := 0; i < pool; i++ {
+			pt := p.Space.Random(rng)
+			mu, sigma := gp.Predict(normalize(p, pt))
+			ei := surrogate.ExpectedImprovement(mu, sigma, bestY)
+			if ei > bestEI {
+				bestEI, bestPt = ei, pt
+			}
+		}
+		if !observe(bestPt) {
+			return t
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"xdse/internal/arch"
+	"xdse/internal/search"
+	"xdse/internal/surrogate"
+)
+
+// HyperMapper is the HyperMapper 2.0-style constrained Bayesian optimizer
+// [Nardi et al., MASCOTS'19] the paper uses as its strongest baseline: a
+// random-forest surrogate for the objective plus a random-forest
+// feasibility classifier; acquisition picks, from a random pool, the point
+// with the lowest predicted objective among those predicted feasible
+// (falling back to the highest feasibility probability when none are).
+type HyperMapper struct {
+	// Warmup is the number of initial random samples (default 20).
+	Warmup int
+	// Pool is the acquisition candidate pool size (default 500).
+	Pool int
+	// MaxFit caps surrogate training-set size (default 400).
+	MaxFit int
+}
+
+// Name implements search.Optimizer.
+func (HyperMapper) Name() string { return "HyperMapper2.0" }
+
+// Run implements search.Optimizer.
+func (h HyperMapper) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
+	t := &search.Trace{Name: h.Name()}
+	start := time.Now()
+	defer func() { t.Elapsed = time.Since(start) }()
+
+	warmup := h.Warmup
+	if warmup <= 0 {
+		warmup = 20
+	}
+	pool := h.Pool
+	if pool <= 0 {
+		pool = 500
+	}
+	maxFit := h.MaxFit
+	if maxFit <= 0 {
+		maxFit = 400
+	}
+
+	var xs [][]float64
+	var objs []float64 // log-compressed penalized objective
+	var feas []float64 // 1 = feasible
+	observe := func(pt arch.Point) bool {
+		c := p.Evaluate(pt)
+		ok := t.Record(p, pt, c)
+		xs = append(xs, normalize(p, pt))
+		objs = append(objs, math.Log10(score(c)+1))
+		if c.Feasible {
+			feas = append(feas, 1)
+		} else {
+			feas = append(feas, 0)
+		}
+		return ok
+	}
+
+	for i := 0; i < warmup; i++ {
+		if !observe(p.Space.Random(rng)) {
+			return t
+		}
+	}
+
+	cfg := surrogate.DefaultForestConfig()
+	for {
+		fx, fo, ff := xs, objs, feas
+		if len(fx) > maxFit {
+			fx, fo, ff = fx[len(fx)-maxFit:], fo[len(fo)-maxFit:], ff[len(ff)-maxFit:]
+		}
+		reg := surrogate.FitForest(fx, fo, cfg, rng)
+		cls := surrogate.FitForest(fx, ff, cfg, rng)
+
+		var bestFeasPt, bestAnyPt arch.Point
+		bestFeasObj, bestAnyProb := math.Inf(1), math.Inf(-1)
+		for i := 0; i < pool; i++ {
+			pt := p.Space.Random(rng)
+			x := normalize(p, pt)
+			prob := cls.Predict(x)
+			obj := reg.Predict(x)
+			if prob >= 0.5 && obj < bestFeasObj {
+				bestFeasObj, bestFeasPt = obj, pt
+			}
+			if prob > bestAnyProb {
+				bestAnyProb, bestAnyPt = prob, pt
+			}
+		}
+		next := bestFeasPt
+		if next == nil {
+			next = bestAnyPt
+		}
+		if !observe(next) {
+			return t
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+)
+
+// mlp is a one-hidden-layer perceptron with tanh activation, trained by
+// REINFORCE through manual backpropagation. It serves as the policy network
+// of the ConfuciuX-style baseline (the original uses an LSTM/MLP policy;
+// the paper's methodology section generalizes it, and so do we).
+type mlp struct {
+	in, hidden, out int
+	w1              [][]float64 // hidden x in
+	b1              []float64
+	w2              [][]float64 // out x hidden
+	b2              []float64
+
+	// forward-pass caches for backprop
+	x []float64
+	h []float64
+}
+
+func newMLP(in, hidden, out int, rng *rand.Rand) *mlp {
+	m := &mlp{in: in, hidden: hidden, out: out}
+	scale1 := math.Sqrt(2.0 / float64(in))
+	scale2 := math.Sqrt(2.0 / float64(hidden))
+	m.w1 = randMatrix(hidden, in, scale1, rng)
+	m.b1 = make([]float64, hidden)
+	m.w2 = randMatrix(out, hidden, scale2, rng)
+	m.b2 = make([]float64, out)
+	return m
+}
+
+func randMatrix(rows, cols int, scale float64, rng *rand.Rand) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64() * scale
+		}
+	}
+	return m
+}
+
+// forward computes the output logits for input x, caching activations.
+func (m *mlp) forward(x []float64) []float64 {
+	m.x = append(m.x[:0], x...)
+	if cap(m.h) < m.hidden {
+		m.h = make([]float64, m.hidden)
+	}
+	m.h = m.h[:m.hidden]
+	for i := 0; i < m.hidden; i++ {
+		sum := m.b1[i]
+		for j := 0; j < m.in; j++ {
+			sum += m.w1[i][j] * x[j]
+		}
+		m.h[i] = math.Tanh(sum)
+	}
+	out := make([]float64, m.out)
+	for i := 0; i < m.out; i++ {
+		sum := m.b2[i]
+		for j := 0; j < m.hidden; j++ {
+			sum += m.w2[i][j] * m.h[j]
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// backward applies one SGD step given the gradient of the loss w.r.t. the
+// output logits of the LAST forward call.
+func (m *mlp) backward(dOut []float64, lr float64) {
+	// Gradients w.r.t. hidden activations.
+	dh := make([]float64, m.hidden)
+	for i := 0; i < m.out; i++ {
+		g := dOut[i]
+		if g == 0 {
+			continue
+		}
+		for j := 0; j < m.hidden; j++ {
+			dh[j] += g * m.w2[i][j]
+			m.w2[i][j] -= lr * g * m.h[j]
+		}
+		m.b2[i] -= lr * g
+	}
+	// Through tanh.
+	for j := 0; j < m.hidden; j++ {
+		g := dh[j] * (1 - m.h[j]*m.h[j])
+		if g == 0 {
+			continue
+		}
+		for k := 0; k < m.in; k++ {
+			m.w1[j][k] -= lr * g * m.x[k]
+		}
+		m.b1[j] -= lr * g
+	}
+}

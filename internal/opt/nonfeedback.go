@@ -1,0 +1,101 @@
+package opt
+
+import (
+	"math/rand"
+	"time"
+
+	"xdse/internal/arch"
+	"xdse/internal/search"
+)
+
+// Grid is the non-feedback grid search baseline: it statically reduces the
+// space to an evenly-strided lattice sized to the budget and evaluates it
+// exhaustively in shuffled order (so partial budgets still cover the space).
+type Grid struct{}
+
+// Name implements search.Optimizer.
+func (Grid) Name() string { return "GridSearch" }
+
+// Run implements search.Optimizer.
+func (Grid) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
+	t := &search.Trace{Name: Grid{}.Name()}
+	start := time.Now()
+	defer func() { t.Elapsed = time.Since(start) }()
+
+	// Pick per-parameter value-subset sizes so the lattice roughly
+	// matches the budget: walk the parameters round-robin, giving each
+	// one more sample point while the lattice still fits ~2x the budget.
+	nParams := len(p.Space.Params)
+	counts := make([]int, nParams)
+	for i := range counts {
+		counts[i] = 1
+	}
+	lattice := 1
+	for grown := true; grown; {
+		grown = false
+		for i, prm := range p.Space.Params {
+			if counts[i] >= len(prm.Values) {
+				continue
+			}
+			if next := lattice / counts[i] * (counts[i] + 1); next <= 2*p.Budget {
+				lattice = next
+				counts[i]++
+				grown = true
+			}
+		}
+	}
+	subsets := make([][]int, nParams)
+	for i, prm := range p.Space.Params {
+		n := len(prm.Values)
+		k := counts[i]
+		for j := 0; j < k; j++ {
+			idx := j * (n - 1) / max(k-1, 1)
+			subsets[i] = append(subsets[i], idx)
+		}
+	}
+
+	// Enumerate the lattice in mixed-radix order into a shuffled list.
+	total := 1
+	for _, s := range subsets {
+		total *= len(s)
+	}
+	order := rng.Perm(total)
+	for _, code := range order {
+		pt := make(arch.Point, nParams)
+		c := code
+		for i := range subsets {
+			pt[i] = subsets[i][c%len(subsets[i])]
+			c /= len(subsets[i])
+		}
+		if !t.Record(p, pt, p.Evaluate(pt)) {
+			break
+		}
+	}
+	return t
+}
+
+// Random is the non-feedback uniform random search baseline.
+type Random struct{}
+
+// Name implements search.Optimizer.
+func (Random) Name() string { return "RandomSearch" }
+
+// Run implements search.Optimizer.
+func (Random) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
+	t := &search.Trace{Name: Random{}.Name()}
+	start := time.Now()
+	defer func() { t.Elapsed = time.Since(start) }()
+	for {
+		pt := p.Space.Random(rng)
+		if !t.Record(p, pt, p.Evaluate(pt)) {
+			return t
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

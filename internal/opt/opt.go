@@ -1,0 +1,46 @@
+// Package opt implements the non-explainable DSE baselines the paper
+// compares against (§5): non-feedback techniques (grid search, random
+// search) and black-box feedback optimizations (simulated annealing, a
+// genetic algorithm, Gaussian-process Bayesian optimization, a
+// HyperMapper 2.0-style constrained random-forest optimizer, and a
+// ConfuciuX-style reinforcement-learning explorer generalized to arbitrary
+// parameter lists and constraints). All of them see exactly the same
+// problem interface as Explainable-DSE and differ only in how they acquire
+// the next candidates.
+package opt
+
+import (
+	"math"
+
+	"xdse/internal/search"
+)
+
+// infeasiblePenalty dominates any real objective so penalized scores order
+// infeasible points strictly after feasible ones, and less-violating
+// infeasible points first.
+const infeasiblePenalty = 1e9
+
+// score is the penalized objective black-box techniques minimize: the plain
+// objective for feasible points, a constraint-utilization penalty otherwise.
+func score(c search.Costs) float64 {
+	if c.Feasible {
+		return c.Objective
+	}
+	b := c.BudgetUtil
+	if math.IsInf(b, 1) || math.IsNaN(b) {
+		b = 1e6
+	}
+	return infeasiblePenalty * (1 + b)
+}
+
+// normalize maps a point to the unit hypercube for surrogate models.
+func normalize(p *search.Problem, pt []int) []float64 {
+	x := make([]float64, len(pt))
+	for i, v := range pt {
+		n := len(p.Space.Params[i].Values)
+		if n > 1 {
+			x[i] = float64(v) / float64(n-1)
+		}
+	}
+	return x
+}

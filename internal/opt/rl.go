@@ -1,0 +1,114 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"xdse/internal/arch"
+	"xdse/internal/search"
+)
+
+// RL is the ConfuciuX-style reinforcement-learning baseline [Kao et al.,
+// MICRO'20], generalized — as the paper's methodology section describes —
+// to an arbitrary number of parameters, differing option counts per
+// parameter, and constraint-aware rewards. The policy is a factored
+// categorical distribution (independent softmax logits per parameter)
+// trained with REINFORCE against a running-baseline advantage; the reward
+// is the negated, log-compressed, constraint-penalized objective.
+type RL struct {
+	// LearningRate for the policy-gradient updates (default 0.15).
+	LearningRate float64
+	// Epsilon is the exploration floor mixed into the policy
+	// (default 0.05).
+	Epsilon float64
+}
+
+// Name implements search.Optimizer.
+func (RL) Name() string { return "ReinforcementLearning" }
+
+// Run implements search.Optimizer.
+func (r RL) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
+	t := &search.Trace{Name: r.Name()}
+	start := time.Now()
+	defer func() { t.Elapsed = time.Since(start) }()
+
+	lr := r.LearningRate
+	if lr <= 0 {
+		lr = 0.15
+	}
+	eps := r.Epsilon
+	if eps <= 0 {
+		eps = 0.05
+	}
+
+	logits := make([][]float64, len(p.Space.Params))
+	for i, prm := range p.Space.Params {
+		logits[i] = make([]float64, len(prm.Values))
+	}
+
+	softmax := func(l []float64) []float64 {
+		maxL := math.Inf(-1)
+		for _, v := range l {
+			if v > maxL {
+				maxL = v
+			}
+		}
+		out := make([]float64, len(l))
+		sum := 0.0
+		for i, v := range l {
+			out[i] = math.Exp(v - maxL)
+			sum += out[i]
+		}
+		for i := range out {
+			out[i] = out[i]/sum*(1-eps) + eps/float64(len(out))
+		}
+		return out
+	}
+	sample := func(probs []float64) int {
+		u := rng.Float64()
+		acc := 0.0
+		for i, pr := range probs {
+			acc += pr
+			if u <= acc {
+				return i
+			}
+		}
+		return len(probs) - 1
+	}
+
+	baseline := 0.0
+	episodes := 0
+	for {
+		pt := make(arch.Point, len(logits))
+		probs := make([][]float64, len(logits))
+		for i := range logits {
+			probs[i] = softmax(logits[i])
+			pt[i] = sample(probs[i])
+		}
+		c := p.Evaluate(pt)
+		record := t.Record(p, pt, c)
+
+		reward := -math.Log10(score(c) + 1)
+		episodes++
+		if episodes == 1 {
+			baseline = reward
+		} else {
+			baseline = 0.9*baseline + 0.1*reward
+		}
+		adv := reward - baseline
+
+		for i := range logits {
+			for j := range logits[i] {
+				grad := -probs[i][j]
+				if j == pt[i] {
+					grad += 1
+				}
+				logits[i][j] += lr * adv * grad
+			}
+		}
+		if !record {
+			return t
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"xdse/internal/arch"
+	"xdse/internal/search"
+)
+
+// RLMLP is the neural variant of the ConfuciuX-style baseline: an MLP
+// policy network assigns parameters sequentially — the state encodes which
+// parameter is being decided plus the partial assignment so far — trained
+// with REINFORCE against a running baseline. It is slower per iteration
+// than the factored-categorical RL but can capture inter-parameter
+// structure, mirroring the original's LSTM/MLP policy more closely.
+type RLMLP struct {
+	// Hidden is the hidden-layer width (default 32).
+	Hidden int
+	// LearningRate for the policy updates (default 0.05).
+	LearningRate float64
+	// Epsilon is the exploration floor (default 0.05).
+	Epsilon float64
+}
+
+// Name implements search.Optimizer.
+func (RLMLP) Name() string { return "ReinforcementLearning-MLP" }
+
+// Run implements search.Optimizer.
+func (r RLMLP) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
+	t := &search.Trace{Name: r.Name()}
+	start := time.Now()
+	defer func() { t.Elapsed = time.Since(start) }()
+
+	hidden := r.Hidden
+	if hidden <= 0 {
+		hidden = 32
+	}
+	lr := r.LearningRate
+	if lr <= 0 {
+		lr = 0.05
+	}
+	eps := r.Epsilon
+	if eps <= 0 {
+		eps = 0.05
+	}
+
+	nParams := len(p.Space.Params)
+	maxOpts := 0
+	for _, prm := range p.Space.Params {
+		if n := len(prm.Values); n > maxOpts {
+			maxOpts = n
+		}
+	}
+	// State: one-hot parameter id + normalized partial assignment.
+	net := newMLP(2*nParams, hidden, maxOpts, rng)
+
+	type step struct {
+		state  []float64
+		probs  []float64
+		action int
+	}
+
+	policy := func(state []float64, options int) ([]float64, int) {
+		logits := net.forward(state)
+		maxL := math.Inf(-1)
+		for i := 0; i < options; i++ {
+			if logits[i] > maxL {
+				maxL = logits[i]
+			}
+		}
+		probs := make([]float64, options)
+		sum := 0.0
+		for i := 0; i < options; i++ {
+			probs[i] = math.Exp(logits[i] - maxL)
+			sum += probs[i]
+		}
+		for i := range probs {
+			probs[i] = probs[i]/sum*(1-eps) + eps/float64(options)
+		}
+		u := rng.Float64()
+		acc := 0.0
+		action := options - 1
+		for i, pr := range probs {
+			acc += pr
+			if u <= acc {
+				action = i
+				break
+			}
+		}
+		return probs, action
+	}
+
+	baseline := 0.0
+	episodes := 0
+	for {
+		pt := make(arch.Point, nParams)
+		steps := make([]step, 0, nParams)
+		state := make([]float64, 2*nParams)
+		for i := 0; i < nParams; i++ {
+			for j := range state {
+				state[j] = 0
+			}
+			state[i] = 1
+			for j := 0; j < i; j++ {
+				n := len(p.Space.Params[j].Values)
+				if n > 1 {
+					state[nParams+j] = float64(pt[j]) / float64(n-1)
+				}
+			}
+			probs, action := policy(state, len(p.Space.Params[i].Values))
+			pt[i] = action
+			steps = append(steps, step{append([]float64(nil), state...), probs, action})
+		}
+
+		c := p.Evaluate(pt)
+		record := t.Record(p, pt, c)
+
+		reward := -math.Log10(score(c) + 1)
+		episodes++
+		if episodes == 1 {
+			baseline = reward
+		} else {
+			baseline = 0.9*baseline + 0.1*reward
+		}
+		adv := reward - baseline
+
+		// REINFORCE: descend on -adv*log pi, i.e. dLogits = adv*(pi - onehot).
+		for _, st := range steps {
+			net.forward(st.state) // refresh caches
+			grad := make([]float64, maxOpts)
+			for i, pr := range st.probs {
+				grad[i] = adv * pr
+			}
+			grad[st.action] -= adv
+			net.backward(grad, lr)
+		}
+		if !record {
+			return t
+		}
+	}
+}

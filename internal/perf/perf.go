@@ -1,0 +1,302 @@
+// Package perf is the analytical latency and execution-characteristics
+// model of the accelerator template, standing in for the dMazeRunner cost
+// model the paper builds on. For a (design, layer, mapping) triple it
+// produces the full factor breakdown of the paper's Fig. 8 latency tree —
+// computation time, per-operand NoC time, and DMA time — plus every
+// execution characteristic §4.7 lists as input to bottleneck mitigation
+// (off-chip and NoC traffic per operand, NoC group/broadcast geometry,
+// per-tensor buffer allocations, and remaining exploitable reuse).
+package perf
+
+import (
+	"math"
+
+	"xdse/internal/arch"
+	"xdse/internal/mapping"
+	"xdse/internal/workload"
+)
+
+// dmaBurstSetupCycles is the fixed DMA overhead charged per non-contiguous
+// burst (dMazeRunner models this overhead of non-contiguous accesses).
+const dmaBurstSetupCycles = 8.0
+
+// Breakdown is the full evaluation of one layer execution. All times are in
+// accelerator cycles; all data volumes in bytes.
+type Breakdown struct {
+	// Valid reports whether the mapping is compatible with the design.
+	Valid bool
+	// Incompat explains the incompatibility when Valid is false.
+	Incompat string
+	// IncompatCount is the number of distinct incompatibilities (e.g.
+	// operand NoCs short on time-shared unicast); the constraint budget
+	// uses it so partial fixes register as progress.
+	IncompatCount int
+
+	TComp float64
+	TNoC  [arch.NumOperands]float64
+	TDMA  float64
+	// TDMAOp is the per-operand share of the DMA time (TDMA is their sum).
+	TDMAOp [arch.NumOperands]float64
+	// Cycles is the layer latency: max(TComp, max TNoC, TDMA).
+	Cycles float64
+
+	// PEsUsed is the spatial occupancy of the mapping.
+	PEsUsed int
+
+	// DataOffchip is the per-operand off-chip traffic.
+	DataOffchip [arch.NumOperands]float64
+	// DataNoC is the per-operand L2-to-PE traffic.
+	DataNoC [arch.NumOperands]float64
+	// NoCGroups is the number of PE groups needing distinct data per
+	// operand (max concurrent unicast demand).
+	NoCGroups [arch.NumOperands]int
+	// NoCBytesPerGroup is the broadcast size per group per load.
+	NoCBytesPerGroup [arch.NumOperands]float64
+	// VirtNeeded is the required time-sharing degree per operand NoC.
+	VirtNeeded [arch.NumOperands]int
+
+	// DataRF and DataSPM are the per-tensor buffer allocations (bytes).
+	DataRF  [mapping.NumTensors]float64
+	DataSPM [mapping.NumTensors]float64
+	// ReuseAvailRF and ReuseAvailSPM are the remaining refetch factors a
+	// larger RF / scratchpad could eliminate (1 = fully reused already).
+	ReuseAvailRF  [mapping.NumTensors]float64
+	ReuseAvailSPM [mapping.NumTensors]float64
+
+	// MACs is the padded MAC count executed.
+	MACs float64
+}
+
+// OperandTensor maps an operand NoC to the logical tensor it carries.
+func OperandTensor(op arch.Operand) mapping.Tensor {
+	switch op {
+	case arch.OpW:
+		return mapping.TW
+	case arch.OpI:
+		return mapping.TI
+	default:
+		return mapping.TO
+	}
+}
+
+// Evaluate computes the breakdown of executing one occurrence of layer l on
+// design d under mapping m.
+func Evaluate(d arch.Design, l workload.Layer, m mapping.Mapping) Breakdown {
+	var b Breakdown
+	dims := mapping.Dims(l)
+
+	// Structural validity: factors must cover padded dims exactly.
+	for dim := mapping.Dim(0); dim < mapping.NumDims; dim++ {
+		prod := 1
+		for lv := mapping.Level(0); lv < mapping.NumLevels; lv++ {
+			prod *= m.Factor(dim, lv)
+		}
+		if prod != dims[dim] {
+			b.Incompat = "tiling does not cover loop extent"
+			b.IncompatCount = 1
+			return b
+		}
+	}
+	b.PEsUsed = m.SpatialPEs()
+	if b.PEsUsed > d.PEs {
+		b.Incompat = "spatial tiling exceeds PE count"
+		b.IncompatCount = 1
+		return b
+	}
+	if rf := mapping.RFTileBytes(l, m); rf > int64(d.L1Bytes) {
+		b.Incompat = "RF tile exceeds L1 capacity"
+		b.IncompatCount = 1
+		return b
+	}
+	if l2 := mapping.L2TileBytes(l, m); l2 > int64(d.L2Bytes()) {
+		b.Incompat = "L2 tile exceeds scratchpad capacity"
+		b.IncompatCount = 1
+		return b
+	}
+
+	// Computation time: padded MACs over occupied PEs.
+	macs := 1.0
+	for dim := mapping.Dim(0); dim < mapping.NumDims; dim++ {
+		macs *= float64(dims[dim])
+	}
+	b.MACs = macs
+	b.TComp = macs / float64(b.PEsUsed)
+
+	// Refetch factors per tensor at the two memory boundaries.
+	kind := l.Kind
+	prodIrrelevant := func(t mapping.Tensor, lv mapping.Level) float64 {
+		p := 1.0
+		for dim := mapping.Dim(0); dim < mapping.NumDims; dim++ {
+			if !mapping.Indexes(kind, t, dim) {
+				p *= float64(m.Factor(dim, lv))
+			}
+		}
+		return p
+	}
+	psumProd := func(lv mapping.Level) float64 {
+		p := 1.0
+		for _, dim := range mapping.ReductionDims(kind) {
+			p *= float64(m.Factor(dim, lv))
+		}
+		return p
+	}
+	refetchDRAM := func(t mapping.Tensor) float64 {
+		if t == mapping.TO {
+			if m.DRAMStationary == mapping.TO {
+				return 1
+			}
+			return psumProd(mapping.LvlDRAM)
+		}
+		if t == m.DRAMStationary {
+			return 1
+		}
+		return prodIrrelevant(t, mapping.LvlDRAM)
+	}
+	refetchNoC := func(t mapping.Tensor) float64 {
+		if t == mapping.TO {
+			if m.NoCStationary == mapping.TO {
+				return 1
+			}
+			return psumProd(mapping.LvlL2)
+		}
+		if t == m.NoCStationary {
+			return 1
+		}
+		return prodIrrelevant(t, mapping.LvlL2)
+	}
+
+	size := func(t mapping.Tensor) float64 {
+		return float64(mapping.PaddedTensorElems(l, dims, t)) * workload.BytesPerElem
+	}
+
+	// Off-chip traffic (bytes) per operand.
+	psumDRAM := refetchDRAM(mapping.TO)
+	b.DataOffchip[arch.OpW] = size(mapping.TW) * refetchDRAM(mapping.TW)
+	b.DataOffchip[arch.OpI] = size(mapping.TI) * refetchDRAM(mapping.TI)
+	b.DataOffchip[arch.OpOWr] = size(mapping.TO) * psumDRAM
+	b.DataOffchip[arch.OpORd] = size(mapping.TO) * (psumDRAM - 1)
+
+	// NoC traffic (bytes) per operand.
+	psumNoC := psumDRAM * refetchNoC(mapping.TO)
+	b.DataNoC[arch.OpW] = size(mapping.TW) * refetchDRAM(mapping.TW) * refetchNoC(mapping.TW)
+	b.DataNoC[arch.OpI] = size(mapping.TI) * refetchDRAM(mapping.TI) * refetchNoC(mapping.TI)
+	b.DataNoC[arch.OpOWr] = size(mapping.TO) * psumNoC
+	b.DataNoC[arch.OpORd] = size(mapping.TO) * (psumNoC - 1)
+
+	// NoC geometry and per-operand communication time.
+	for _, op := range arch.Operands {
+		t := OperandTensor(op)
+		groups := 1
+		for dim := mapping.Dim(0); dim < mapping.NumDims; dim++ {
+			if mapping.Indexes(kind, t, dim) {
+				groups *= m.Factor(dim, mapping.LvlSpatial)
+			}
+		}
+		b.NoCGroups[op] = groups
+		bpg := float64(mapping.RFTileElems(l, m, t)) * workload.BytesPerElem
+		b.NoCBytesPerGroup[op] = bpg
+
+		links := d.PhysLinks[op]
+		if links > groups {
+			links = groups
+		}
+		shares := (groups + d.PhysLinks[op] - 1) / d.PhysLinks[op]
+		if shares < 1 {
+			shares = 1
+		}
+		b.VirtNeeded[op] = shares
+		if shares > d.VirtLinks[op] {
+			// Record every short NoC rather than bailing at the
+			// first, so mitigation can target all of them and
+			// partial fixes count as constraint-budget progress.
+			if b.Incompat != "" {
+				b.Incompat += "; "
+			}
+			b.Incompat += "spatial parallelism needs more time-shared unicast than " + op.String() + " NoC supports"
+			b.IncompatCount++
+		}
+
+		if b.DataNoC[op] <= 0 {
+			continue
+		}
+		loads := b.DataNoC[op] / (float64(groups) * bpg)
+		perGroupCycles := math.Ceil(bpg * 8 / float64(d.NoCWidthBits))
+		b.TNoC[op] = loads * float64(shares) * perGroupCycles
+	}
+
+	// DMA time: additive over operands, with per-burst setup overhead for
+	// non-contiguous accesses.
+	bpc := d.BytesPerCycle()
+	burstBytes := func(t mapping.Tensor) float64 {
+		th := func(dim mapping.Dim) float64 { return float64(m.TileThrough(dim, mapping.LvlL2)) }
+		switch t {
+		case mapping.TW:
+			return th(mapping.DimC) * th(mapping.DimS) * workload.BytesPerElem
+		case mapping.TI:
+			x := (th(mapping.DimX)-1)*float64(l.Stride) + th(mapping.DimS)
+			return x * workload.BytesPerElem
+		default:
+			return th(mapping.DimX) * workload.BytesPerElem
+		}
+	}
+	for _, op := range arch.Operands {
+		bytes := b.DataOffchip[op]
+		if bytes <= 0 {
+			continue
+		}
+		burst := burstBytes(OperandTensor(op))
+		if burst < workload.BytesPerElem {
+			burst = workload.BytesPerElem
+		}
+		b.TDMAOp[op] = bytes/bpc + bytes/burst*dmaBurstSetupCycles
+		b.TDMA += b.TDMAOp[op]
+	}
+
+	// Buffer allocations and remaining reuse.
+	for t := mapping.Tensor(0); t < mapping.NumTensors; t++ {
+		b.DataRF[t] = float64(mapping.RFTileElems(l, m, t)) * workload.BytesPerElem
+		b.DataSPM[t] = float64(mapping.L2TileElems(l, m, t)) * workload.BytesPerElem
+		b.ReuseAvailRF[t] = refetchNoC(t)
+		b.ReuseAvailSPM[t] = refetchDRAM(t)
+	}
+
+	b.Cycles = b.TComp
+	for _, op := range arch.Operands {
+		if b.TNoC[op] > b.Cycles {
+			b.Cycles = b.TNoC[op]
+		}
+	}
+	if b.TDMA > b.Cycles {
+		b.Cycles = b.TDMA
+	}
+	b.Valid = b.IncompatCount == 0
+	return b
+}
+
+// MaxTNoC returns the slowest operand NoC and its time.
+func (b *Breakdown) MaxTNoC() (arch.Operand, float64) {
+	best, bestT := arch.OpW, b.TNoC[arch.OpW]
+	for _, op := range arch.Operands[1:] {
+		if b.TNoC[op] > bestT {
+			best, bestT = op, b.TNoC[op]
+		}
+	}
+	return best, bestT
+}
+
+// CostFn adapts Evaluate into the mapping.Cost callback for design d and
+// layer l.
+func CostFn(d arch.Design, l workload.Layer) mapping.Cost {
+	return func(m mapping.Mapping) (float64, bool) {
+		b := Evaluate(d, l, m)
+		return b.Cycles, b.Valid
+	}
+}
+
+// ValidFn adapts Evaluate into a validity-only predicate, used by the
+// pruned enumerator to reject whole spatial bases in one probe.
+func ValidFn(d arch.Design, l workload.Layer) func(mapping.Mapping) bool {
+	return func(m mapping.Mapping) bool {
+		return Evaluate(d, l, m).Valid
+	}
+}

@@ -1,0 +1,95 @@
+package perf
+
+import (
+	"math/rand"
+	"testing"
+
+	"xdse/internal/arch"
+	"xdse/internal/mapping"
+	"xdse/internal/workload"
+)
+
+// TestResourceGrowthNeverHurtsProperty is the monotonicity invariant the
+// whole bottleneck-mitigation scheme rests on: for a FIXED mapping, growing
+// any single hardware resource never increases the layer latency. (Growing
+// buffers can change which mappings are legal, but never the cost of a
+// mapping that was already legal.)
+func TestResourceGrowthNeverHurtsProperty(t *testing.T) {
+	layers := []workload.Layer{
+		{Kind: workload.Conv, Name: "c", K: 64, C: 32, Y: 14, X: 14, R: 3, S: 3, Stride: 1, Mult: 1},
+		{Kind: workload.Gemm, Name: "g", K: 768, C: 768, Y: 1, X: 384, R: 1, S: 1, Stride: 1, Mult: 1},
+		{Kind: workload.DWConv, Name: "d", K: 96, C: 1, Y: 28, X: 28, R: 3, S: 3, Stride: 1, Mult: 1},
+	}
+	grow := []struct {
+		name string
+		mut  func(*arch.Design)
+	}{
+		{"PEs", func(d *arch.Design) { d.PEs *= 2 }},
+		{"L1", func(d *arch.Design) { d.L1Bytes *= 2 }},
+		{"L2", func(d *arch.Design) { d.L2KB *= 2 }},
+		{"BW", func(d *arch.Design) { d.OffchipMBps *= 2 }},
+		{"width", func(d *arch.Design) { d.NoCWidthBits *= 2 }},
+		{"links", func(d *arch.Design) {
+			for op := range d.PhysLinks {
+				d.PhysLinks[op] *= 2
+			}
+		}},
+		{"virt", func(d *arch.Design) {
+			for op := range d.VirtLinks {
+				d.VirtLinks[op] *= 8
+			}
+		}},
+	}
+	rng := rand.New(rand.NewSource(21))
+	base := testDesign()
+	for _, l := range layers {
+		dims := mapping.Dims(l)
+		checked := 0
+		for trial := 0; trial < 1500 && checked < 60; trial++ {
+			m := mapping.Random(dims, rng)
+			before := Evaluate(base, l, m)
+			if !before.Valid {
+				continue
+			}
+			checked++
+			for _, g := range grow {
+				d := base
+				g.mut(&d)
+				after := Evaluate(d, l, m)
+				if !after.Valid {
+					t.Fatalf("%s/%s: growth invalidated a valid mapping", l.Name, g.name)
+				}
+				if after.Cycles > before.Cycles*(1+1e-9) {
+					t.Fatalf("%s: growing %s increased latency %v -> %v (mapping %v)",
+						l.Name, g.name, before.Cycles, after.Cycles, m)
+				}
+			}
+		}
+		if checked < 15 {
+			t.Fatalf("%s: only %d valid samples", l.Name, checked)
+		}
+	}
+}
+
+// TestTrafficNonNegativeProperty: no operand ever reports negative traffic
+// or time under random mappings.
+func TestTrafficNonNegativeProperty(t *testing.T) {
+	l := testLayer()
+	d := testDesign()
+	dims := mapping.Dims(l)
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 500; i++ {
+		b := Evaluate(d, l, mapping.Random(dims, rng))
+		if !b.Valid {
+			continue
+		}
+		for _, op := range arch.Operands {
+			if b.DataOffchip[op] < 0 || b.DataNoC[op] < 0 || b.TNoC[op] < 0 || b.TDMAOp[op] < 0 {
+				t.Fatalf("negative quantity for %v: %+v", op, b)
+			}
+		}
+		if b.TComp <= 0 || b.Cycles <= 0 {
+			t.Fatal("non-positive time")
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package search
+
+import (
+	"encoding/csv"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteCSV dumps a trace as CSV — one acquisition per row with the
+// objective, feasibility, constraint budget, and the running best — the raw
+// series behind the paper's Fig. 11-style convergence plots.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"iter", "objective", "feasible", "budget_util", "best_so_far"}); err != nil {
+		return err
+	}
+	f := func(v float64) string {
+		if math.IsInf(v, 1) {
+			return "inf"
+		}
+		return strconv.FormatFloat(v, 'g', 8, 64)
+	}
+	for _, s := range t.Steps {
+		row := []string{
+			strconv.Itoa(s.Iter),
+			f(s.Costs.Objective),
+			strconv.FormatBool(s.Costs.Feasible),
+			f(s.Costs.BudgetUtil),
+			f(s.BestSoFar),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

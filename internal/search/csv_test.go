@@ -1,0 +1,34 @@
+package search
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	p := toyProblem(5)
+	tr := &Trace{}
+	pt := p.Space.Initial()
+	tr.Record(p, pt, Costs{Objective: 10, Feasible: false, BudgetUtil: 2})
+	tr.Record(p, pt, Costs{Objective: 5, Feasible: true, BudgetUtil: 0.5})
+
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "iter,objective,feasible") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// The infeasible first row has best_so_far = inf.
+	if !strings.HasSuffix(lines[1], "inf") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "true") || !strings.HasSuffix(lines[2], "5") {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}

@@ -1,0 +1,204 @@
+// Package search defines the domain-independent exploration contract shared
+// by every DSE technique in this repository: a discrete design space, an
+// evaluation function returning objective and constraint information, and a
+// trace of acquisitions. The Explainable-DSE engine (internal/dse) and all
+// black-box baselines (internal/opt) implement the same Optimizer interface
+// over this contract, which is what lets the paper's comparisons run on an
+// identical substrate (§5).
+package search
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"xdse/internal/arch"
+)
+
+// Costs is the outcome of evaluating one design point.
+type Costs struct {
+	// Objective is the value being minimized (whole-workload latency in
+	// ms for the accelerator study); +Inf marks unevaluable designs.
+	Objective float64
+	// Feasible reports that every inequality constraint holds and the
+	// design is compatible with its software configuration.
+	Feasible bool
+	// MeetsAreaPower reports the area/power constraints alone.
+	MeetsAreaPower bool
+	// BudgetUtil is the §4.6 constraints budget: mean utilization of the
+	// constraint thresholds (<1 on every constraint implies feasible).
+	BudgetUtil float64
+	// Violations counts violated constraints (monomodal-range pruning of
+	// §4.6 compares candidate violation counts against the solution's).
+	Violations int
+	// Raw carries the domain evaluation payload (e.g. *eval.Result) for
+	// domain-specific bottleneck models.
+	Raw any
+}
+
+// Prediction is one bottleneck-mitigating parameter prediction produced by
+// a domain bottleneck model (§4.3c): the design-space parameter to change,
+// the predicted physical value, the direction (grow for objective
+// mitigation, shrink for constraint mitigation), and a human-readable
+// explanation of why.
+type Prediction struct {
+	Param  int
+	Value  int
+	Reduce bool
+	Why    string
+}
+
+// Problem is a constrained minimization over a discrete space (§A.1).
+type Problem struct {
+	Space *arch.Space
+	// Evaluate returns the costs of a point. Implementations are
+	// expected to memoize; the iteration budget counts unique points.
+	Evaluate func(arch.Point) Costs
+	// Budget is the maximum number of design evaluations.
+	Budget int
+	// Initial is the starting point (nil = Space.Initial()).
+	Initial arch.Point
+}
+
+// Start returns the problem's initial point.
+func (p *Problem) Start() arch.Point {
+	if p.Initial != nil {
+		return p.Initial.Clone()
+	}
+	return p.Space.Initial()
+}
+
+// Step records one acquisition of a trace.
+type Step struct {
+	Iter      int
+	Point     arch.Point
+	Costs     Costs
+	BestSoFar float64 // best feasible objective after this step (+Inf if none yet)
+}
+
+// Trace is the full record of one exploration run.
+type Trace struct {
+	Name  string
+	Steps []Step
+	// Best is the best feasible point found (nil if none).
+	Best      arch.Point
+	BestCosts Costs
+	// Evaluations is the number of unique design evaluations consumed.
+	Evaluations int
+	Elapsed     time.Duration
+}
+
+// Record appends an acquisition and maintains the best feasible solution.
+// It returns true while the budget allows further acquisitions.
+func (t *Trace) Record(p *Problem, pt arch.Point, c Costs) bool {
+	improved := c.Feasible && (t.Best == nil || c.Objective < t.BestCosts.Objective)
+	if improved {
+		t.Best = pt.Clone()
+		t.BestCosts = c
+	}
+	best := math.Inf(1)
+	if t.Best != nil {
+		best = t.BestCosts.Objective
+	}
+	t.Steps = append(t.Steps, Step{
+		Iter:      len(t.Steps),
+		Point:     pt.Clone(),
+		Costs:     c,
+		BestSoFar: best,
+	})
+	t.Evaluations++
+	return t.Evaluations < p.Budget
+}
+
+// BestObjective returns the best feasible objective, or +Inf.
+func (t *Trace) BestObjective() float64 {
+	if t.Best == nil {
+		return math.Inf(1)
+	}
+	return t.BestCosts.Objective
+}
+
+// FeasibleFraction returns the fraction of acquisitions that were feasible.
+func (t *Trace) FeasibleFraction() float64 {
+	if len(t.Steps) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range t.Steps {
+		if s.Costs.Feasible {
+			n++
+		}
+	}
+	return float64(n) / float64(len(t.Steps))
+}
+
+// AreaPowerFraction returns the fraction of acquisitions meeting area and
+// power constraints (the Fig. 12 notion without throughput).
+func (t *Trace) AreaPowerFraction() float64 {
+	if len(t.Steps) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range t.Steps {
+		if s.Costs.MeetsAreaPower {
+			n++
+		}
+	}
+	return float64(n) / float64(len(t.Steps))
+}
+
+// MeanStepReduction returns the geometric-mean factor by which the running
+// best feasible objective shrinks per acquisition that updates it — the
+// Table 3 "objective reduced at every attempt" metric.
+func (t *Trace) MeanStepReduction() float64 {
+	prev := math.Inf(1)
+	logSum, n := 0.0, 0
+	for _, s := range t.Steps {
+		if math.IsInf(s.BestSoFar, 1) {
+			continue
+		}
+		if !math.IsInf(prev, 1) && s.BestSoFar < prev {
+			logSum += math.Log(prev / s.BestSoFar)
+			n++
+		}
+		prev = s.BestSoFar
+	}
+	if n == 0 {
+		return 1
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// ReductionPerAttempt returns the average percentage by which the running
+// best feasible objective shrinks per acquisition, geometric-mean over all
+// acquisitions after the first feasible one (non-improving acquisitions
+// count as zero reduction) — the Table 3 metric.
+func (t *Trace) ReductionPerAttempt() float64 {
+	prev := math.Inf(1)
+	logSum, n := 0.0, 0
+	for _, s := range t.Steps {
+		if math.IsInf(s.BestSoFar, 1) {
+			continue
+		}
+		if !math.IsInf(prev, 1) {
+			n++
+			if s.BestSoFar < prev {
+				logSum += math.Log(prev / s.BestSoFar)
+			}
+		}
+		prev = s.BestSoFar
+	}
+	if n == 0 {
+		return 0
+	}
+	return (math.Exp(logSum/float64(n)) - 1) * 100
+}
+
+// Optimizer is the interface every DSE technique implements.
+type Optimizer interface {
+	// Name identifies the technique in reports.
+	Name() string
+	// Run explores the problem until its budget is exhausted or the
+	// technique converges, returning the acquisition trace.
+	Run(p *Problem, rng *rand.Rand) *Trace
+}

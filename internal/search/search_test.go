@@ -1,0 +1,127 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"xdse/internal/arch"
+)
+
+func toyProblem(budget int) *Problem {
+	return &Problem{
+		Space:  arch.EdgeSpace(),
+		Budget: budget,
+		Evaluate: func(pt arch.Point) Costs {
+			return Costs{Objective: float64(pt[0]), Feasible: true, BudgetUtil: 0.5}
+		},
+	}
+}
+
+func TestStartDefaultsToInitial(t *testing.T) {
+	p := toyProblem(10)
+	if !p.Start().Equal(p.Space.Initial()) {
+		t.Fatal("Start should default to Space.Initial")
+	}
+	custom := p.Space.Initial()
+	custom[0] = 3
+	p.Initial = custom
+	got := p.Start()
+	if got[0] != 3 {
+		t.Fatal("Start ignored Initial")
+	}
+	got[0] = 5
+	if p.Initial[0] != 3 {
+		t.Fatal("Start must clone the initial point")
+	}
+}
+
+func TestTraceRecordTracksBest(t *testing.T) {
+	p := toyProblem(3)
+	tr := &Trace{}
+	pt := p.Space.Initial()
+
+	pt[0] = 5
+	if !tr.Record(p, pt, Costs{Objective: 50, Feasible: true}) {
+		t.Fatal("budget should allow more")
+	}
+	pt[0] = 2
+	tr.Record(p, pt, Costs{Objective: 20, Feasible: true})
+	pt[0] = 4
+	if tr.Record(p, pt, Costs{Objective: 40, Feasible: true}) {
+		t.Fatal("budget exhausted, Record should return false")
+	}
+	if tr.BestObjective() != 20 {
+		t.Fatalf("best = %v, want 20", tr.BestObjective())
+	}
+	if tr.Evaluations != 3 {
+		t.Fatalf("evaluations = %d", tr.Evaluations)
+	}
+	if tr.Steps[2].BestSoFar != 20 {
+		t.Fatalf("best-so-far after worse point = %v", tr.Steps[2].BestSoFar)
+	}
+}
+
+func TestTraceInfeasibleNeverBest(t *testing.T) {
+	p := toyProblem(5)
+	tr := &Trace{}
+	tr.Record(p, p.Space.Initial(), Costs{Objective: 1, Feasible: false})
+	if tr.Best != nil {
+		t.Fatal("infeasible point became best")
+	}
+	if !math.IsInf(tr.BestObjective(), 1) {
+		t.Fatal("best objective should be +Inf")
+	}
+}
+
+func TestFeasibleFractions(t *testing.T) {
+	p := toyProblem(4)
+	tr := &Trace{}
+	pt := p.Space.Initial()
+	tr.Record(p, pt, Costs{Feasible: true, MeetsAreaPower: true})
+	tr.Record(p, pt, Costs{Feasible: false, MeetsAreaPower: true})
+	tr.Record(p, pt, Costs{Feasible: false, MeetsAreaPower: false})
+	tr.Record(p, pt, Costs{Feasible: true, MeetsAreaPower: true})
+	if got := tr.FeasibleFraction(); got != 0.5 {
+		t.Fatalf("feasible fraction = %v", got)
+	}
+	if got := tr.AreaPowerFraction(); got != 0.75 {
+		t.Fatalf("area/power fraction = %v", got)
+	}
+	if (&Trace{}).FeasibleFraction() != 0 {
+		t.Fatal("empty trace fraction should be 0")
+	}
+}
+
+func TestMeanStepReduction(t *testing.T) {
+	p := toyProblem(10)
+	tr := &Trace{}
+	pt := p.Space.Initial()
+	// 100 -> 50 -> 25: two improving steps of 2x each.
+	tr.Record(p, pt, Costs{Objective: 100, Feasible: true})
+	tr.Record(p, pt, Costs{Objective: 50, Feasible: true})
+	tr.Record(p, pt, Costs{Objective: 25, Feasible: true})
+	if got := tr.MeanStepReduction(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("mean step reduction = %v, want 2", got)
+	}
+	if (&Trace{}).MeanStepReduction() != 1 {
+		t.Fatal("empty trace reduction should be 1")
+	}
+}
+
+func TestReductionPerAttempt(t *testing.T) {
+	p := toyProblem(10)
+	tr := &Trace{}
+	pt := p.Space.Initial()
+	// After the first feasible: one halving and one flat attempt ->
+	// geomean sqrt(2) - 1 = ~41.4%.
+	tr.Record(p, pt, Costs{Objective: 100, Feasible: true})
+	tr.Record(p, pt, Costs{Objective: 50, Feasible: true})
+	tr.Record(p, pt, Costs{Objective: 60, Feasible: true})
+	want := (math.Sqrt2 - 1) * 100
+	if got := tr.ReductionPerAttempt(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("reduction per attempt = %v, want %v", got, want)
+	}
+	if (&Trace{}).ReductionPerAttempt() != 0 {
+		t.Fatal("empty trace should report 0")
+	}
+}

@@ -1,0 +1,138 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Forest is a small random-forest regressor used as the HyperMapper-style
+// surrogate: bagged CART trees with random feature subsets.
+type Forest struct {
+	trees []*treeNode
+}
+
+type treeNode struct {
+	feature     int
+	threshold   float64
+	left, right *treeNode
+	value       float64
+	leaf        bool
+}
+
+// ForestConfig bounds the trees.
+type ForestConfig struct {
+	Trees    int
+	MaxDepth int
+	MinLeaf  int
+}
+
+// DefaultForestConfig returns the forest shape used by the baselines.
+func DefaultForestConfig() ForestConfig {
+	return ForestConfig{Trees: 10, MaxDepth: 8, MinLeaf: 3}
+}
+
+// FitForest trains the forest on feature rows xs and targets ys.
+func FitForest(xs [][]float64, ys []float64, cfg ForestConfig, rng *rand.Rand) *Forest {
+	f := &Forest{}
+	n := len(xs)
+	for t := 0; t < cfg.Trees; t++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		f.trees = append(f.trees, buildTree(xs, ys, idx, cfg, rng, 0))
+	}
+	return f
+}
+
+// Predict returns the forest-mean prediction at x.
+func (f *Forest) Predict(x []float64) float64 {
+	sum := 0.0
+	for _, t := range f.trees {
+		sum += t.predict(x)
+	}
+	return sum / float64(len(f.trees))
+}
+
+func (t *treeNode) predict(x []float64) float64 {
+	for !t.leaf {
+		if x[t.feature] <= t.threshold {
+			t = t.left
+		} else {
+			t = t.right
+		}
+	}
+	return t.value
+}
+
+func buildTree(xs [][]float64, ys []float64, idx []int, cfg ForestConfig, rng *rand.Rand, depth int) *treeNode {
+	mean := 0.0
+	for _, i := range idx {
+		mean += ys[i]
+	}
+	mean /= float64(len(idx))
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf {
+		return &treeNode{leaf: true, value: mean}
+	}
+
+	nFeat := len(xs[0])
+	tryFeat := int(math.Sqrt(float64(nFeat))) + 1
+	bestSSE := math.Inf(1)
+	bestFeat, bestThr := -1, 0.0
+	for f := 0; f < tryFeat; f++ {
+		feat := rng.Intn(nFeat)
+		// Candidate thresholds from a few random sample pairs.
+		for c := 0; c < 6; c++ {
+			a := xs[idx[rng.Intn(len(idx))]][feat]
+			b := xs[idx[rng.Intn(len(idx))]][feat]
+			thr := (a + b) / 2
+			sse, ok := splitSSE(xs, ys, idx, feat, thr, cfg.MinLeaf)
+			if ok && sse < bestSSE {
+				bestSSE, bestFeat, bestThr = sse, feat, thr
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &treeNode{leaf: true, value: mean}
+	}
+
+	var li, ri []int
+	for _, i := range idx {
+		if xs[i][bestFeat] <= bestThr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	return &treeNode{
+		feature:   bestFeat,
+		threshold: bestThr,
+		left:      buildTree(xs, ys, li, cfg, rng, depth+1),
+		right:     buildTree(xs, ys, ri, cfg, rng, depth+1),
+	}
+}
+
+// splitSSE computes the summed squared error of a candidate split; ok is
+// false when a side would fall under the leaf minimum.
+func splitSSE(xs [][]float64, ys []float64, idx []int, feat int, thr float64, minLeaf int) (float64, bool) {
+	var ln, rn int
+	var lsum, rsum, lsq, rsq float64
+	for _, i := range idx {
+		y := ys[i]
+		if xs[i][feat] <= thr {
+			ln++
+			lsum += y
+			lsq += y * y
+		} else {
+			rn++
+			rsum += y
+			rsq += y * y
+		}
+	}
+	if ln < minLeaf || rn < minLeaf {
+		return 0, false
+	}
+	lsse := lsq - lsum*lsum/float64(ln)
+	rsse := rsq - rsum*rsum/float64(rn)
+	return lsse + rsse, true
+}

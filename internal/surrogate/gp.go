@@ -1,0 +1,152 @@
+// Package surrogate provides the small learned models the black-box
+// optimizers rely on: an RBF-kernel Gaussian process (for classic Bayesian
+// optimization) and a bagged random-forest regressor (for HyperMapper-style
+// constrained optimization). Both work on generic float feature vectors, so
+// the hardware-space baselines (internal/opt) and the mapping-space
+// baselines (internal/mapping) share them.
+package surrogate
+
+import "math"
+
+// GP is a fitted Gaussian process with an RBF kernel, fixed lengthscale,
+// and jitter noise — the no-hyperparameter-tuning regime of fmfn-style
+// Bayesian optimization.
+type GP struct {
+	xs    [][]float64
+	alpha []float64
+	chol  [][]float64
+	mean  float64
+	ls    float64
+}
+
+// FitGP fits the process to observations (xs, ys).
+func FitGP(xs [][]float64, ys []float64, lengthscale float64) *GP {
+	n := len(xs)
+	g := &GP{xs: xs, ls: lengthscale}
+	for _, y := range ys {
+		g.mean += y
+	}
+	g.mean /= float64(n)
+
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := range k[i] {
+			k[i][j] = rbf(xs[i], xs[j], lengthscale)
+		}
+		k[i][i] += 1e-6
+	}
+	g.chol = Cholesky(k)
+	centered := make([]float64, n)
+	for i, y := range ys {
+		centered[i] = y - g.mean
+	}
+	g.alpha = CholSolve(g.chol, centered)
+	return g
+}
+
+// Predict returns the posterior mean and standard deviation at x.
+func (g *GP) Predict(x []float64) (mu, sigma float64) {
+	n := len(g.xs)
+	kstar := make([]float64, n)
+	for i := range kstar {
+		kstar[i] = rbf(x, g.xs[i], g.ls)
+	}
+	mu = g.mean
+	for i := range kstar {
+		mu += kstar[i] * g.alpha[i]
+	}
+	v := ForwardSolve(g.chol, kstar)
+	varF := 1.0
+	for _, vi := range v {
+		varF -= vi * vi
+	}
+	if varF < 1e-12 {
+		varF = 1e-12
+	}
+	return mu, math.Sqrt(varF)
+}
+
+func rbf(a, b []float64, ls float64) float64 {
+	d2 := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return math.Exp(-d2 / (2 * ls * ls))
+}
+
+// ExpectedImprovement scores a posterior (mu, sigma) against the incumbent
+// best for minimization.
+func ExpectedImprovement(mu, sigma, best float64) float64 {
+	if sigma <= 0 {
+		return 0
+	}
+	z := (best - mu) / sigma
+	return (best-mu)*stdNormCDF(z) + sigma*stdNormPDF(z)
+}
+
+func stdNormPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+func stdNormCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// Cholesky returns the lower-triangular factor of a positive-definite
+// matrix; near-singular pivots are floored to keep the factorization usable
+// for acquisition scoring.
+func Cholesky(a [][]float64) [][]float64 {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum < 1e-12 {
+					sum = 1e-12
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l
+}
+
+// ForwardSolve solves L v = b for lower-triangular L.
+func ForwardSolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * v[k]
+		}
+		v[i] = sum / l[i][i]
+	}
+	return v
+}
+
+// CholSolve solves (L L^T) x = b.
+func CholSolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	v := ForwardSolve(l, b)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := v[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k][i] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x
+}

@@ -1,0 +1,171 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCholeskyReconstructs(t *testing.T) {
+	a := [][]float64{
+		{4, 2, 0.6},
+		{2, 5, 1.2},
+		{0.6, 1.2, 3},
+	}
+	l := Cholesky(a)
+	n := len(a)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			got := 0.0
+			for k := 0; k < n; k++ {
+				got += l[i][k] * l[j][k]
+			}
+			if math.Abs(got-a[i][j]) > 1e-9 {
+				t.Fatalf("LL^T[%d][%d] = %v, want %v", i, j, got, a[i][j])
+			}
+		}
+	}
+}
+
+func TestCholSolve(t *testing.T) {
+	a := [][]float64{{4, 2}, {2, 5}}
+	l := Cholesky(a)
+	b := []float64{10, 13}
+	x := CholSolve(l, b)
+	// Verify A x = b.
+	for i := range a {
+		got := a[i][0]*x[0] + a[i][1]*x[1]
+		if math.Abs(got-b[i]) > 1e-9 {
+			t.Fatalf("Ax[%d] = %v, want %v", i, got, b[i])
+		}
+	}
+}
+
+func TestGPInterpolatesTrainingPoints(t *testing.T) {
+	xs := [][]float64{{0}, {0.25}, {0.5}, {0.75}, {1}}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Sin(3 * x[0])
+	}
+	gp := FitGP(xs, ys, 0.3)
+	for i, x := range xs {
+		mu, sigma := gp.Predict(x)
+		if math.Abs(mu-ys[i]) > 0.02 {
+			t.Fatalf("GP at training point %v: mu=%v, want %v", x, mu, ys[i])
+		}
+		if sigma > 0.05 {
+			t.Fatalf("GP uncertain at training point: sigma=%v", sigma)
+		}
+	}
+	// Uncertainty grows away from data.
+	_, far := gp.Predict([]float64{3})
+	if far < 0.5 {
+		t.Fatalf("GP overconfident far from data: sigma=%v", far)
+	}
+}
+
+func TestGPGeneralizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs [][]float64
+	var ys []float64
+	f := func(x []float64) float64 { return (x[0]-0.5)*(x[0]-0.5) + x[1]*0.3 }
+	for i := 0; i < 40; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, f(x))
+	}
+	gp := FitGP(xs, ys, 0.3)
+	mse := 0.0
+	for i := 0; i < 50; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		mu, _ := gp.Predict(x)
+		d := mu - f(x)
+		mse += d * d
+	}
+	if mse/50 > 0.01 {
+		t.Fatalf("GP test MSE = %v", mse/50)
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	if ei := ExpectedImprovement(0, 1, 1); ei <= 0 {
+		t.Fatal("EI must be positive when mean beats incumbent")
+	}
+	// Worse mean, zero variance: no improvement expected.
+	if ei := ExpectedImprovement(2, 0, 1); ei != 0 {
+		t.Fatalf("EI = %v, want 0", ei)
+	}
+	// More uncertainty means more expected improvement.
+	lo := ExpectedImprovement(1.5, 0.1, 1)
+	hi := ExpectedImprovement(1.5, 1.0, 1)
+	if hi <= lo {
+		t.Fatal("EI must grow with uncertainty")
+	}
+}
+
+func TestForestLearnsStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 400; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := 0.0
+		if x[0] > 0.5 {
+			y = 1
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	f := FitForest(xs, ys, DefaultForestConfig(), rng)
+	correct := 0
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		want := 0.0
+		if x[0] > 0.5 {
+			want = 1
+		}
+		if math.Abs(f.Predict(x)-want) < 0.5 {
+			correct++
+		}
+	}
+	if correct < 180 {
+		t.Fatalf("forest classified %d/200 correctly", correct)
+	}
+}
+
+func TestForestBeatsMeanOnSmoothFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var xs [][]float64
+	var ys []float64
+	mean := 0.0
+	f := func(x []float64) float64 { return 3*x[0] + x[1]*x[1] }
+	for i := 0; i < 300; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, f(x))
+		mean += f(x)
+	}
+	mean /= 300
+	forest := FitForest(xs, ys, DefaultForestConfig(), rng)
+	var mseF, mseM float64
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		dF := forest.Predict(x) - f(x)
+		dM := mean - f(x)
+		mseF += dF * dF
+		mseM += dM * dM
+	}
+	if mseF >= mseM/2 {
+		t.Fatalf("forest MSE %v not clearly better than mean baseline %v", mseF/200, mseM/200)
+	}
+}
+
+func TestForestConstantTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := [][]float64{{0}, {0.5}, {1}, {0.2}, {0.8}, {0.4}}
+	ys := []float64{7, 7, 7, 7, 7, 7}
+	f := FitForest(xs, ys, DefaultForestConfig(), rng)
+	if got := f.Predict([]float64{0.3}); got != 7 {
+		t.Fatalf("constant forest predicts %v", got)
+	}
+}

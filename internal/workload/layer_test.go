@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConvArithmetic(t *testing.T) {
+	// 3x3 conv, 16 out channels, 8 in channels, 10x10 output, stride 1.
+	l := conv("c", 16, 8, 10, 10, 3, 3, 1, 1)
+	if got, want := l.MACs(), int64(16*8*10*10*3*3); got != want {
+		t.Fatalf("MACs = %d, want %d", got, want)
+	}
+	if got, want := l.WeightElems(), int64(16*8*3*3); got != want {
+		t.Fatalf("weights = %d, want %d", got, want)
+	}
+	if got, want := l.InY(), 12; got != want {
+		t.Fatalf("InY = %d, want %d", got, want)
+	}
+	if got, want := l.InputElems(), int64(8*12*12); got != want {
+		t.Fatalf("inputs = %d, want %d", got, want)
+	}
+	if got, want := l.OutputElems(), int64(16*10*10); got != want {
+		t.Fatalf("outputs = %d, want %d", got, want)
+	}
+}
+
+func TestStridedConvHalo(t *testing.T) {
+	l := conv("c", 4, 3, 112, 112, 7, 7, 2, 1)
+	if got, want := l.InY(), (112-1)*2+7; got != want {
+		t.Fatalf("InY = %d, want %d", got, want)
+	}
+}
+
+func TestDWConvArithmetic(t *testing.T) {
+	l := dw("d", 32, 8, 8, 3, 3, 1, 1)
+	if got, want := l.MACs(), int64(32*8*8*3*3); got != want {
+		t.Fatalf("MACs = %d, want %d", got, want)
+	}
+	if got, want := l.WeightElems(), int64(32*3*3); got != want {
+		t.Fatalf("weights = %d, want %d", got, want)
+	}
+	// Depthwise inputs span K channels.
+	if got, want := l.InputElems(), int64(32*10*10); got != want {
+		t.Fatalf("inputs = %d, want %d", got, want)
+	}
+}
+
+func TestGemmArithmetic(t *testing.T) {
+	l := gemm("g", 100, 50, 7, 1)
+	if got, want := l.MACs(), int64(100*50*7); got != want {
+		t.Fatalf("MACs = %d, want %d", got, want)
+	}
+	if got, want := l.WeightElems(), int64(100*50); got != want {
+		t.Fatalf("weights = %d, want %d", got, want)
+	}
+	if got, want := l.InputElems(), int64(50*7); got != want {
+		t.Fatalf("inputs = %d, want %d", got, want)
+	}
+	if got, want := l.OutputElems(), int64(100*7); got != want {
+		t.Fatalf("outputs = %d, want %d", got, want)
+	}
+}
+
+func TestNormalizedZeroSafety(t *testing.T) {
+	var l Layer
+	l.K = 4
+	if l.MACs() <= 0 {
+		t.Fatal("zero-dims layer should still have positive MACs")
+	}
+	if l.InY() < 1 || l.InX() < 1 {
+		t.Fatal("halo must stay positive")
+	}
+}
+
+func TestLayerPropertyInputsCoverOutputs(t *testing.T) {
+	// Input spatial extent always >= output extent for stride>=1.
+	f := func(y, r, stride uint8) bool {
+		l := Layer{K: 1, C: 1, Y: int(y%64) + 1, X: 1, R: int(r%7) + 1, S: 1, Stride: int(stride%3) + 1}
+		return l.InY() >= l.Y && l.InY() >= l.R
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadGemm(t *testing.T) {
+	m := &Model{Name: "bad", MaxLatencyMs: 1, Layers: []Layer{
+		{Name: "g", Kind: Gemm, K: 8, C: 8, Y: 2, X: 4, R: 1, S: 1, Stride: 1, Mult: 1},
+	}}
+	if err := m.Validate(); err == nil {
+		t.Fatal("GEMM with Y=2 must be rejected")
+	}
+}
+
+func TestValidateRejectsEmpty(t *testing.T) {
+	m := &Model{Name: "empty", MaxLatencyMs: 1}
+	if err := m.Validate(); err == nil {
+		t.Fatal("empty model must be rejected")
+	}
+	m2 := &Model{Name: "nolimit", Layers: []Layer{conv("c", 1, 1, 1, 1, 1, 1, 1, 1)}}
+	if err := m2.Validate(); err == nil {
+		t.Fatal("model without latency constraint must be rejected")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Conv.String() != "CONV" || DWConv.String() != "DWCONV" || Gemm.String() != "GEMM" {
+		t.Fatal("kind names wrong")
+	}
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements a textual workload definition so users can explore
+// accelerators for their own DNNs without writing Go — the workload-side
+// counterpart of the §4.2 design-space specification.
+//
+// Grammar (one declaration per line; '#' starts a comment):
+//
+//	model <name> latency <max-ms>
+//	conv <name> <K> <C> <Y> <X> <R> <S> <stride> <mult>
+//	dw   <name> <K> <Y> <X> <R> <S> <stride> <mult>
+//	gemm <name> <M> <K> <N> <mult>
+//
+// Example:
+//
+//	model TinyNet latency 10
+//	conv stem 16 3 32 32 3 3 1 1
+//	dw   dw1  16 32 32 3 3 1 2
+//	gemm head 10 16 1 1
+
+// ParseModel parses one workload definition.
+func ParseModel(spec string) (*Model, error) {
+	m := &Model{Class: VisionLight}
+	sc := bufio.NewScanner(strings.NewReader(spec))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		var err error
+		switch fields[0] {
+		case "model":
+			err = parseModelHeader(m, fields)
+		case "conv":
+			err = appendLayer(m, Conv, fields, 9)
+		case "dw":
+			err = appendLayer(m, DWConv, fields, 8)
+		case "gemm":
+			err = appendLayer(m, Gemm, fields, 5)
+		default:
+			err = fmt.Errorf("unknown directive %q", fields[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: spec line %d: %w", lineNo, err)
+		}
+	}
+	if m.Name == "" {
+		return nil, fmt.Errorf("workload: spec has no model header")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func parseModelHeader(m *Model, fields []string) error {
+	if m.Name != "" {
+		return fmt.Errorf("duplicate model header")
+	}
+	if len(fields) != 4 || fields[2] != "latency" {
+		return fmt.Errorf("model wants '<name> latency <max-ms>'")
+	}
+	ms, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil || ms <= 0 {
+		return fmt.Errorf("bad latency ceiling %q", fields[3])
+	}
+	m.Name = fields[1]
+	m.MaxLatencyMs = ms
+	return nil
+}
+
+func appendLayer(m *Model, kind Kind, fields []string, want int) error {
+	if len(fields) != 1+want {
+		return fmt.Errorf("%s wants %d operands", fields[0], want)
+	}
+	nums := make([]int, want-1)
+	for i := range nums {
+		v, err := strconv.Atoi(fields[2+i])
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad value %q", fields[2+i])
+		}
+		nums[i] = v
+	}
+	name := fields[1]
+	var l Layer
+	switch kind {
+	case Conv:
+		l = Layer{Name: name, Kind: Conv,
+			K: nums[0], C: nums[1], Y: nums[2], X: nums[3],
+			R: nums[4], S: nums[5], Stride: nums[6], Mult: nums[7]}
+	case DWConv:
+		l = Layer{Name: name, Kind: DWConv,
+			K: nums[0], C: 1, Y: nums[1], X: nums[2],
+			R: nums[3], S: nums[4], Stride: nums[5], Mult: nums[6]}
+	case Gemm:
+		l = Layer{Name: name, Kind: Gemm,
+			K: nums[0], C: nums[1], Y: 1, X: nums[2],
+			R: 1, S: 1, Stride: 1, Mult: nums[3]}
+	}
+	m.Layers = append(m.Layers, l)
+	return nil
+}

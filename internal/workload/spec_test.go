@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+const tinySpec = `
+# a tiny test network
+model TinyNet latency 10
+conv stem 16 3 32 32 3 3 1 1
+dw   dw1  16 32 32 3 3 1 2
+gemm head 10 16 1 1
+`
+
+func TestParseModel(t *testing.T) {
+	m, err := ParseModel(tinySpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "TinyNet" || m.MaxLatencyMs != 10 {
+		t.Fatalf("header = %+v", m)
+	}
+	if m.TotalLayers() != 4 || m.UniqueLayers() != 3 {
+		t.Fatalf("layers: total=%d unique=%d", m.TotalLayers(), m.UniqueLayers())
+	}
+	if m.Layers[0].Kind != Conv || m.Layers[0].C != 3 {
+		t.Fatalf("conv = %+v", m.Layers[0])
+	}
+	if m.Layers[1].Kind != DWConv || m.Layers[1].C != 1 || m.Layers[1].Mult != 2 {
+		t.Fatalf("dw = %+v", m.Layers[1])
+	}
+	if m.Layers[2].Kind != Gemm || m.Layers[2].K != 10 || m.Layers[2].X != 1 {
+		t.Fatalf("gemm = %+v", m.Layers[2])
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseModelErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":        "conv c 1 1 1 1 1 1 1 1\n",
+		"double header":    "model A latency 1\nmodel B latency 1\n",
+		"bad latency":      "model A latency x\n",
+		"bad directive":    "model A latency 1\npool p 1\n",
+		"arity":            "model A latency 1\nconv c 1 1 1\n",
+		"zero value":       "model A latency 1\ngemm g 0 16 1 1\n",
+		"no layers":        "model A latency 1\n",
+		"negative value":   "model A latency 1\ngemm g -3 16 1 1\n",
+		"bad header shape": "model A 10\n",
+	}
+	for name, spec := range cases {
+		if _, err := ParseModel(spec); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseModelErrorCarriesLine(t *testing.T) {
+	_, err := ParseModel("model A latency 1\nconv ok 1 1 1 1 1 1 1 1\nconv bad 1\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error without line number: %v", err)
+	}
+}

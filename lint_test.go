@@ -1,0 +1,78 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExportedDeclarationsAreDocumented enforces the documentation standard:
+// every exported type, function, method, and var/const group in the library
+// packages carries a doc comment.
+func TestExportedDeclarationsAreDocumented(t *testing.T) {
+	var missing []string
+	err := filepath.WalkDir("internal", func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return err
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, decl := range f.Decls {
+			switch dd := decl.(type) {
+			case *ast.FuncDecl:
+				if dd.Name.IsExported() && dd.Doc == nil {
+					missing = append(missing, pos(fset, dd.Pos())+" func "+dd.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range dd.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() && dd.Doc == nil && sp.Doc == nil {
+							missing = append(missing, pos(fset, sp.Pos())+" type "+sp.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, name := range sp.Names {
+							if name.IsExported() && dd.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+								missing = append(missing, pos(fset, name.Pos())+" value "+name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Fatalf("%d exported declarations lack doc comments:\n  %s",
+			len(missing), strings.Join(missing, "\n  "))
+	}
+}
+
+func pos(fset *token.FileSet, p token.Pos) string {
+	position := fset.Position(p)
+	return position.Filename + ":" + itoa(position.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
