@@ -10,6 +10,7 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -285,6 +286,26 @@ func BenchmarkAblationAcquisition(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			benchAblation(b, dse.Options{JointAcquisition: joint}, workload.MobileNetV2(), 150)
+		})
+	}
+}
+
+// BenchmarkBatchEvaluation compares a serial exploration against the same
+// exploration with the batch-evaluation worker pool enabled. The traces are
+// bit-identical by the determinism contract; on multi-core machines the
+// pooled run evaluates each attempt's candidate batch concurrently, so the
+// wall-time ratio is the batch layer's speedup on real evaluations.
+func BenchmarkBatchEvaluation(b *testing.B) {
+	cfg := benchConfig()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := cfg
+			c.Workers = workers
+			var last exp.Run
+			for i := 0; i < b.N; i++ {
+				last = exp.RunOne(c, technique("ExplainableDSE-Codesign"), workload.ResNet18(), 30)
+			}
+			reportRun(b, last)
 		})
 	}
 }

@@ -22,19 +22,21 @@ import (
 
 func main() {
 	var (
-		expName = flag.String("exp", "fig3", "experiment: fig3|fig4|fig9|fig10|fig11|fig12|table2|table3|table7|fig14|fig15|ablation|energy|multiworkload|joint|all")
-		full    = flag.Bool("full", false, "use the paper-scale budgets (2500 iterations, 10000 mapping trials)")
-		budget  = flag.Int("budget", 0, "override the static iteration budget")
-		seed    = flag.Int64("seed", 1, "random seed")
-		models  = flag.String("models", "", "comma-separated model filter (default: full 11-model suite)")
-		modelFn = flag.String("modelfile", "", "workload definition file (see workload.ParseModel) used instead of the built-in suite")
-		csvDir  = flag.String("csvdir", "", "directory for per-run CSV acquisition traces (created if missing)")
-		explore = flag.Bool("explore", false, "run one explained Explainable-DSE exploration instead of an experiment")
-		mapOnly = flag.Bool("map", false, "map the selected models onto one fixed design and print per-layer breakdowns")
-		design  = flag.String("design", "", "-map design as comma-separated name=value pairs over the space parameters (defaults per parameter: mid-range)")
-		spec    = flag.String("spec", "", "design-space specification file for -explore (default: the Table 1 edge space)")
-		mode    = flag.String("mode", "fixdf", "-explore mapper mode: fixdf|codesign")
-		quiet   = flag.Bool("quiet", false, "-explore: suppress the per-attempt reasoning log")
+		expName  = flag.String("exp", "fig3", "experiment: fig3|fig4|fig9|fig10|fig11|fig12|table2|table3|table7|fig14|fig15|ablation|energy|multiworkload|joint|all")
+		full     = flag.Bool("full", false, "use the paper-scale budgets (2500 iterations, 10000 mapping trials)")
+		budget   = flag.Int("budget", 0, "override the static iteration budget")
+		seed     = flag.Int64("seed", 1, "random seed")
+		models   = flag.String("models", "", "comma-separated model filter (default: full 11-model suite)")
+		modelFn  = flag.String("modelfile", "", "workload definition file (see workload.ParseModel) used instead of the built-in suite")
+		csvDir   = flag.String("csvdir", "", "directory for per-run CSV acquisition traces (created if missing)")
+		explore  = flag.Bool("explore", false, "run one explained Explainable-DSE exploration instead of an experiment")
+		mapOnly  = flag.Bool("map", false, "map the selected models onto one fixed design and print per-layer breakdowns")
+		design   = flag.String("design", "", "-map design as comma-separated name=value pairs over the space parameters (defaults per parameter: mid-range)")
+		spec     = flag.String("spec", "", "design-space specification file for -explore (default: the Table 1 edge space)")
+		mode     = flag.String("mode", "fixdf", "-explore mapper mode: fixdf|codesign")
+		quiet    = flag.Bool("quiet", false, "-explore: suppress the per-attempt reasoning log")
+		workers  = flag.Int("workers", 0, "batch-evaluation worker pool size per run (0 = evaluator default, 1 = serial; results are identical for any value)")
+		parallel = flag.Int("parallel", 1, "concurrent optimizer runs per campaign (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -47,6 +49,8 @@ func main() {
 		cfg.CodesignBudget = *budget
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
+	cfg.Parallel = *parallel
 	if *modelFn != "" {
 		data, err := os.ReadFile(*modelFn)
 		if err != nil {
@@ -107,6 +111,7 @@ func main() {
 			exp.ReportFig10(cfg, c)
 			exp.ReportFig12(cfg, c)
 			exp.ReportTable3(cfg, c)
+			exp.ReportEvalStats(cfg, c)
 			s := exp.Summarize(cfg, c, "ExplainableDSE-Codesign")
 			fmt.Printf("\nHeadline vs all non-explainable techniques: %.1fx lower latency (vs best other), %.1fx fewer iterations, %.1fx less time\n",
 				s.LatencyRatioVsBest, s.IterRatio, s.TimeRatio)
@@ -183,6 +188,7 @@ func runExplore(cfg exp.Config, specPath, mode string, quiet bool) error {
 		Mode:        mapper,
 		MapTrials:   cfg.MapTrials,
 		Seed:        cfg.Seed,
+		Workers:     cfg.Workers,
 	})
 	ex := dse.New(accelmodel.New(space, cons))
 	if !quiet {

@@ -131,48 +131,55 @@ type evaluated struct {
 }
 
 // Run implements search.Optimizer. With Restarts > 1 it explores from
-// several initial points, splitting the budget, and returns the merged
-// trace.
+// several initial points into one shared trace: all restarts draw on a
+// single budget accounting, so the merged trace can never exceed p.Budget
+// and a point re-visited across restarts is charged only once (it is
+// memoized; no new design evaluation happens). Each restart is granted an
+// even share of the budget; whatever earlier restarts leave unused (they
+// typically converge early) flows to the final one.
 func (e *Explorer) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
-	o := e.opts()
-	restarts := o.Restarts
-	if restarts <= 1 {
-		return e.runFrom(p, p.Start(), rng)
-	}
-	merged := &search.Trace{Name: e.Name()}
-	start := time.Now()
-	share := p.Budget / restarts
-	if share < 2 {
-		share = 2
-	}
-	for i := 0; i < restarts; i++ {
-		sub := *p
-		sub.Budget = share
-		if i == 0 {
-			sub.Initial = p.Start()
-		} else {
-			sub.Initial = p.Space.Random(rng)
-		}
-		tr := e.runFrom(&sub, sub.Initial, rng)
-		for _, s := range tr.Steps {
-			merged.Record(p, s.Point, s.Costs)
-		}
-	}
-	merged.Elapsed = time.Since(start)
-	return merged
-}
-
-// runFrom is one exploration from a given initial point.
-func (e *Explorer) runFrom(p *search.Problem, initial arch.Point, rng *rand.Rand) *search.Trace {
 	o := e.opts()
 	t := &search.Trace{Name: e.Name()}
 	start := time.Now()
 	defer func() { t.Elapsed = time.Since(start) }()
 
+	restarts := o.Restarts
+	if restarts <= 1 {
+		e.runFrom(p, t, p.Start(), rng, p.Budget)
+		return t
+	}
+	share := p.Budget / restarts
+	if share < 2 {
+		share = 2
+	}
+	for i := 0; i < restarts && t.Evaluations < p.Budget; i++ {
+		initial := p.Start()
+		if i > 0 {
+			initial = p.Space.Random(rng)
+		}
+		stopAt := t.Evaluations + share
+		if i == restarts-1 || stopAt > p.Budget {
+			stopAt = p.Budget
+		}
+		e.runFrom(p, t, initial, rng, stopAt)
+	}
+	return t
+}
+
+// runFrom is one exploration from a given initial point, recorded into the
+// shared trace t. stopAt is this restart's cumulative unique-evaluation
+// ceiling (<= p.Budget): the restart yields once the trace reaches it.
+func (e *Explorer) runFrom(p *search.Problem, t *search.Trace, initial arch.Point, rng *rand.Rand, stopAt int) {
+	o := e.opts()
+
+	// left gates continuation on both the global budget (Record's own
+	// check) and this restart's share.
+	left := func(recordOK bool) bool { return recordOK && t.Evaluations < stopAt }
+
 	cur := initial.Clone()
 	curCosts := p.Evaluate(cur)
-	if !t.Record(p, cur, curCosts) {
-		return t
+	if !left(t.Record(p, cur, curCosts)) {
+		return
 	}
 	e.logf(o, "initial solution: obj=%.4g feasible=%v budget=%.2f\n",
 		curCosts.Objective, curCosts.Feasible, curCosts.BudgetUtil)
@@ -196,17 +203,31 @@ func (e *Explorer) runFrom(p *search.Problem, initial arch.Point, rng *rand.Rand
 			cands = e.neighborCandidates(p, cur, rng)
 			if len(cands) == 0 {
 				e.logf(o, "no candidates remain; converged after %d attempts\n", attempt)
-				return t
+				return
 			}
 			e.logf(o, "no bottleneck-guided candidates; sampling %d neighbors\n", len(cands))
 		}
 
+		// The candidate set of one attempt is embarrassingly parallel
+		// (§4.5: one candidate per aggregated prediction) — evaluate it
+		// as a batch on the problem's worker pool, then record in
+		// deterministic candidate order. The batch is clamped to the
+		// remaining budget so the evaluator never computes designs the
+		// trace could not accept.
+		if rem := stopAt - t.Evaluations; len(cands) > rem {
+			cands = cands[:rem]
+		}
+		pts := make([]arch.Point, len(cands))
+		for i := range cands {
+			pts[i] = cands[i].pt
+		}
+		costs := p.EvaluateBatch(pts)
+
 		var evs []evaluated
 		budgetLeft := true
 		for i := range cands {
-			c := p.Evaluate(cands[i].pt)
-			evs = append(evs, evaluated{cands[i].pt, c, cands[i].pred})
-			if !t.Record(p, cands[i].pt, c) {
+			evs = append(evs, evaluated{cands[i].pt, costs[i], cands[i].pred})
+			if !left(t.Record(p, cands[i].pt, costs[i])) {
 				budgetLeft = false
 				break
 			}
@@ -237,7 +258,7 @@ func (e *Explorer) runFrom(p *search.Problem, initial arch.Point, rng *rand.Rand
 			}
 		}
 		if !budgetLeft {
-			return t
+			return
 		}
 		// Convergence: patience applies once a feasible solution exists;
 		// while still infeasible the engine keeps pushing toward the
@@ -248,7 +269,7 @@ func (e *Explorer) runFrom(p *search.Problem, initial arch.Point, rng *rand.Rand
 		}
 		if stale >= patience {
 			e.logf(o, "converged: %d attempts without improvement\n", stale)
-			return t
+			return
 		}
 	}
 }

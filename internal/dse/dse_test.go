@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"xdse/internal/arch"
@@ -109,12 +110,15 @@ func (m *toyModel) MitigateConstraints(raw any) ([]search.Prediction, string) {
 }
 
 func newToyProblem(m *toyModel, budget int) *search.Problem {
+	var mu sync.Mutex
 	cache := map[string]search.Costs{}
 	return &search.Problem{
 		Space:  m.space,
 		Budget: budget,
 		Evaluate: func(pt arch.Point) search.Costs {
 			key := pt.Key()
+			mu.Lock()
+			defer mu.Unlock()
 			if c, ok := cache[key]; ok {
 				return c
 			}

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"xdse/internal/arch"
 	"xdse/internal/energy"
@@ -85,8 +86,9 @@ type Config struct {
 	// auto-adjusted top-N space for dMazeRunner).
 	MapTrials int
 	Seed      int64
-	// Workers bounds mapping-search parallelism (0 = NumCPU, max 4 as in
-	// the paper's evaluation setup).
+	// Workers bounds mapping-search parallelism and sizes the batch
+	// evaluation pool of Problem (0 = NumCPU, max 4 as in the paper's
+	// evaluation setup).
 	Workers int
 }
 
@@ -160,14 +162,47 @@ type Result struct {
 }
 
 // Evaluator evaluates design points with memoization and counts unique
-// design evaluations (the DSE iteration currency of the paper).
+// design evaluations (the DSE iteration currency of the paper). It is safe
+// for concurrent use: the memo cache is lock-protected and concurrent
+// misses on the same point are deduplicated singleflight-style, so a batch
+// of workers racing to the same key computes it exactly once.
 type Evaluator struct {
 	cfg    Config
 	emodel energy.Model
 
-	mu    sync.Mutex
-	cache map[string]*Result
-	evals int
+	mu      sync.Mutex
+	cache   map[string]*Result
+	flights map[string]*flight
+	evals   int
+	hits    int
+	dedups  int
+	trials  int64
+	wall    time.Duration
+}
+
+// flight is one in-progress evaluation other goroutines can wait on.
+type flight struct {
+	done chan struct{}
+	r    *Result
+}
+
+// Stats is a snapshot of the evaluator's instrumentation counters.
+type Stats struct {
+	// Evaluations is the number of unique design points evaluated.
+	Evaluations int
+	// CacheHits counts Evaluate calls answered from the memo cache.
+	CacheHits int
+	// InflightDedups counts Evaluate calls that joined an in-flight
+	// evaluation of the same point instead of racing to duplicate it.
+	InflightDedups int
+	// MapTrials is the total number of mapping-search candidates
+	// examined across all unique design evaluations.
+	MapTrials int64
+	// EvalWall is the cumulative wall time spent inside unique design
+	// evaluations. Concurrent evaluations each contribute their own
+	// elapsed time, so this can exceed the run's elapsed wall clock —
+	// the ratio EvalWall/Elapsed is the effective evaluation parallelism.
+	EvalWall time.Duration
 }
 
 // New returns an Evaluator over the given configuration.
@@ -181,7 +216,11 @@ func New(cfg Config) *Evaluator {
 			cfg.Workers = 4
 		}
 	}
-	return &Evaluator{cfg: cfg, cache: make(map[string]*Result)}
+	return &Evaluator{
+		cfg:     cfg,
+		cache:   make(map[string]*Result),
+		flights: make(map[string]*flight),
+	}
 }
 
 // Config returns the evaluator configuration.
@@ -194,33 +233,62 @@ func (e *Evaluator) Evaluations() int {
 	return e.evals
 }
 
-// ResetCount zeroes the evaluation counter (the cache is retained).
+// Stats snapshots the instrumentation counters.
+func (e *Evaluator) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Evaluations:    e.evals,
+		CacheHits:      e.hits,
+		InflightDedups: e.dedups,
+		MapTrials:      e.trials,
+		EvalWall:       e.wall,
+	}
+}
+
+// ResetCount zeroes the instrumentation counters (the cache is retained).
 func (e *Evaluator) ResetCount() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.evals = 0
+	e.evals, e.hits, e.dedups, e.trials, e.wall = 0, 0, 0, 0, 0
 }
 
-// Evaluate returns the (memoized) evaluation of a design point.
+// Evaluate returns the (memoized) evaluation of a design point. Concurrent
+// calls are safe; concurrent misses on the same point compute it once and
+// share the result, so parallel batches never discard duplicate work.
 func (e *Evaluator) Evaluate(pt arch.Point) *Result {
 	key := pt.Key()
 	e.mu.Lock()
 	if r, ok := e.cache[key]; ok {
+		e.hits++
 		e.mu.Unlock()
 		return r
 	}
+	if f, ok := e.flights[key]; ok {
+		e.dedups++
+		e.mu.Unlock()
+		<-f.done
+		return f.r
+	}
+	f := &flight{done: make(chan struct{})}
+	e.flights[key] = f
 	e.mu.Unlock()
 
+	start := time.Now()
 	r := e.evaluate(pt)
 
 	e.mu.Lock()
-	if prev, ok := e.cache[key]; ok {
-		e.mu.Unlock()
-		return prev
-	}
 	e.cache[key] = r
 	e.evals++
+	e.trials += int64(r.MapEvaluations)
+	e.wall += time.Since(start)
+	delete(e.flights, key)
 	e.mu.Unlock()
+
+	// Publish before waking waiters: the channel close orders f.r's write
+	// before every waiter's read.
+	f.r = r
+	close(f.done)
 	return r
 }
 
@@ -295,8 +363,17 @@ func (e *Evaluator) evaluateModel(d arch.Design, est energy.Estimate, mdl *workl
 	if me.Incompatible {
 		me.Cycles = math.Inf(1)
 	}
-	me.IncompatSeverity /= float64(len(me.Layers))
-	me.LatencyMs = me.Cycles / (float64(d.FreqMHz) * 1e3)
+	if n := len(me.Layers); n > 0 {
+		me.IncompatSeverity /= float64(n)
+	}
+	if d.FreqMHz > 0 {
+		me.LatencyMs = me.Cycles / (float64(d.FreqMHz) * 1e3)
+	} else {
+		// A clockless design can never meet a throughput ceiling;
+		// report infinite latency rather than letting 0/0 turn the
+		// bottleneck trees into NaN.
+		me.LatencyMs = math.Inf(1)
+	}
 	me.MeetsThroughput = me.LatencyMs <= mdl.MaxLatencyMs
 	return me
 }
@@ -363,11 +440,34 @@ func layerEnergyMJ(est energy.Estimate, le LayerEval) float64 {
 	return pj * float64(mult) * 1e-9 // pJ -> mJ
 }
 
+// maxConstraintUtil is the finite ceiling constraintUtil clamps to: large
+// enough to dominate any real utilization, small enough that budget
+// comparisons between two broken designs still order by everything else.
+const maxConstraintUtil = 1e6
+
+// constraintUtil returns value/limit with the division guarded: a
+// non-positive limit with non-zero usage, or a non-finite ratio, reads as a
+// hard violation with a large finite utilization instead of a NaN/Inf that
+// would poison every downstream budget comparison and bottleneck tree.
+func constraintUtil(value, limit float64) float64 {
+	if limit > 0 {
+		u := value / limit
+		if !math.IsNaN(u) && !math.IsInf(u, 0) {
+			return u
+		}
+		return maxConstraintUtil
+	}
+	if value <= 0 {
+		return 0 // vacuously satisfied: nothing used, nothing allowed
+	}
+	return maxConstraintUtil
+}
+
 func (e *Evaluator) checkConstraints(r *Result) {
 	c := e.cfg.Constraints
 	utils := []float64{
-		r.AreaMM2 / c.MaxAreaMM2,
-		r.PowerW / c.MaxPowerW,
+		constraintUtil(r.AreaMM2, c.MaxAreaMM2),
+		constraintUtil(r.PowerW, c.MaxPowerW),
 	}
 	r.MeetsAreaPower = utils[0] <= 1 && utils[1] <= 1
 	if utils[0] > 1 {
@@ -378,7 +478,7 @@ func (e *Evaluator) checkConstraints(r *Result) {
 	}
 	throughputOK := true
 	for _, me := range r.Models {
-		u := me.LatencyMs / me.Model.MaxLatencyMs
+		u := constraintUtil(me.LatencyMs, me.Model.MaxLatencyMs)
 		if me.Incompatible {
 			// Incompatible designs burn the whole budget. The
 			// penalty (a) dominates any realistic latency

@@ -8,11 +8,15 @@ import (
 // Problem adapts the evaluator into the domain-independent search contract
 // consumed by every DSE technique. The evaluation budget counts unique
 // design points (memoized re-visits are free, matching how the paper counts
-// DSE iterations).
+// DSE iterations). The problem's batch-evaluation pool is sized from the
+// evaluator's Workers setting — the Evaluator is concurrency-safe, so
+// candidate batches fan out across the pool and deduplicate in flight.
 func (e *Evaluator) Problem(budget int) *search.Problem {
 	return &search.Problem{
-		Space:  e.cfg.Space,
-		Budget: budget,
+		Space:   e.cfg.Space,
+		Budget:  budget,
+		Workers: e.cfg.Workers,
+		Stats:   &search.BatchStats{},
 		Evaluate: func(pt arch.Point) search.Costs {
 			r := e.Evaluate(pt)
 			return search.Costs{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"xdse/internal/workload"
 )
@@ -123,6 +124,46 @@ func ReportTable3(cfg Config, c *Campaign) {
 	tb.write(w)
 }
 
+// ReportEvalStats renders the evaluation-layer instrumentation of a
+// campaign, aggregated per technique across models: unique design
+// evaluations, memoized cache hits, in-flight deduplications under the
+// batch pool, mapping-search trials, evaluation wall time, batch-layer
+// activity, and budget-free repeat acquisitions.
+func ReportEvalStats(cfg Config, c *Campaign) {
+	w := cfg.out()
+	fmt.Fprintf(w, "\n== Evaluation-layer stats (summed over models) ==\n")
+	tb := newTable("Technique", "Evals", "CacheHits", "InflightDedup",
+		"MapTrials", "EvalWall", "Batches", "BatchPts", "Repeats")
+	for _, tech := range techniqueOrder(c) {
+		var evals, hits, dedups, repeats int
+		var trials, batches, pts int64
+		var wall time.Duration
+		for _, r := range c.Runs {
+			if r.Technique != tech {
+				continue
+			}
+			evals += r.Stats.Evaluations
+			hits += r.Stats.CacheHits
+			dedups += r.Stats.InflightDedups
+			trials += r.Stats.MapTrials
+			wall += r.Stats.EvalWall
+			batches += r.Batch.Batches
+			pts += r.Batch.Points
+			repeats += r.Trace.RepeatSteps
+		}
+		tb.add(tech,
+			fmt.Sprintf("%d", evals),
+			fmt.Sprintf("%d", hits),
+			fmt.Sprintf("%d", dedups),
+			fmt.Sprintf("%d", trials),
+			fmt.Sprintf("%.2fs", wall.Seconds()),
+			fmt.Sprintf("%d", batches),
+			fmt.Sprintf("%d", pts),
+			fmt.Sprintf("%d", repeats))
+	}
+	tb.write(w)
+}
+
 // Summary aggregates campaign-level headline numbers (the paper's abstract
 // claims: latency ratio and iteration ratio of Explainable-DSE codesign
 // over the black-box techniques).
@@ -130,8 +171,13 @@ type Summary struct {
 	// LatencyRatioVsBest is geomean(best black-box latency /
 	// Explainable-DSE latency) over models where both found solutions.
 	LatencyRatioVsBest float64
-	// IterRatio is geomean(black-box evaluations / Explainable-DSE
-	// evaluations).
+	// IterRatio is the geomean iterations-to-comparable-quality ratio:
+	// per baseline, the run delivering the worse best is charged its
+	// whole budget while the better run is charged only the unique
+	// evaluations it spent to first match that quality
+	// (Trace.EvalsToReach). Budget accounting charges unique designs
+	// only, so every completed run spends the same total budget and
+	// convergence speed must be read from the traces, not totals.
 	IterRatio float64
 	// TimeRatio is geomean(black-box time / Explainable-DSE time).
 	TimeRatio float64
@@ -151,34 +197,58 @@ func Summarize(cfg Config, c *Campaign, explainableName string) Summary {
 // like-for-like comparison behind the paper's 103x search-time claim.
 func SummarizeVs(cfg Config, c *Campaign, explainableName string, isBaseline func(string) bool) Summary {
 	var latLog, iterLog, timeLog float64
-	var latN, iterN int
+	var latN, iterN, timeN int
 	for _, m := range modelNames(cfg.Models) {
 		ex := c.Get(explainableName, m)
 		if ex == nil || ex.Trace.Best == nil {
 			continue
 		}
 		bestOther := math.Inf(1)
-		var otherIters, nOthers int
-		var otherTime float64
+		var nOthers int
+		var otherTime, pairLog float64
+		var pairN int
 		for _, r := range c.Runs {
 			if r.Model != m || !isBaseline(r.Technique) {
 				continue
 			}
 			nOthers++
-			if r.Trace.Best != nil && r.Trace.BestObjective() < bestOther {
+			otherTime += r.Elapsed.Seconds()
+			if r.Trace.Best == nil {
+				continue
+			}
+			if r.Trace.BestObjective() < bestOther {
 				bestOther = r.Trace.BestObjective()
 			}
-			otherIters += r.Evaluations
-			otherTime += r.Elapsed.Seconds()
+			// Iterations-to-comparable-quality (the paper's §5
+			// currency): the run that delivered the worse best is
+			// charged its whole budget — that is what producing its
+			// answer cost — while the better run is charged only the
+			// unique evaluations it spent to first match that
+			// quality.
+			var rIters, exIters int
+			if ex.Trace.BestObjective() <= r.Trace.BestObjective() {
+				rIters = r.Evaluations
+				exIters = ex.Trace.EvalsToReach(r.Trace.BestObjective())
+			} else {
+				rIters = r.Trace.EvalsToReach(ex.Trace.BestObjective())
+				exIters = ex.Evaluations
+			}
+			if exIters > 0 && rIters > 0 {
+				pairLog += math.Log(float64(rIters) / float64(exIters))
+				pairN++
+			}
 		}
 		if !math.IsInf(bestOther, 1) {
 			latLog += math.Log(bestOther / ex.Trace.BestObjective())
 			latN++
 		}
-		if nOthers > 0 && ex.Evaluations > 0 {
-			iterLog += math.Log(float64(otherIters) / float64(nOthers) / float64(ex.Evaluations))
-			timeLog += math.Log(otherTime / float64(nOthers) / math.Max(ex.Elapsed.Seconds(), 1e-9))
+		if pairN > 0 {
+			iterLog += pairLog / float64(pairN)
 			iterN++
+		}
+		if nOthers > 0 {
+			timeLog += math.Log(otherTime / float64(nOthers) / math.Max(ex.Elapsed.Seconds(), 1e-9))
+			timeN++
 		}
 	}
 	s := Summary{LatencyRatioVsBest: 1, IterRatio: 1, TimeRatio: 1}
@@ -187,7 +257,9 @@ func SummarizeVs(cfg Config, c *Campaign, explainableName string, isBaseline fun
 	}
 	if iterN > 0 {
 		s.IterRatio = math.Exp(iterLog / float64(iterN))
-		s.TimeRatio = math.Exp(timeLog / float64(iterN))
+	}
+	if timeN > 0 {
+		s.TimeRatio = math.Exp(timeLog / float64(timeN))
 	}
 	return s
 }

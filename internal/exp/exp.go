@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"xdse/internal/accelmodel"
@@ -39,6 +40,16 @@ type Config struct {
 	MapTrials int
 	// Seed makes runs reproducible.
 	Seed int64
+	// Workers sizes each evaluator's batch-evaluation worker pool (0 =
+	// the evaluator default; 1 = serial). Results are bit-identical for
+	// any value: candidate batches are recorded in deterministic order
+	// and all optimizer randomness stays on the run's own goroutine.
+	Workers int
+	// Parallel bounds how many (technique, model) runs of a campaign
+	// execute concurrently (0 or 1 = serial). Runs share nothing — each
+	// owns its evaluator and RNG — so campaign results are identical for
+	// any value, and are always assembled in roster order.
+	Parallel int
 	// Models is the workload suite (defaults to the 11-model suite).
 	Models []*workload.Model
 	// Out receives the reports (defaults to os.Stdout).
@@ -150,6 +161,11 @@ type Run struct {
 	Evaluations int
 	// Elapsed is the exploration wall-clock time.
 	Elapsed time.Duration
+	// Stats are the evaluator's counters for this run (cache hits,
+	// in-flight dedups, mapping-search trials, evaluation wall time).
+	Stats eval.Stats
+	// Batch reports the run's batch-evaluation layer activity.
+	Batch search.BatchReport
 }
 
 // RunOne performs one exploration of a model with a technique. A budget of
@@ -167,10 +183,12 @@ func RunOne(cfg Config, tech Technique, model *workload.Model, budget int) Run {
 		Mode:        tech.Mode,
 		MapTrials:   cfg.MapTrials,
 		Seed:        cfg.Seed,
+		Workers:     cfg.Workers,
 	})
 	o := tech.Make(space, cons)
+	prob := ev.Problem(budget)
 	start := time.Now()
-	tr := o.Run(ev.Problem(budget), rand.New(rand.NewSource(cfg.Seed)))
+	tr := o.Run(prob, rand.New(rand.NewSource(cfg.Seed)))
 	if cfg.CSVDir != "" {
 		writeTraceCSV(cfg.CSVDir, tech.Name, model.Name, tr)
 	}
@@ -181,6 +199,8 @@ func RunOne(cfg Config, tech Technique, model *workload.Model, budget int) Run {
 		Trace:       tr,
 		Evaluations: ev.Evaluations(),
 		Elapsed:     time.Since(start),
+		Stats:       ev.Stats(),
+		Batch:       prob.Stats.Report(),
 	}
 }
 
@@ -209,19 +229,46 @@ func (c *Campaign) Get(tech, model string) *Run {
 }
 
 // RunCampaign explores every model with every technique. Budget <= 0 uses
-// the per-technique static budget from cfg.
+// the per-technique static budget from cfg. When cfg.Parallel > 1, up to
+// that many runs execute concurrently; every run is self-contained (own
+// evaluator, own RNG), and results land in a positionally-indexed slice, so
+// the campaign is identical to a serial one in both content and order.
 func RunCampaign(cfg Config, techs []Technique, models []*workload.Model, budget int) *Campaign {
-	c := &Campaign{}
+	type job struct {
+		tech   Technique
+		model  *workload.Model
+		budget int
+	}
+	var jobs []job
 	for _, tech := range techs {
 		for _, m := range models {
 			b := budget
 			if b <= 0 {
 				b = cfg.budgetFor(tech)
 			}
-			c.Runs = append(c.Runs, RunOne(cfg, tech, m, b))
+			jobs = append(jobs, job{tech, m, b})
 		}
 	}
-	return c
+	runs := make([]Run, len(jobs))
+	if cfg.Parallel <= 1 {
+		for i, j := range jobs {
+			runs[i] = RunOne(cfg, j.tech, j.model, j.budget)
+		}
+		return &Campaign{Runs: runs}
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallel)
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			runs[i] = RunOne(cfg, j.tech, j.model, j.budget)
+		}(i, j)
+	}
+	wg.Wait()
+	return &Campaign{Runs: runs}
 }
 
 // writeTraceCSV dumps one run's acquisition trace; export failures are

@@ -98,6 +98,64 @@ func TestRunOneAndCampaign(t *testing.T) {
 	}
 }
 
+// TestParallelCampaignMatchesSerial pins the campaign-level determinism
+// contract: raising Workers (per-run batch pool) and Parallel (concurrent
+// runs) must leave every run's trace bit-identical to the serial campaign
+// and keep the roster order.
+func TestParallelCampaignMatchesSerial(t *testing.T) {
+	var bufA, bufB bytes.Buffer
+	techs := []Technique{FixDFTechniques()[1], FixDFTechniques()[7]} // random + explainable
+
+	serialCfg := tinyConfig(&bufA)
+	serialCfg.Budget = 20
+	serialCfg.Workers = 1
+	serial := RunCampaign(serialCfg, techs, serialCfg.Models, 0)
+
+	parCfg := tinyConfig(&bufB)
+	parCfg.Budget = 20
+	parCfg.Workers = 4
+	parCfg.Parallel = 2
+	par := RunCampaign(parCfg, techs, parCfg.Models, 0)
+
+	if len(serial.Runs) != len(par.Runs) {
+		t.Fatalf("campaign sizes differ: %d vs %d", len(serial.Runs), len(par.Runs))
+	}
+	for i := range serial.Runs {
+		a, b := serial.Runs[i], par.Runs[i]
+		if a.Technique != b.Technique || a.Model != b.Model {
+			t.Fatalf("run %d order differs: %s/%s vs %s/%s",
+				i, a.Technique, a.Model, b.Technique, b.Model)
+		}
+		if a.Trace.Evaluations != b.Trace.Evaluations || a.Trace.RepeatSteps != b.Trace.RepeatSteps {
+			t.Fatalf("%s: accounting differs: %d/%d evaluations, %d/%d repeats", a.Technique,
+				a.Trace.Evaluations, b.Trace.Evaluations, a.Trace.RepeatSteps, b.Trace.RepeatSteps)
+		}
+		if len(a.Trace.Steps) != len(b.Trace.Steps) {
+			t.Fatalf("%s: %d vs %d steps", a.Technique, len(a.Trace.Steps), len(b.Trace.Steps))
+		}
+		for s := range a.Trace.Steps {
+			sa, sb := a.Trace.Steps[s], b.Trace.Steps[s]
+			if sa.Point.Key() != sb.Point.Key() || sa.Costs.Objective != sb.Costs.Objective {
+				t.Fatalf("%s: step %d diverged: %v vs %v", a.Technique, s, sa.Point, sb.Point)
+			}
+		}
+		if b.Batch.Points == 0 || b.Batch.Batches == 0 {
+			t.Fatalf("%s: batch layer unused: %+v", b.Technique, b.Batch)
+		}
+		if b.Stats.Evaluations == 0 {
+			t.Fatalf("%s: evaluator stats missing: %+v", b.Technique, b.Stats)
+		}
+	}
+
+	ReportEvalStats(parCfg, par)
+	out := bufB.String()
+	for _, want := range []string{"Evaluation-layer stats", "CacheHits", "InflightDedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("eval-stats report missing %q", want)
+		}
+	}
+}
+
 func TestFig4(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tinyConfig(&buf)

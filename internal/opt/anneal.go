@@ -19,6 +19,13 @@ type Anneal struct {
 	// Alpha is the per-step cooling factor (default tuned to reach ~1e-3
 	// of T0 by budget exhaustion).
 	Alpha float64
+	// Batch is the number of neighbor proposals drawn from the current
+	// state per round and evaluated through the problem's worker pool.
+	// The default 1 is classic sequential annealing; larger batches draw
+	// all proposals from the frozen round-start state and then apply the
+	// acceptance rule to them sequentially in proposal order, so the
+	// trace depends only on Batch and the seed, never on Workers.
+	Batch int
 }
 
 // Name implements search.Optimizer.
@@ -50,15 +57,26 @@ func (a Anneal) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
 		temp = t0 * infeasiblePenalty
 	}
 
+	batch := a.Batch
+	if batch < 1 {
+		batch = 1
+	}
 	for {
-		next := neighbor(p.Space, cur, rng)
-		nextCosts := p.Evaluate(next)
-		record := t.Record(p, next, nextCosts)
-		nextScore := score(nextCosts)
-		if nextScore <= curScore || rng.Float64() < math.Exp(-(nextScore-curScore)/math.Max(temp, 1e-12)) {
-			cur, curScore = next, nextScore
+		// Propose a round of neighbors on this goroutine (the RNG stream
+		// stays here), evaluate them in parallel, then run the acceptance
+		// rule over the results in proposal order.
+		pts := make([]arch.Point, clampBatch(t, p, batch))
+		for i := range pts {
+			pts[i] = neighbor(p.Space, cur, rng)
 		}
-		temp *= alpha
+		costs, record := evalRecord(t, p, pts)
+		for i, c := range costs {
+			nextScore := score(c)
+			if nextScore <= curScore || rng.Float64() < math.Exp(-(nextScore-curScore)/math.Max(temp, 1e-12)) {
+				cur, curScore = pts[i], nextScore
+			}
+			temp *= alpha
+		}
 		if !record {
 			return t
 		}

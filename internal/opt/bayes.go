@@ -56,18 +56,25 @@ func (b Bayes) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
 
 	var xs [][]float64
 	var ys []float64
-	observe := func(pt arch.Point) bool {
-		c := p.Evaluate(pt)
-		ok := t.Record(p, pt, c)
-		xs = append(xs, normalize(p, pt))
-		ys = append(ys, math.Log10(score(c)+1))
+	observe := func(pts []arch.Point) bool {
+		costs, ok := evalRecord(t, p, pts)
+		for i, c := range costs {
+			xs = append(xs, normalize(p, pts[i]))
+			ys = append(ys, math.Log10(score(c)+1))
+		}
 		return ok
 	}
 
-	for i := 0; i < warmup; i++ {
-		if !observe(p.Space.Random(rng)) {
-			return t
-		}
+	// The warmup population is independent of the model, so it is sampled
+	// up front and evaluated through the worker pool in one batch. The
+	// acquisition loop below is inherently sequential (each pick needs the
+	// refitted GP) and evaluates one point at a time.
+	warm := make([]arch.Point, clampBatch(t, p, warmup))
+	for i := range warm {
+		warm[i] = p.Space.Random(rng)
+	}
+	if !observe(warm) {
+		return t
 	}
 
 	for {
@@ -94,7 +101,7 @@ func (b Bayes) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
 				bestEI, bestPt = ei, pt
 			}
 		}
-		if !observe(bestPt) {
+		if !observe([]arch.Point{bestPt}) {
 			return t
 		}
 	}

@@ -50,19 +50,24 @@ func (g Genetic) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
 		pt    arch.Point
 		score float64
 	}
-	evalIndiv := func(pt arch.Point) (indiv, bool) {
-		c := p.Evaluate(pt)
-		ok := t.Record(p, pt, c)
-		return indiv{pt, score(c)}, ok
+	evalBatch := func(pts []arch.Point) ([]indiv, bool) {
+		costs, ok := evalRecord(t, p, pts)
+		inds := make([]indiv, len(pts))
+		for i, c := range costs {
+			inds[i] = indiv{pts[i], score(c)}
+		}
+		return inds, ok
 	}
 
-	cur := make([]indiv, 0, pop)
-	for i := 0; i < pop; i++ {
-		ind, ok := evalIndiv(p.Space.Random(rng))
-		cur = append(cur, ind)
-		if !ok {
-			return t
-		}
+	// The initial population is sampled up front on this goroutine (the
+	// RNG stream never leaves it) and evaluated through the worker pool.
+	pts := make([]arch.Point, clampBatch(t, p, pop))
+	for i := range pts {
+		pts[i] = p.Space.Random(rng)
+	}
+	cur, ok := evalBatch(pts)
+	if !ok {
+		return t
 	}
 
 	tournament := func() indiv {
@@ -78,20 +83,28 @@ func (g Genetic) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
 		next := make([]indiv, 0, pop)
 		next = append(next, cur[:min(elite, len(cur))]...)
 		for len(next) < pop {
-			a, b := tournament(), tournament()
-			child := make(arch.Point, len(a.pt))
-			for i := range child {
-				if rng.Intn(2) == 0 {
-					child[i] = a.pt[i]
-				} else {
-					child[i] = b.pt[i]
+			// Breed a whole batch of children from the frozen parent
+			// generation (selection only reads cur, so breeding order
+			// fully determines the RNG stream), then evaluate them in
+			// parallel and record in breeding order.
+			children := make([]arch.Point, clampBatch(t, p, pop-len(next)))
+			for j := range children {
+				a, b := tournament(), tournament()
+				child := make(arch.Point, len(a.pt))
+				for i := range child {
+					if rng.Intn(2) == 0 {
+						child[i] = a.pt[i]
+					} else {
+						child[i] = b.pt[i]
+					}
+					if rng.Float64() < mut {
+						child[i] = rng.Intn(len(p.Space.Params[i].Values))
+					}
 				}
-				if rng.Float64() < mut {
-					child[i] = rng.Intn(len(p.Space.Params[i].Values))
-				}
+				children[j] = child
 			}
-			ind, ok := evalIndiv(child)
-			next = append(next, ind)
+			inds, ok := evalBatch(children)
+			next = append(next, inds...)
 			if !ok {
 				return t
 			}

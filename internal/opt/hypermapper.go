@@ -50,23 +50,29 @@ func (h HyperMapper) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
 	var xs [][]float64
 	var objs []float64 // log-compressed penalized objective
 	var feas []float64 // 1 = feasible
-	observe := func(pt arch.Point) bool {
-		c := p.Evaluate(pt)
-		ok := t.Record(p, pt, c)
-		xs = append(xs, normalize(p, pt))
-		objs = append(objs, math.Log10(score(c)+1))
-		if c.Feasible {
-			feas = append(feas, 1)
-		} else {
-			feas = append(feas, 0)
+	observe := func(pts []arch.Point) bool {
+		costs, ok := evalRecord(t, p, pts)
+		for i, c := range costs {
+			xs = append(xs, normalize(p, pts[i]))
+			objs = append(objs, math.Log10(score(c)+1))
+			if c.Feasible {
+				feas = append(feas, 1)
+			} else {
+				feas = append(feas, 0)
+			}
 		}
 		return ok
 	}
 
-	for i := 0; i < warmup; i++ {
-		if !observe(p.Space.Random(rng)) {
-			return t
-		}
+	// The warmup population is model-independent: sample it up front and
+	// evaluate through the worker pool in one batch. The acquisition loop
+	// below refits the forests per pick, so it stays sequential.
+	warm := make([]arch.Point, clampBatch(t, p, warmup))
+	for i := range warm {
+		warm[i] = p.Space.Random(rng)
+	}
+	if !observe(warm) {
+		return t
 	}
 
 	cfg := surrogate.DefaultForestConfig()
@@ -96,7 +102,7 @@ func (h HyperMapper) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
 		if next == nil {
 			next = bestAnyPt
 		}
-		if !observe(next) {
+		if !observe([]arch.Point{next}) {
 			return t
 		}
 	}

@@ -60,14 +60,25 @@ func (Grid) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
 		total *= len(s)
 	}
 	order := rng.Perm(total)
-	for _, code := range order {
+	decode := func(code int) arch.Point {
 		pt := make(arch.Point, nParams)
-		c := code
 		for i := range subsets {
-			pt[i] = subsets[i][c%len(subsets[i])]
-			c /= len(subsets[i])
+			pt[i] = subsets[i][code%len(subsets[i])]
+			code /= len(subsets[i])
 		}
-		if !t.Record(p, pt, p.Evaluate(pt)) {
+		return pt
+	}
+	// Stream the shuffled lattice through the worker pool in chunks
+	// clamped to the remaining budget. Lattice points are unique, so the
+	// clamp is exact and the trace never overruns the budget.
+	for off := 0; off < len(order); {
+		n := min(clampBatch(t, p, chunkSize(p)), len(order)-off)
+		pts := make([]arch.Point, n)
+		for i := range pts {
+			pts[i] = decode(order[off+i])
+		}
+		off += n
+		if _, ok := evalRecord(t, p, pts); !ok {
 			break
 		}
 	}
@@ -85,9 +96,16 @@ func (Random) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
 	t := &search.Trace{Name: Random{}.Name()}
 	start := time.Now()
 	defer func() { t.Elapsed = time.Since(start) }()
+	// Sample chunks on this goroutine (one uninterrupted RNG stream) and
+	// fan each chunk out across the worker pool. The recorded trace is the
+	// same prefix of that stream regardless of chunk size or worker count:
+	// RecordBatch stops at the budget and drops the rest of the chunk.
 	for {
-		pt := p.Space.Random(rng)
-		if !t.Record(p, pt, p.Evaluate(pt)) {
+		pts := make([]arch.Point, clampBatch(t, p, chunkSize(p)))
+		for i := range pts {
+			pts[i] = p.Space.Random(rng)
+		}
+		if _, ok := evalRecord(t, p, pts); !ok {
 			return t
 		}
 	}

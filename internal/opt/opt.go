@@ -12,6 +12,7 @@ package opt
 import (
 	"math"
 
+	"xdse/internal/arch"
 	"xdse/internal/search"
 )
 
@@ -31,6 +32,43 @@ func score(c search.Costs) float64 {
 		b = 1e6
 	}
 	return infeasiblePenalty * (1 + b)
+}
+
+// evalRecord pushes a candidate batch through the problem's bounded worker
+// pool and records the results in deterministic candidate order. It returns
+// the costs (for optimizers that feed them back into their models) and
+// whether the budget allows further acquisitions. All randomness must have
+// happened on the caller's goroutine while generating pts.
+func evalRecord(t *search.Trace, p *search.Problem, pts []arch.Point) ([]search.Costs, bool) {
+	costs := p.EvaluateBatch(pts)
+	return costs, t.RecordBatch(p, pts, costs)
+}
+
+// chunkSize is the streaming batch granularity for optimizers whose
+// acquisitions are independent (grid/random search): a few points per
+// worker keeps the pool busy without outrunning the budget by much. The
+// trace is chunk-size independent — recording order and the budget cutoff
+// depend only on the generated point sequence.
+func chunkSize(p *search.Problem) int {
+	n := p.Workers
+	if n < 1 {
+		n = 1
+	}
+	return 4 * n
+}
+
+// clampBatch bounds a desired batch size by the remaining unique-evaluation
+// budget, so streaming optimizers never hand the evaluator designs the
+// trace could not accept. Callers invoke it only while budget remains, so
+// the result is at least 1.
+func clampBatch(t *search.Trace, p *search.Problem, n int) int {
+	if rem := p.Budget - t.Evaluations; n > rem {
+		n = rem
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // normalize maps a point to the unit hypercube for surrogate models.

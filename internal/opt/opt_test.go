@@ -3,6 +3,7 @@ package opt
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"xdse/internal/arch"
@@ -12,14 +13,18 @@ import (
 // synthProblem is a cheap separable minimization over the edge space: the
 // objective rewards moving every index toward its target, and feasibility
 // requires the first parameter to stay in the lower half (a constraint all
-// constrained optimizers must learn).
+// constrained optimizers must learn). Its memo is lock-protected so tests
+// may raise Workers above 1.
 func synthProblem(budget int) *search.Problem {
 	space := arch.EdgeSpace()
+	var mu sync.Mutex
 	cache := map[string]search.Costs{}
 	return &search.Problem{
 		Space:  space,
 		Budget: budget,
 		Evaluate: func(pt arch.Point) search.Costs {
+			mu.Lock()
+			defer mu.Unlock()
 			if c, ok := cache[pt.Key()]; ok {
 				return c
 			}
@@ -55,8 +60,9 @@ func checkOptimizer(t *testing.T, o search.Optimizer, budget int, wantBest float
 	if tr.Evaluations > budget {
 		t.Fatalf("%s: %d evaluations > budget %d", o.Name(), tr.Evaluations, budget)
 	}
-	if len(tr.Steps) != tr.Evaluations {
-		t.Fatalf("%s: steps %d != evaluations %d", o.Name(), len(tr.Steps), tr.Evaluations)
+	if len(tr.Steps) != tr.Evaluations+tr.RepeatSteps {
+		t.Fatalf("%s: steps %d != evaluations %d + repeats %d",
+			o.Name(), len(tr.Steps), tr.Evaluations, tr.RepeatSteps)
 	}
 	if tr.Best == nil {
 		t.Fatalf("%s: found no feasible point", o.Name())

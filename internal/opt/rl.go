@@ -22,6 +22,12 @@ type RL struct {
 	// Epsilon is the exploration floor mixed into the policy
 	// (default 0.05).
 	Epsilon float64
+	// Batch is the number of episodes sampled from the frozen policy per
+	// round and evaluated through the problem's worker pool. The default
+	// 1 is classic per-episode REINFORCE; larger batches apply the policy
+	// updates sequentially in sampling order after the round evaluates,
+	// so the trace depends only on Batch and the seed, never on Workers.
+	Batch int
 }
 
 // Name implements search.Optimizer.
@@ -77,34 +83,47 @@ func (r RL) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
 		return len(probs) - 1
 	}
 
+	batch := r.Batch
+	if batch < 1 {
+		batch = 1
+	}
 	baseline := 0.0
 	episodes := 0
 	for {
-		pt := make(arch.Point, len(logits))
-		probs := make([][]float64, len(logits))
-		for i := range logits {
-			probs[i] = softmax(logits[i])
-			pt[i] = sample(probs[i])
+		// Sample a round of episodes from the frozen policy on this
+		// goroutine, evaluate them in parallel, then apply the REINFORCE
+		// updates sequentially in sampling order.
+		n := clampBatch(t, p, batch)
+		pts := make([]arch.Point, n)
+		probs := make([][][]float64, n)
+		for k := range pts {
+			pt := make(arch.Point, len(logits))
+			pr := make([][]float64, len(logits))
+			for i := range logits {
+				pr[i] = softmax(logits[i])
+				pt[i] = sample(pr[i])
+			}
+			pts[k], probs[k] = pt, pr
 		}
-		c := p.Evaluate(pt)
-		record := t.Record(p, pt, c)
+		costs, record := evalRecord(t, p, pts)
+		for k, c := range costs {
+			reward := -math.Log10(score(c) + 1)
+			episodes++
+			if episodes == 1 {
+				baseline = reward
+			} else {
+				baseline = 0.9*baseline + 0.1*reward
+			}
+			adv := reward - baseline
 
-		reward := -math.Log10(score(c) + 1)
-		episodes++
-		if episodes == 1 {
-			baseline = reward
-		} else {
-			baseline = 0.9*baseline + 0.1*reward
-		}
-		adv := reward - baseline
-
-		for i := range logits {
-			for j := range logits[i] {
-				grad := -probs[i][j]
-				if j == pt[i] {
-					grad += 1
+			for i := range logits {
+				for j := range logits[i] {
+					grad := -probs[k][i][j]
+					if j == pts[k][i] {
+						grad += 1
+					}
+					logits[i][j] += lr * adv * grad
 				}
-				logits[i][j] += lr * adv * grad
 			}
 		}
 		if !record {

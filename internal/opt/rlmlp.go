@@ -22,6 +22,13 @@ type RLMLP struct {
 	LearningRate float64
 	// Epsilon is the exploration floor (default 0.05).
 	Epsilon float64
+	// Batch is the number of episodes rolled out from the frozen policy
+	// network per round and evaluated through the problem's worker pool.
+	// The default 1 is classic per-episode REINFORCE; larger batches
+	// apply the gradient updates sequentially in rollout order after the
+	// round evaluates, so the trace depends only on Batch and the seed,
+	// never on Workers.
+	Batch int
 }
 
 // Name implements search.Optimizer.
@@ -92,49 +99,62 @@ func (r RLMLP) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
 		return probs, action
 	}
 
+	batch := r.Batch
+	if batch < 1 {
+		batch = 1
+	}
 	baseline := 0.0
 	episodes := 0
 	for {
-		pt := make(arch.Point, nParams)
-		steps := make([]step, 0, nParams)
-		state := make([]float64, 2*nParams)
-		for i := 0; i < nParams; i++ {
-			for j := range state {
-				state[j] = 0
-			}
-			state[i] = 1
-			for j := 0; j < i; j++ {
-				n := len(p.Space.Params[j].Values)
-				if n > 1 {
-					state[nParams+j] = float64(pt[j]) / float64(n-1)
+		// Roll out a round of episodes from the frozen network on this
+		// goroutine, evaluate them in parallel, then apply the REINFORCE
+		// updates sequentially in rollout order.
+		n := clampBatch(t, p, batch)
+		pts := make([]arch.Point, n)
+		rollouts := make([][]step, n)
+		for k := range pts {
+			pt := make(arch.Point, nParams)
+			steps := make([]step, 0, nParams)
+			state := make([]float64, 2*nParams)
+			for i := 0; i < nParams; i++ {
+				for j := range state {
+					state[j] = 0
 				}
+				state[i] = 1
+				for j := 0; j < i; j++ {
+					n := len(p.Space.Params[j].Values)
+					if n > 1 {
+						state[nParams+j] = float64(pt[j]) / float64(n-1)
+					}
+				}
+				probs, action := policy(state, len(p.Space.Params[i].Values))
+				pt[i] = action
+				steps = append(steps, step{append([]float64(nil), state...), probs, action})
 			}
-			probs, action := policy(state, len(p.Space.Params[i].Values))
-			pt[i] = action
-			steps = append(steps, step{append([]float64(nil), state...), probs, action})
+			pts[k], rollouts[k] = pt, steps
 		}
 
-		c := p.Evaluate(pt)
-		record := t.Record(p, pt, c)
-
-		reward := -math.Log10(score(c) + 1)
-		episodes++
-		if episodes == 1 {
-			baseline = reward
-		} else {
-			baseline = 0.9*baseline + 0.1*reward
-		}
-		adv := reward - baseline
-
-		// REINFORCE: descend on -adv*log pi, i.e. dLogits = adv*(pi - onehot).
-		for _, st := range steps {
-			net.forward(st.state) // refresh caches
-			grad := make([]float64, maxOpts)
-			for i, pr := range st.probs {
-				grad[i] = adv * pr
+		costs, record := evalRecord(t, p, pts)
+		for k, c := range costs {
+			reward := -math.Log10(score(c) + 1)
+			episodes++
+			if episodes == 1 {
+				baseline = reward
+			} else {
+				baseline = 0.9*baseline + 0.1*reward
 			}
-			grad[st.action] -= adv
-			net.backward(grad, lr)
+			adv := reward - baseline
+
+			// REINFORCE: descend on -adv*log pi, i.e. dLogits = adv*(pi - onehot).
+			for _, st := range rollouts[k] {
+				net.forward(st.state) // refresh caches
+				grad := make([]float64, maxOpts)
+				for i, pr := range st.probs {
+					grad[i] = adv * pr
+				}
+				grad[st.action] -= adv
+				net.backward(grad, lr)
+			}
 		}
 		if !record {
 			return t

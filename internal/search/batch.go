@@ -1,0 +1,102 @@
+package search
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xdse/internal/arch"
+)
+
+// BatchStats instruments the batched evaluation layer with lightweight
+// counters. A single BatchStats may be shared by concurrent EvaluateBatch
+// calls; all updates are atomic. Attach one to Problem.Stats to measure a
+// run (eval.Evaluator.Problem does this automatically).
+type BatchStats struct {
+	batches int64
+	points  int64
+	wallNs  int64
+}
+
+// add accumulates one batch; a nil receiver (no stats attached) is a no-op.
+func (s *BatchStats) add(points int, wall time.Duration) {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.batches, 1)
+	atomic.AddInt64(&s.points, int64(points))
+	atomic.AddInt64(&s.wallNs, int64(wall))
+}
+
+// BatchReport is a point-in-time snapshot of BatchStats.
+type BatchReport struct {
+	// Batches is the number of EvaluateBatch calls.
+	Batches int64
+	// Points is the total number of points submitted across batches.
+	Points int64
+	// Wall is the cumulative wall time spent inside EvaluateBatch. Each
+	// batch contributes its elapsed time once, regardless of worker
+	// count, so this is directly comparable between serial and parallel
+	// runs of the same exploration.
+	Wall time.Duration
+}
+
+// Report snapshots the counters. Safe to call concurrently with updates;
+// nil receivers report zeroes so callers need not guard unset stats.
+func (s *BatchStats) Report() BatchReport {
+	if s == nil {
+		return BatchReport{}
+	}
+	return BatchReport{
+		Batches: atomic.LoadInt64(&s.batches),
+		Points:  atomic.LoadInt64(&s.points),
+		Wall:    time.Duration(atomic.LoadInt64(&s.wallNs)),
+	}
+}
+
+// EvaluateBatch evaluates every point through the problem's bounded worker
+// pool and returns the costs in input order.
+//
+// Determinism contract: results are positionally identical to a serial
+// loop calling p.Evaluate on each point in order, because (a) workers only
+// compute — which point lands at which index is fixed by the input slice —
+// and (b) Evaluate itself must be deterministic per point (the evaluator's
+// mapping-search RNG is seeded per layer, never shared across points).
+// Callers keep all randomness on their own goroutine: generate the
+// candidate batch first, then evaluate, then consume results in order.
+//
+// With Workers <= 1 (the zero value) the batch is evaluated serially on
+// the calling goroutine, so problems whose Evaluate is not concurrency-safe
+// remain correct by default.
+func (p *Problem) EvaluateBatch(pts []arch.Point) []Costs {
+	start := time.Now()
+	out := make([]Costs, len(pts))
+	workers := p.Workers
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	if workers <= 1 {
+		for i := range pts {
+			out[i] = p.Evaluate(pts[i])
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					out[i] = p.Evaluate(pts[i])
+				}
+			}()
+		}
+		for i := range pts {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	p.Stats.add(len(pts), time.Since(start))
+	return out
+}

@@ -1,0 +1,120 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"xdse/internal/arch"
+)
+
+// sleepProblem simulates a latency-bound evaluation (e.g. a mapping search
+// shelling out per layer): each point costs `delay` of pure wall time. The
+// evaluation is a pure function of the point, so it is trivially
+// concurrency-safe.
+func sleepProblem(budget int, delay time.Duration) *Problem {
+	return &Problem{
+		Space:  arch.EdgeSpace(),
+		Budget: budget,
+		Evaluate: func(pt arch.Point) Costs {
+			time.Sleep(delay)
+			return Costs{Objective: float64(pt[0]*100 + pt[1]), Feasible: true, BudgetUtil: 0.5}
+		},
+	}
+}
+
+func randomPoints(p *Problem, n int, seed int64) []arch.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]arch.Point, n)
+	for i := range pts {
+		pts[i] = p.Space.Random(rng)
+	}
+	return pts
+}
+
+func TestEvaluateBatchMatchesSerialOrder(t *testing.T) {
+	p := toyProblem(100)
+	pts := randomPoints(p, 37, 1)
+	want := make([]Costs, len(pts))
+	for i, pt := range pts {
+		want[i] = p.Evaluate(pt)
+	}
+	for _, workers := range []int{0, 1, 2, 8, 64} {
+		p.Workers = workers
+		got := p.EvaluateBatch(pts)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results for %d points", workers, len(got), len(pts))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEvaluateBatchStats(t *testing.T) {
+	p := toyProblem(100)
+	p.Workers = 4
+	p.Stats = &BatchStats{}
+	p.EvaluateBatch(randomPoints(p, 5, 2))
+	p.EvaluateBatch(randomPoints(p, 3, 3))
+	r := p.Stats.Report()
+	if r.Batches != 2 || r.Points != 8 {
+		t.Fatalf("report = %+v, want 2 batches / 8 points", r)
+	}
+	var nilStats *BatchStats
+	if got := nilStats.Report(); got != (BatchReport{}) {
+		t.Fatalf("nil stats report = %+v", got)
+	}
+}
+
+func TestEvaluateBatchEmpty(t *testing.T) {
+	p := toyProblem(10)
+	p.Workers = 4
+	if got := p.EvaluateBatch(nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}
+
+// TestEvaluateBatchParallelSpeedup is the wall-clock acceptance check for
+// the batch layer: on a latency-bound evaluation, a pooled batch must beat
+// a serial one by at least 2x. Sleeping (rather than burning CPU) keeps the
+// check meaningful on single-core CI machines.
+func TestEvaluateBatchParallelSpeedup(t *testing.T) {
+	const delay = 5 * time.Millisecond
+	p := sleepProblem(100, delay)
+	pts := randomPoints(p, 16, 4)
+
+	p.Workers = 1
+	serialStart := time.Now()
+	p.EvaluateBatch(pts)
+	serial := time.Since(serialStart)
+
+	p.Workers = 8
+	parStart := time.Now()
+	p.EvaluateBatch(pts)
+	parallel := time.Since(parStart)
+
+	if parallel > serial/2 {
+		t.Fatalf("parallel batch took %v, want at least 2x under serial %v", parallel, serial)
+	}
+}
+
+// BenchmarkEvaluateBatch compares serial and pooled evaluation of one
+// candidate batch with a simulated per-point evaluation latency.
+func BenchmarkEvaluateBatch(b *testing.B) {
+	const delay = 200 * time.Microsecond
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := sleepProblem(1<<30, delay)
+			p.Workers = workers
+			pts := randomPoints(p, 16, 5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.EvaluateBatch(pts)
+			}
+		})
+	}
+}

@@ -53,11 +53,36 @@ type Problem struct {
 	Space *arch.Space
 	// Evaluate returns the costs of a point. Implementations are
 	// expected to memoize; the iteration budget counts unique points.
+	// When Workers > 1 it must also be safe for concurrent use
+	// (EvaluateBatch calls it from the worker pool).
 	Evaluate func(arch.Point) Costs
-	// Budget is the maximum number of design evaluations.
+	// Budget is the maximum number of unique design evaluations.
 	Budget int
 	// Initial is the starting point (nil = Space.Initial()).
 	Initial arch.Point
+	// Workers bounds EvaluateBatch parallelism. 0 or 1 evaluates
+	// serially on the calling goroutine, which is always safe; anything
+	// higher requires a concurrency-safe Evaluate (eval.Evaluator
+	// qualifies: its memoization is lock-protected and in-flight
+	// evaluations of the same point are deduplicated).
+	Workers int
+	// MaxSteps caps the total acquisitions recorded on a trace,
+	// including memoized repeats, which no longer consume budget. It
+	// guarantees termination for optimizers that keep revisiting
+	// already-evaluated points after converging (0 = 10x Budget).
+	MaxSteps int
+	// Stats, when non-nil, accumulates EvaluateBatch counters for this
+	// problem so campaign reports can measure the batch layer. It is a
+	// pointer so Problem values stay trivially copyable.
+	Stats *BatchStats
+}
+
+// maxSteps resolves the acquisition cap (see Problem.MaxSteps).
+func (p *Problem) maxSteps() int {
+	if p.MaxSteps > 0 {
+		return p.MaxSteps
+	}
+	return 10 * p.Budget
 }
 
 // Start returns the problem's initial point.
@@ -83,13 +108,26 @@ type Trace struct {
 	// Best is the best feasible point found (nil if none).
 	Best      arch.Point
 	BestCosts Costs
-	// Evaluations is the number of unique design evaluations consumed.
+	// Evaluations is the number of unique design evaluations consumed —
+	// the budget currency of the paper (§4.6, §5). Acquiring a point the
+	// trace has already seen is free: the evaluator memoizes it, so no
+	// new design evaluation happens.
 	Evaluations int
+	// RepeatSteps counts acquisitions of already-seen points. They are
+	// recorded in Steps (the acquisition sequence is complete) but are
+	// not charged against the budget, matching eval.Evaluator's notion
+	// of unique design evaluations.
+	RepeatSteps int
 	Elapsed     time.Duration
+
+	// seen tracks which point keys have been charged against the budget.
+	seen map[string]bool
 }
 
 // Record appends an acquisition and maintains the best feasible solution.
-// It returns true while the budget allows further acquisitions.
+// Only the first acquisition of a point consumes budget; re-acquiring a
+// memoized point increments RepeatSteps instead. It returns true while the
+// budget (and the repeat-inclusive step cap) allows further acquisitions.
 func (t *Trace) Record(p *Problem, pt arch.Point, c Costs) bool {
 	improved := c.Feasible && (t.Best == nil || c.Objective < t.BestCosts.Objective)
 	if improved {
@@ -106,8 +144,65 @@ func (t *Trace) Record(p *Problem, pt arch.Point, c Costs) bool {
 		Costs:     c,
 		BestSoFar: best,
 	})
-	t.Evaluations++
-	return t.Evaluations < p.Budget
+	if t.seen == nil {
+		t.seen = make(map[string]bool)
+	}
+	if key := pt.Key(); t.seen[key] {
+		t.RepeatSteps++
+	} else {
+		t.seen[key] = true
+		t.Evaluations++
+	}
+	return t.Evaluations < p.Budget && len(t.Steps) < p.maxSteps()
+}
+
+// Seen reports whether a point has already been charged against this
+// trace's budget (i.e. it was acquired before and is memoized).
+func (t *Trace) Seen(pt arch.Point) bool { return t.seen[pt.Key()] }
+
+// RecordBatch records a batch of evaluations in deterministic candidate
+// order, stopping as soon as the budget is exhausted (later entries are
+// dropped, exactly as a serial loop would never have reached them). It
+// returns true while the budget allows further acquisitions.
+func (t *Trace) RecordBatch(p *Problem, pts []arch.Point, costs []Costs) bool {
+	for i := range pts {
+		if !t.Record(p, pts[i], costs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalsToReach returns the number of unique design evaluations spent when
+// the trace first acquired a feasible design with objective <= target, or
+// 0 if it never did. This is the paper's iteration-count currency for
+// convergence comparisons (§5): with repeats budget-free, every optimizer
+// that runs to completion consumes the same total budget, so convergence
+// speed must be read from where a quality level was reached, not from the
+// total spent.
+func (t *Trace) EvalsToReach(target float64) int {
+	seen := make(map[string]bool, len(t.Steps))
+	unique := 0
+	for _, s := range t.Steps {
+		if key := s.Point.Key(); !seen[key] {
+			seen[key] = true
+			unique++
+		}
+		if s.Costs.Feasible && s.Costs.Objective <= target {
+			return unique
+		}
+	}
+	return 0
+}
+
+// EvalsToBest returns the number of unique design evaluations spent when
+// the final best objective was first reached (0 if no feasible design was
+// found).
+func (t *Trace) EvalsToBest() int {
+	if t.Best == nil {
+		return 0
+	}
+	return t.EvalsToReach(t.BestCosts.Objective)
 }
 
 // BestObjective returns the best feasible objective, or +Inf.

@@ -61,6 +61,71 @@ func TestTraceRecordTracksBest(t *testing.T) {
 	}
 }
 
+func TestRepeatAcquisitionsAreBudgetFree(t *testing.T) {
+	p := toyProblem(2)
+	tr := &Trace{}
+	pt := p.Space.Initial()
+	for i := 0; i < 5; i++ {
+		if !tr.Record(p, pt, Costs{Objective: 1, Feasible: true}) {
+			t.Fatal("re-acquiring a memoized point must not exhaust the budget")
+		}
+	}
+	if tr.Evaluations != 1 || tr.RepeatSteps != 4 {
+		t.Fatalf("evaluations=%d repeats=%d, want 1 and 4", tr.Evaluations, tr.RepeatSteps)
+	}
+	if !tr.Seen(pt) {
+		t.Fatal("Seen must report recorded points")
+	}
+	other := pt.Clone()
+	other[0] = pt[0] + 1
+	if tr.Seen(other) {
+		t.Fatal("Seen must not report unrecorded points")
+	}
+	if tr.Record(p, other, Costs{Objective: 2, Feasible: true}) {
+		t.Fatal("second unique point exhausts the budget of 2")
+	}
+	if tr.Evaluations != 2 {
+		t.Fatalf("evaluations = %d, want 2", tr.Evaluations)
+	}
+}
+
+func TestMaxStepsCapsRepeatAcquisitions(t *testing.T) {
+	p := toyProblem(5)
+	p.MaxSteps = 7
+	tr := &Trace{}
+	pt := p.Space.Initial()
+	steps := 0
+	for tr.Record(p, pt, Costs{Objective: 1, Feasible: true}) {
+		steps++
+		if steps > 100 {
+			t.Fatal("budget-free repeats must still terminate via MaxSteps")
+		}
+	}
+	if len(tr.Steps) != 7 {
+		t.Fatalf("recorded %d steps, want MaxSteps=7", len(tr.Steps))
+	}
+}
+
+func TestRecordBatchStopsAtBudget(t *testing.T) {
+	p := toyProblem(2)
+	tr := &Trace{}
+	var pts []arch.Point
+	var costs []Costs
+	for i := 0; i < 4; i++ {
+		pt := p.Space.Initial()
+		pt[0] = i
+		pts = append(pts, pt)
+		costs = append(costs, Costs{Objective: float64(i), Feasible: true})
+	}
+	if tr.RecordBatch(p, pts, costs) {
+		t.Fatal("batch beyond the budget must report exhaustion")
+	}
+	if tr.Evaluations != 2 || len(tr.Steps) != 2 {
+		t.Fatalf("evaluations=%d steps=%d, want exactly the budget of 2",
+			tr.Evaluations, len(tr.Steps))
+	}
+}
+
 func TestTraceInfeasibleNeverBest(t *testing.T) {
 	p := toyProblem(5)
 	tr := &Trace{}
@@ -123,5 +188,29 @@ func TestReductionPerAttempt(t *testing.T) {
 	}
 	if (&Trace{}).ReductionPerAttempt() != 0 {
 		t.Fatal("empty trace should report 0")
+	}
+}
+
+func TestEvalsToBest(t *testing.T) {
+	p := toyProblem(10)
+	tr := &Trace{}
+	if tr.EvalsToBest() != 0 {
+		t.Fatal("empty trace must report 0 evals-to-best")
+	}
+	pt := p.Space.Initial()
+	pt[0] = 5
+	tr.Record(p, pt, Costs{Objective: 50, Feasible: true})
+	tr.Record(p, pt, Costs{Objective: 50, Feasible: true}) // budget-free repeat
+	pt[0] = 2
+	tr.Record(p, pt, Costs{Objective: 20, Feasible: true}) // the final best
+	pt[0] = 4
+	tr.Record(p, pt, Costs{Objective: 40, Feasible: true})
+	// Best found on the 2nd unique evaluation (3rd step); the repeat and
+	// the trailing worse point must not count.
+	if got := tr.EvalsToBest(); got != 2 {
+		t.Fatalf("evals-to-best = %d, want 2", got)
+	}
+	if tr.Evaluations != 3 {
+		t.Fatalf("evaluations = %d, want 3", tr.Evaluations)
 	}
 }
