@@ -1,0 +1,224 @@
+// Command xdse-bench runs the evaluation-layer performance benchmarks
+// programmatically and appends one record to a JSON trajectory file
+// (BENCH_eval.json by default), so successive commits accumulate a
+// perf-over-time baseline future changes can be judged against.
+//
+// The benchmarked workload is the repeated-sub-key campaign behind the
+// layer-grain mapping cache: a design space with one mapping-irrelevant
+// dummy parameter, so distinct design points recur with identical mapping
+// sub-keys. "cold" disables the layer cache and warm-started enumeration;
+// "warm" is the default evaluator configuration.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"xdse/internal/arch"
+	"xdse/internal/eval"
+	"xdse/internal/mapping"
+	"xdse/internal/perf"
+	"xdse/internal/workload"
+)
+
+// Record is one trajectory entry of BENCH_eval.json.
+type Record struct {
+	Timestamp string `json:"timestamp"`
+	Commit    string `json:"commit,omitempty"`
+	GoVersion string `json:"go"`
+	CPUs      int    `json:"cpus"`
+
+	// Full-design evaluation over the repeated-sub-key campaign.
+	EvaluateDesignColdNsOp int64   `json:"evaluate_design_cold_ns_op"`
+	EvaluateDesignWarmNsOp int64   `json:"evaluate_design_warm_ns_op"`
+	EvaluateDesignSpeedup  float64 `json:"evaluate_design_speedup"`
+
+	// Single-layer pruned enumeration, cold vs lower-bound+incumbent.
+	EnumerateColdNsOp int64   `json:"enumerate_pruned_cold_ns_op"`
+	EnumerateWarmNsOp int64   `json:"enumerate_pruned_warm_ns_op"`
+	EnumerateSpeedup  float64 `json:"enumerate_pruned_speedup"`
+
+	// Cache behavior on the warm campaign.
+	LayerHits     int   `json:"layer_hits"`
+	LayerMisses   int   `json:"layer_misses"`
+	WarmProbes    int   `json:"warm_probes"`
+	WarmFallbacks int   `json:"warm_fallbacks"`
+	CostCalls     int64 `json:"cost_calls"`
+	LBPruned      int64 `json:"lb_pruned"`
+	MapTrials     int64 `json:"map_trials"`
+}
+
+// benchSpace is the edge space plus one parameter the decoder ignores:
+// points differing only in it decode to identical designs, giving the
+// repeated-sub-key workload.
+func benchSpace() *arch.Space {
+	s := arch.EdgeSpace()
+	s.Params = append(s.Params, arch.Param{Name: "bench_dummy_knob", Values: []int{1, 2, 3}})
+	return s
+}
+
+// benchPoints spreads n points over the space, repeating each underlying
+// design three times under distinct dummy values.
+func benchPoints(s *arch.Space, n int) []arch.Point {
+	var pts []arch.Point
+	for i := 0; len(pts) < n; i++ {
+		pt := s.Initial()
+		j := i / 3
+		pt[arch.PPEs] = s.Clamp(arch.PPEs, 1+j%4)
+		pt[arch.PL1] = s.Clamp(arch.PL1, 3+(j/4)%3)
+		pt[arch.PL2] = s.Clamp(arch.PL2, 3)
+		pt[arch.PBW] = s.Clamp(arch.PBW, (j/12)%5)
+		for op := 0; op < arch.NumOperands; op++ {
+			pt[arch.PVirt0+op] = s.Clamp(arch.PVirt0+op, 2)
+		}
+		pt[arch.NumParams] = s.Clamp(arch.NumParams, i%3)
+		pts = append(pts, pt)
+	}
+	return pts
+}
+
+func evalConfig(s *arch.Space, cold bool) eval.Config {
+	cfg := eval.Config{
+		Space:       s,
+		Models:      []*workload.Model{workload.ResNet18()},
+		Constraints: eval.EdgeConstraints(),
+		Mode:        eval.PrunedMappings,
+		MapTrials:   200,
+		Seed:        1,
+		Workers:     1,
+	}
+	if cold {
+		cfg.DisableLayerCache = true
+		cfg.WarmStart = eval.WarmOff
+	}
+	return cfg
+}
+
+func benchEvaluateDesign(s *arch.Space, pts []arch.Point, cold bool) (testing.BenchmarkResult, eval.Stats) {
+	var stats eval.Stats
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := eval.New(evalConfig(s, cold))
+			for _, pt := range pts {
+				e.Evaluate(pt)
+			}
+			stats = e.Stats()
+		}
+	})
+	return res, stats
+}
+
+func benchEnumerate(warm bool) testing.BenchmarkResult {
+	s := arch.EdgeSpace()
+	pt := s.Initial()
+	pt[arch.PPEs] = 2
+	pt[arch.PL1] = 4
+	pt[arch.PL2] = 3
+	for op := 0; op < arch.NumOperands; op++ {
+		pt[arch.PVirt0+op] = 2
+	}
+	d := s.Decode(pt)
+	l := workload.ResNet18().Layers[1]
+	cfg := mapping.GenConfig{
+		PEs: d.PEs, L1Bytes: d.L1Bytes, L2Bytes: d.L2Bytes(),
+		MinN: 10, MaxN: 200, BaseValid: perf.ValidFn(d, l),
+	}
+	var incumbent *mapping.Mapping
+	if warm {
+		coldRes := mapping.EnumeratePruned(l, cfg, perf.CostFn(d, l))
+		if coldRes.Found {
+			m := coldRes.Best
+			incumbent = &m
+		}
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			if warm {
+				c.CostLB = perf.CostLowerBoundFn(l)
+				c.Incumbent = incumbent
+			}
+			mapping.EnumeratePruned(l, c, perf.CostFn(d, l))
+		}
+	})
+}
+
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func main() {
+	outPath := flag.String("out", "BENCH_eval.json", "trajectory file to append the record to")
+	points := flag.Int("points", 24, "campaign size (design points per benchmark op)")
+	flag.Parse()
+
+	s := benchSpace()
+	pts := benchPoints(s, *points)
+
+	coldRes, _ := benchEvaluateDesign(s, pts, true)
+	warmRes, warmStats := benchEvaluateDesign(s, pts, false)
+	enumCold := benchEnumerate(false)
+	enumWarm := benchEnumerate(true)
+
+	rec := Record{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Commit:    gitCommit(),
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+
+		EvaluateDesignColdNsOp: coldRes.NsPerOp(),
+		EvaluateDesignWarmNsOp: warmRes.NsPerOp(),
+		EnumerateColdNsOp:      enumCold.NsPerOp(),
+		EnumerateWarmNsOp:      enumWarm.NsPerOp(),
+
+		LayerHits:     warmStats.LayerHits,
+		LayerMisses:   warmStats.LayerMisses,
+		WarmProbes:    warmStats.WarmProbes,
+		WarmFallbacks: warmStats.WarmFallbacks,
+		CostCalls:     warmStats.CostCalls,
+		LBPruned:      warmStats.LBPruned,
+		MapTrials:     warmStats.MapTrials,
+	}
+	if rec.EvaluateDesignWarmNsOp > 0 {
+		rec.EvaluateDesignSpeedup = float64(rec.EvaluateDesignColdNsOp) / float64(rec.EvaluateDesignWarmNsOp)
+	}
+	if rec.EnumerateWarmNsOp > 0 {
+		rec.EnumerateSpeedup = float64(rec.EnumerateColdNsOp) / float64(rec.EnumerateWarmNsOp)
+	}
+
+	var trajectory []Record
+	if data, err := os.ReadFile(*outPath); err == nil {
+		if err := json.Unmarshal(data, &trajectory); err != nil {
+			fmt.Fprintf(os.Stderr, "xdse-bench: %s is not a trajectory array, starting fresh: %v\n", *outPath, err)
+			trajectory = nil
+		}
+	}
+	trajectory = append(trajectory, rec)
+	data, err := json.MarshalIndent(trajectory, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xdse-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "xdse-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("evaluate-design: cold %.1fms/op, warm %.1fms/op (%.2fx)\n",
+		float64(rec.EvaluateDesignColdNsOp)/1e6, float64(rec.EvaluateDesignWarmNsOp)/1e6, rec.EvaluateDesignSpeedup)
+	fmt.Printf("enumerate-pruned: cold %.1fus/op, warm %.1fus/op (%.2fx)\n",
+		float64(rec.EnumerateColdNsOp)/1e3, float64(rec.EnumerateWarmNsOp)/1e3, rec.EnumerateSpeedup)
+	fmt.Printf("layer cache: %d hits / %d misses, %d warm probes (%d fallbacks), cost calls %d of %d trials (%d lb-pruned)\n",
+		rec.LayerHits, rec.LayerMisses, rec.WarmProbes, rec.WarmFallbacks, rec.CostCalls, rec.MapTrials, rec.LBPruned)
+	fmt.Printf("appended record %d to %s\n", len(trajectory), *outPath)
+}

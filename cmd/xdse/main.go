@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"xdse/internal/accelmodel"
@@ -37,8 +39,41 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "-explore: suppress the per-attempt reasoning log")
 		workers  = flag.Int("workers", 0, "batch-evaluation worker pool size per run (0 = evaluator default, 1 = serial; results are identical for any value)")
 		parallel = flag.Int("parallel", 1, "concurrent optimizer runs per campaign (results are identical for any value)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xdse: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "xdse: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		// Written on normal completion only; error paths exit directly.
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xdse: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "xdse: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := exp.FromEnv()
 	if *full {

@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"testing"
+
+	"xdse/internal/arch"
+	"xdse/internal/workload"
+)
+
+// benchEvalConfig is the benchmark configuration: pruned-mapping codesign on
+// ResNet18, the paper's running example.
+func benchEvalConfig(s *arch.Space) Config {
+	return Config{
+		Space:       s,
+		Models:      []*workload.Model{workload.ResNet18()},
+		Constraints: EdgeConstraints(),
+		Mode:        PrunedMappings,
+		MapTrials:   200,
+		Seed:        1,
+		Workers:     1, // isolate cache effects from pool parallelism
+	}
+}
+
+// BenchmarkEvaluateDesign measures a repeated-sub-key campaign (every design
+// recurs under a mapping-irrelevant dummy parameter, as frequency or DRAM
+// energy knobs would recur in a larger template) with the layer-grain cache
+// disabled ("cold") and enabled ("warm"). The acceptance criterion for the
+// cache is a >=2x cold/warm ratio on this workload.
+func BenchmarkEvaluateDesign(b *testing.B) {
+	s := spaceWithDummyParam(3)
+	pts := campaignPoints(s, 24)
+	run := func(b *testing.B, cfg Config) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := New(cfg)
+			for _, pt := range pts {
+				e.Evaluate(pt)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		cfg := benchEvalConfig(s)
+		cfg.DisableLayerCache = true
+		cfg.WarmStart = WarmOff
+		run(b, cfg)
+	})
+	b.Run("warm", func(b *testing.B) {
+		run(b, benchEvalConfig(s))
+	})
+}
+
+// BenchmarkEvaluateLayer measures one layer's mapping search through the
+// evaluator: a cold search every call versus the layer cache answering
+// repeats.
+func BenchmarkEvaluateLayer(b *testing.B) {
+	s := arch.EdgeSpace()
+	d := s.Decode(compatiblePoint(s))
+	l := workload.ResNet18().Layers[1]
+	b.Run("cold", func(b *testing.B) {
+		cfg := benchEvalConfig(s)
+		cfg.DisableLayerCache = true
+		cfg.WarmStart = WarmOff
+		e := New(cfg)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.evaluateLayer(d, l, 1)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		e := New(benchEvalConfig(s))
+		e.evaluateLayer(d, l, 1) // populate the cache
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.evaluateLayer(d, l, 1)
+		}
+	})
+}

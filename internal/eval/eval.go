@@ -73,6 +73,34 @@ func EdgeConstraints() Constraints {
 	return Constraints{MaxAreaMM2: 75, MaxPowerW: 4}
 }
 
+// WarmStartMode selects how the layer-grain cache accelerates a near-miss
+// (same layer shape, different mapping-relevant sub-key).
+type WarmStartMode int
+
+const (
+	// WarmStrict (the default) probes the layer's previously-best mapping
+	// through the new design's cost model and lets the enumeration use the
+	// probe plus a certified cost lower bound to skip provably-losing cost
+	// calls. The contract is strict: the returned best mapping, cycles,
+	// and Evaluated counts are bit-identical to a cold run — only the
+	// number of cost-model invocations changes (see mapping.GenConfig).
+	WarmStrict WarmStartMode = iota
+	// WarmOff disables both the incumbent probe and lower-bound pruning,
+	// reproducing the fully-cold search (the reference for equivalence
+	// tests and cold benchmarks).
+	WarmOff
+)
+
+// String names the warm-start mode.
+func (w WarmStartMode) String() string {
+	return [...]string{"warm-strict", "warm-off"}[w]
+}
+
+// DefaultCacheCap is the design-level memo entry bound used when
+// Config.CacheCap is zero. It is far above any campaign budget in this
+// repository, so eviction only engages on very long-running explorations.
+const DefaultCacheCap = 32768
+
 // Config parameterizes an Evaluator.
 type Config struct {
 	Space       *arch.Space
@@ -90,6 +118,19 @@ type Config struct {
 	// evaluation pool of Problem (0 = NumCPU, max 4 as in the paper's
 	// evaluation setup).
 	Workers int
+	// DisableLayerCache turns off the layer-grain mapping cache and the
+	// warm-start index; every design evaluation then re-runs every layer's
+	// mapping search (the pre-cache behavior, kept for A/B comparisons).
+	DisableLayerCache bool
+	// WarmStart selects the near-miss acceleration mode (default
+	// WarmStrict; results are bit-identical in every mode).
+	WarmStart WarmStartMode
+	// CacheCap bounds the design-level memo entry count: 0 selects
+	// DefaultCacheCap, a negative value disables eviction entirely. The
+	// layer-grain cache is bounded at 8x this cap. Unique-design budget
+	// accounting is exact under eviction: re-evaluating an evicted design
+	// is counted as a recompute, never as a new unique evaluation.
+	CacheCap int
 }
 
 // LayerEval is one layer's evaluation on a design.
@@ -167,23 +208,80 @@ type Result struct {
 // misses on the same point are deduplicated singleflight-style, so a batch
 // of workers racing to the same key computes it exactly once.
 type Evaluator struct {
-	cfg    Config
-	emodel energy.Model
+	cfg      Config
+	emodel   energy.Model
+	cacheCap int // resolved design-memo bound (0 = unbounded)
 
 	mu      sync.Mutex
 	cache   map[string]*Result
 	flights map[string]*flight
-	evals   int
-	hits    int
-	dedups  int
-	trials  int64
-	wall    time.Duration
+	// seen records every design key ever evaluated and is never evicted,
+	// so unique-design budget accounting stays exact under eviction.
+	seen  map[string]bool
+	order []string // FIFO eviction order of cache keys
+	head  int      // first live index of order
+
+	// Layer-grain mapping cache: completed searches keyed by (layer shape,
+	// mapping-relevant design sub-key), in-flight searches deduplicated
+	// singleflight-style, and a per-shape warm-start index of the best
+	// mapping last found for the shape under any sub-key.
+	lcache   map[layerCacheKey]layerEntry
+	lflights map[layerCacheKey]*layerFlight
+	lorder   []layerCacheKey
+	lhead    int
+	warm     map[string]mapping.Mapping
+
+	evals      int
+	hits       int
+	dedups     int
+	recomputes int
+	evictions  int
+	lhits      int
+	lmisses    int
+	ldedups    int
+	levictions int
+	warmProbes int
+	warmFalls  int
+	costCalls  int64
+	lbPruned   int64
+	trials     int64
+	wall       time.Duration
 }
 
 // flight is one in-progress evaluation other goroutines can wait on.
 type flight struct {
 	done chan struct{}
 	r    *Result
+}
+
+// layerCacheKey identifies one layer-grain mapping-search result: the
+// canonical layer shape, the design sub-key of exactly the parameters the
+// perf model reads (perf.MappingSubKey), and — in RandomMappings mode only —
+// the layer's seed salt, because the random search's rng is derived from the
+// layer index.
+type layerCacheKey struct {
+	shape string
+	sub   string
+	salt  int64
+}
+
+// layerEntry is the shape-invariant portion of a layer's search outcome;
+// the caller re-attaches the concrete Layer (whose Name and Mult are not
+// part of the shape key) and re-derives multiplicity-scaled totals.
+type layerEntry struct {
+	mapping      mapping.Mapping
+	perf         perf.Breakdown
+	trials       int
+	costCalls    int
+	lbPruned     int
+	warmFallback bool
+	found        bool
+}
+
+// layerFlight is one in-progress layer search other goroutines can wait on.
+type layerFlight struct {
+	done chan struct{}
+	ent  layerEntry
 }
 
 // Stats is a snapshot of the evaluator's instrumentation counters.
@@ -195,6 +293,33 @@ type Stats struct {
 	// InflightDedups counts Evaluate calls that joined an in-flight
 	// evaluation of the same point instead of racing to duplicate it.
 	InflightDedups int
+	// Evictions counts design results dropped from the bounded memo.
+	Evictions int
+	// Recomputes counts evaluations of designs seen before but evicted;
+	// they redo real work without charging the unique-design budget.
+	Recomputes int
+	// LayerHits counts layer searches answered from the layer-grain cache.
+	LayerHits int
+	// LayerMisses counts layer searches actually run.
+	LayerMisses int
+	// LayerDedups counts layer searches that joined an identical
+	// in-flight search instead of duplicating it.
+	LayerDedups int
+	// LayerEvictions counts entries dropped from the bounded layer cache.
+	LayerEvictions int
+	// WarmProbes counts layer searches warm-started from a previous best
+	// mapping of the same shape under a different design sub-key.
+	WarmProbes int
+	// WarmFallbacks counts warm-started searches that had to re-evaluate
+	// probe-pruned candidates to discharge the strict bit-identical
+	// contract (the probe did not strictly lose to the enumeration best).
+	WarmFallbacks int
+	// CostCalls is the total number of perf-model invocations made by
+	// mapping searches; with lower-bound pruning it trails MapTrials.
+	CostCalls int64
+	// LBPruned counts mapping candidates whose cost call was skipped
+	// because a certified lower bound proved they could not win.
+	LBPruned int64
 	// MapTrials is the total number of mapping-search candidates
 	// examined across all unique design evaluations.
 	MapTrials int64
@@ -216,10 +341,22 @@ func New(cfg Config) *Evaluator {
 			cfg.Workers = 4
 		}
 	}
+	capn := cfg.CacheCap
+	switch {
+	case capn == 0:
+		capn = DefaultCacheCap
+	case capn < 0:
+		capn = 0 // unbounded
+	}
 	return &Evaluator{
-		cfg:     cfg,
-		cache:   make(map[string]*Result),
-		flights: make(map[string]*flight),
+		cfg:      cfg,
+		cacheCap: capn,
+		cache:    make(map[string]*Result),
+		flights:  make(map[string]*flight),
+		seen:     make(map[string]bool),
+		lcache:   make(map[layerCacheKey]layerEntry),
+		lflights: make(map[layerCacheKey]*layerFlight),
+		warm:     make(map[string]mapping.Mapping),
 	}
 }
 
@@ -241,16 +378,30 @@ func (e *Evaluator) Stats() Stats {
 		Evaluations:    e.evals,
 		CacheHits:      e.hits,
 		InflightDedups: e.dedups,
+		Evictions:      e.evictions,
+		Recomputes:     e.recomputes,
+		LayerHits:      e.lhits,
+		LayerMisses:    e.lmisses,
+		LayerDedups:    e.ldedups,
+		LayerEvictions: e.levictions,
+		WarmProbes:     e.warmProbes,
+		WarmFallbacks:  e.warmFalls,
+		CostCalls:      e.costCalls,
+		LBPruned:       e.lbPruned,
 		MapTrials:      e.trials,
 		EvalWall:       e.wall,
 	}
 }
 
-// ResetCount zeroes the instrumentation counters (the cache is retained).
+// ResetCount zeroes the instrumentation counters (the caches are retained).
 func (e *Evaluator) ResetCount() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.evals, e.hits, e.dedups, e.trials, e.wall = 0, 0, 0, 0, 0
+	e.recomputes, e.evictions = 0, 0
+	e.lhits, e.lmisses, e.ldedups, e.levictions = 0, 0, 0, 0
+	e.warmProbes, e.warmFalls = 0, 0
+	e.costCalls, e.lbPruned = 0, 0
 }
 
 // Evaluate returns the (memoized) evaluation of a design point. Concurrent
@@ -278,8 +429,13 @@ func (e *Evaluator) Evaluate(pt arch.Point) *Result {
 	r := e.evaluate(pt)
 
 	e.mu.Lock()
-	e.cache[key] = r
-	e.evals++
+	e.storeDesign(key, r)
+	if e.seen[key] {
+		e.recomputes++
+	} else {
+		e.seen[key] = true
+		e.evals++
+	}
 	e.trials += int64(r.MapEvaluations)
 	e.wall += time.Since(start)
 	delete(e.flights, key)
@@ -290,6 +446,26 @@ func (e *Evaluator) Evaluate(pt arch.Point) *Result {
 	f.r = r
 	close(f.done)
 	return r
+}
+
+// storeDesign inserts a result into the bounded design memo, evicting the
+// oldest entries FIFO when the cap is exceeded. Caller holds e.mu.
+func (e *Evaluator) storeDesign(key string, r *Result) {
+	if _, ok := e.cache[key]; !ok {
+		e.order = append(e.order, key)
+	}
+	e.cache[key] = r
+	for e.cacheCap > 0 && len(e.cache) > e.cacheCap {
+		old := e.order[e.head]
+		e.head++
+		delete(e.cache, old)
+		e.evictions++
+	}
+	// Compact the eviction queue once the dead prefix dominates.
+	if e.head > len(e.order)/2 && e.head > 64 {
+		e.order = append([]string(nil), e.order[e.head:]...)
+		e.head = 0
+	}
 }
 
 func (e *Evaluator) evaluate(pt arch.Point) *Result {
@@ -331,13 +507,16 @@ func sumTrials(me ModelEval) int {
 func (e *Evaluator) evaluateModel(d arch.Design, est energy.Estimate, mdl *workload.Model) ModelEval {
 	me := ModelEval{Model: mdl, Layers: make([]LayerEval, len(mdl.Layers))}
 
+	// Acquire the worker semaphore before spawning so at most Workers
+	// goroutines exist at a time: a 100-layer model under Workers=1 must
+	// not burst 100 goroutines that all immediately block.
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, e.cfg.Workers)
 	for i := range mdl.Layers {
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			me.Layers[i] = e.evaluateLayer(d, mdl.Layers[i], int64(i))
 		}(i)
@@ -380,21 +559,116 @@ func (e *Evaluator) evaluateModel(d arch.Design, est energy.Estimate, mdl *workl
 
 func (e *Evaluator) evaluateLayer(d arch.Design, l workload.Layer, salt int64) LayerEval {
 	le := LayerEval{Layer: l}
+	ent := e.layerResult(d, l, salt)
+	le.Mapping, le.Perf, le.MapTrials = ent.mapping, ent.perf, ent.trials
+	mult := l.Mult
+	if mult < 1 {
+		mult = 1
+	}
+	le.TotalCycles = le.Perf.Cycles * float64(mult)
+	return le
+}
+
+// layerResult returns the mapping-search outcome for layer l on design d,
+// answering from the layer-grain cache when the (shape, sub-key) pair has
+// been searched before, joining an identical in-flight search when one is
+// running, and otherwise running the search — warm-started from the shape's
+// previously-best mapping when one is known. Every path returns bit-identical
+// search outcomes; only the cost-call counters differ.
+func (e *Evaluator) layerResult(d arch.Design, l workload.Layer, salt int64) layerEntry {
+	if e.cfg.DisableLayerCache {
+		ent := e.searchLayer(d, l, salt, nil)
+		e.mu.Lock()
+		e.costCalls += int64(ent.costCalls)
+		e.lbPruned += int64(ent.lbPruned)
+		e.mu.Unlock()
+		return ent
+	}
+	key := layerCacheKey{shape: l.ShapeKey(), sub: perf.MappingSubKey(d)}
+	if e.cfg.Mode == RandomMappings {
+		// The random search's rng is seeded from the layer index, so
+		// equal shapes at different indices draw different mappings.
+		key.salt = salt
+	}
+	e.mu.Lock()
+	if ent, ok := e.lcache[key]; ok {
+		e.lhits++
+		e.mu.Unlock()
+		return ent
+	}
+	if f, ok := e.lflights[key]; ok {
+		e.ldedups++
+		e.mu.Unlock()
+		<-f.done
+		return f.ent
+	}
+	f := &layerFlight{done: make(chan struct{})}
+	e.lflights[key] = f
+	e.lmisses++
+	var incumbent *mapping.Mapping
+	if e.cfg.Mode == PrunedMappings && e.cfg.WarmStart == WarmStrict {
+		if m, ok := e.warm[key.shape]; ok {
+			mm := m
+			incumbent = &mm
+			e.warmProbes++
+		}
+	}
+	e.mu.Unlock()
+
+	ent := e.searchLayer(d, l, salt, incumbent)
+
+	e.mu.Lock()
+	e.storeLayer(key, ent)
+	if ent.found {
+		e.warm[key.shape] = ent.mapping
+	}
+	e.costCalls += int64(ent.costCalls)
+	e.lbPruned += int64(ent.lbPruned)
+	if ent.warmFallback {
+		e.warmFalls++
+	}
+	delete(e.lflights, key)
+	e.mu.Unlock()
+
+	f.ent = ent
+	close(f.done)
+	return ent
+}
+
+// storeLayer inserts a search outcome into the bounded layer cache (FIFO,
+// 8x the design-memo cap). Caller holds e.mu.
+func (e *Evaluator) storeLayer(key layerCacheKey, ent layerEntry) {
+	if _, ok := e.lcache[key]; !ok {
+		e.lorder = append(e.lorder, key)
+	}
+	e.lcache[key] = ent
+	for e.cacheCap > 0 && len(e.lcache) > 8*e.cacheCap {
+		old := e.lorder[e.lhead]
+		e.lhead++
+		delete(e.lcache, old)
+		e.levictions++
+	}
+	if e.lhead > len(e.lorder)/2 && e.lhead > 64 {
+		e.lorder = append([]layerCacheKey(nil), e.lorder[e.lhead:]...)
+		e.lhead = 0
+	}
+}
+
+// searchLayer runs the configured mapping search for one layer on one
+// design. In PrunedMappings mode under WarmStrict the enumeration carries a
+// certified cost lower bound (and the warm-start incumbent when given);
+// WarmOff reproduces the fully-cold search.
+func (e *Evaluator) searchLayer(d arch.Design, l workload.Layer, salt int64, incumbent *mapping.Mapping) layerEntry {
+	var ent layerEntry
 	switch e.cfg.Mode {
 	case FixedDataflow:
-		le.Mapping = mapping.FixedOutputStationary(l, d.PEs, d.L1Bytes, d.L2Bytes())
-		le.Perf = perf.Evaluate(d, l, le.Mapping)
-		le.MapTrials = 1
+		ent.mapping = mapping.FixedOutputStationary(l, d.PEs, d.L1Bytes, d.L2Bytes())
+		ent.perf = perf.Evaluate(d, l, ent.mapping)
+		ent.trials, ent.costCalls, ent.found = 1, 1, true
 	case RandomMappings:
 		rng := rand.New(rand.NewSource(e.cfg.Seed*1_000_003 + salt))
 		res := mapping.RandomSearch(l, e.cfg.MapTrials, rng, perf.CostFn(d, l))
-		le.MapTrials = res.Evaluated
-		if res.Found {
-			le.Mapping = res.Best
-			le.Perf = perf.Evaluate(d, l, le.Mapping)
-		} else {
-			le.Perf.Incompat = "no valid mapping found by random search"
-		}
+		ent = e.fromSearch(d, l, res, "no valid mapping found by random search")
 	case PrunedMappings:
 		cfg := mapping.GenConfig{
 			PEs:       d.PEs,
@@ -404,21 +678,33 @@ func (e *Evaluator) evaluateLayer(d arch.Design, l workload.Layer, salt int64) L
 			MaxN:      e.cfg.MapTrials,
 			BaseValid: perf.ValidFn(d, l),
 		}
-		res := mapping.EnumeratePruned(l, cfg, perf.CostFn(d, l))
-		le.MapTrials = res.Evaluated
-		if res.Found {
-			le.Mapping = res.Best
-			le.Perf = perf.Evaluate(d, l, le.Mapping)
-		} else {
-			le.Perf.Incompat = "no valid mapping in pruned space"
+		if e.cfg.WarmStart == WarmStrict {
+			cfg.CostLB = perf.CostLowerBoundFn(l)
+			cfg.Incumbent = incumbent
 		}
+		res := mapping.EnumeratePruned(l, cfg, perf.CostFn(d, l))
+		ent = e.fromSearch(d, l, res, "no valid mapping in pruned space")
 	}
-	mult := l.Mult
-	if mult < 1 {
-		mult = 1
+	return ent
+}
+
+// fromSearch converts a mapping-search result into a cacheable layer entry,
+// evaluating the winning mapping's full breakdown.
+func (e *Evaluator) fromSearch(d arch.Design, l workload.Layer, res mapping.Result, failMsg string) layerEntry {
+	ent := layerEntry{
+		trials:       res.Evaluated,
+		costCalls:    res.CostCalls,
+		lbPruned:     res.LBPruned,
+		warmFallback: res.WarmFallback,
+		found:        res.Found,
 	}
-	le.TotalCycles = le.Perf.Cycles * float64(mult)
-	return le
+	if res.Found {
+		ent.mapping = res.Best
+		ent.perf = perf.Evaluate(d, l, ent.mapping)
+	} else {
+		ent.perf.Incompat = failMsg
+	}
+	return ent
 }
 
 // layerEnergyMJ integrates the layer's access counts against the design's

@@ -126,17 +126,20 @@ func ReportTable3(cfg Config, c *Campaign) {
 
 // ReportEvalStats renders the evaluation-layer instrumentation of a
 // campaign, aggregated per technique across models: unique design
-// evaluations, memoized cache hits, in-flight deduplications under the
-// batch pool, mapping-search trials, evaluation wall time, batch-layer
-// activity, and budget-free repeat acquisitions.
+// evaluations, memoized cache hits (with memo evictions), in-flight
+// deduplications under the batch pool, layer-grain mapping-cache hits,
+// warm-start probes, mapping-search trials against actual cost-model
+// calls, evaluation wall time, batch-layer activity, and budget-free
+// repeat acquisitions.
 func ReportEvalStats(cfg Config, c *Campaign) {
 	w := cfg.out()
 	fmt.Fprintf(w, "\n== Evaluation-layer stats (summed over models) ==\n")
-	tb := newTable("Technique", "Evals", "CacheHits", "InflightDedup",
-		"MapTrials", "EvalWall", "Batches", "BatchPts", "Repeats")
+	tb := newTable("Technique", "Evals", "CacheHits", "Evict", "InflightDedup",
+		"LayerHits", "WarmProbes", "MapTrials", "CostCalls", "EvalWall",
+		"Batches", "BatchPts", "Repeats")
 	for _, tech := range techniqueOrder(c) {
-		var evals, hits, dedups, repeats int
-		var trials, batches, pts int64
+		var evals, hits, evict, dedups, lhits, probes, repeats int
+		var trials, costCalls, batches, pts int64
 		var wall time.Duration
 		for _, r := range c.Runs {
 			if r.Technique != tech {
@@ -144,8 +147,12 @@ func ReportEvalStats(cfg Config, c *Campaign) {
 			}
 			evals += r.Stats.Evaluations
 			hits += r.Stats.CacheHits
+			evict += r.Stats.Evictions
 			dedups += r.Stats.InflightDedups
+			lhits += r.Stats.LayerHits
+			probes += r.Stats.WarmProbes
 			trials += r.Stats.MapTrials
+			costCalls += r.Stats.CostCalls
 			wall += r.Stats.EvalWall
 			batches += r.Batch.Batches
 			pts += r.Batch.Points
@@ -154,8 +161,12 @@ func ReportEvalStats(cfg Config, c *Campaign) {
 		tb.add(tech,
 			fmt.Sprintf("%d", evals),
 			fmt.Sprintf("%d", hits),
+			fmt.Sprintf("%d", evict),
 			fmt.Sprintf("%d", dedups),
+			fmt.Sprintf("%d", lhits),
+			fmt.Sprintf("%d", probes),
 			fmt.Sprintf("%d", trials),
+			fmt.Sprintf("%d", costCalls),
 			fmt.Sprintf("%.2fs", wall.Seconds()),
 			fmt.Sprintf("%d", batches),
 			fmt.Sprintf("%d", pts),

@@ -1,0 +1,121 @@
+package mapping
+
+import (
+	"testing"
+
+	"xdse/internal/workload"
+)
+
+// benchLayer is a mid-size CONV layer representative of the suite.
+func benchLayer() workload.Layer {
+	return workload.Layer{Kind: workload.Conv, Name: "b", K: 64, C: 32, Y: 14, X: 14, R: 3, S: 3, Stride: 1, Mult: 1}
+}
+
+// benchCost is an allocation-free synthetic cost model: compute-bound time
+// plus a DRAM-traffic proxy, so its exact lower bound at a given spatial
+// occupancy is macs/spatialPEs (mirroring the perf model's TComp floor).
+func benchCost(l workload.Layer) (Cost, func(int) float64) {
+	dims := Dims(l)
+	macs := 1.0
+	for d := Dim(0); d < NumDims; d++ {
+		macs *= float64(dims[d])
+	}
+	cost := func(m Mapping) (float64, bool) {
+		t := macs / float64(m.SpatialPEs())
+		return t + 0.01*t*float64(m.LevelProduct(LvlDRAM)), true
+	}
+	lb := func(spatialPEs int) float64 {
+		if spatialPEs < 1 {
+			spatialPEs = 1
+		}
+		return macs / float64(spatialPEs)
+	}
+	return cost, lb
+}
+
+func benchGenCfg() GenConfig {
+	return GenConfig{PEs: 256, L1Bytes: 512, L2Bytes: 512 * 1024, MinN: 10, MaxN: 400}
+}
+
+// BenchmarkEnumeratePruned measures the pruned enumeration cold (no bound),
+// with lower-bound self-pruning, and warm-started from the cold run's best.
+func BenchmarkEnumeratePruned(b *testing.B) {
+	l := benchLayer()
+	cost, lb := benchCost(l)
+	cold := EnumeratePruned(l, benchGenCfg(), cost)
+	if !cold.Found {
+		b.Fatal("no mapping found")
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			EnumeratePruned(l, benchGenCfg(), cost)
+		}
+	})
+	b.Run("lb-pruned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := benchGenCfg()
+			cfg.CostLB = lb
+			EnumeratePruned(l, cfg, cost)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		incumbent := cold.Best
+		for i := 0; i < b.N; i++ {
+			cfg := benchGenCfg()
+			cfg.CostLB = lb
+			cfg.Incumbent = &incumbent
+			EnumeratePruned(l, cfg, cost)
+		}
+	})
+}
+
+// TestEnumerateAllocsRegression pins the allocation count of one full pruned
+// enumeration after the memo caches are warm. The pre-optimization hot loop
+// allocated per candidate (divisor slices, pickSpread maps, option maps);
+// the de-allocated loop amortizes to a handful of allocations per search.
+func TestEnumerateAllocsRegression(t *testing.T) {
+	l := benchLayer()
+	cost, lb := benchCost(l)
+	warmRes := EnumeratePruned(l, benchGenCfg(), cost) // warm the divisor/spread memos
+	if !warmRes.Found {
+		t.Fatal("no mapping found")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		cfg := benchGenCfg()
+		cfg.CostLB = lb
+		EnumeratePruned(l, cfg, cost)
+	})
+	// One enumerator struct plus small constant overhead; hundreds of
+	// candidates are examined, so any per-candidate allocation blows far
+	// past this bound.
+	if allocs > 16 {
+		t.Fatalf("pruned enumeration allocates %.0f times per search; hot loop has regressed", allocs)
+	}
+}
+
+// TestWarmResultMatchesColdSynthetic is a mapping-level guard of the strict
+// contract on the synthetic cost model (the perf-model version lives in
+// internal/perf): warm and cold runs agree exactly.
+func TestWarmResultMatchesColdSynthetic(t *testing.T) {
+	l := benchLayer()
+	cost, lb := benchCost(l)
+	cold := EnumeratePruned(l, benchGenCfg(), cost)
+	cfg := benchGenCfg()
+	cfg.CostLB = lb
+	inc := cold.Best
+	cfg.Incumbent = &inc
+	warm := EnumeratePruned(l, cfg, cost)
+	if warm.Best != cold.Best || warm.Cycles != cold.Cycles || warm.Evaluated != cold.Evaluated {
+		t.Fatalf("warm diverged: cold %v/%v/%d warm %v/%v/%d",
+			cold.Best, cold.Cycles, cold.Evaluated, warm.Best, warm.Cycles, warm.Evaluated)
+	}
+	if warm.LBPruned == 0 {
+		t.Fatal("warm run pruned nothing")
+	}
+	if warm.CostCalls >= cold.CostCalls {
+		t.Fatalf("warm run made %d cost calls, cold %d; pruning saved nothing", warm.CostCalls, cold.CostCalls)
+	}
+}

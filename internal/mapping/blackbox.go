@@ -73,6 +73,7 @@ func AnnealSearch(l workload.Layer, trials int, rng *rand.Rand, cost Cost) Resul
 	if res.Cycles >= invalidMappingScore {
 		res.Found = false
 	}
+	res.CostCalls = res.Evaluated
 	return res
 }
 
@@ -137,6 +138,7 @@ func GeneticSearch(l workload.Layer, trials int, rng *rand.Rand, cost Cost) Resu
 	if res.Cycles >= invalidMappingScore {
 		res.Found = false
 	}
+	res.CostCalls = res.Evaluated
 	return res
 }
 
@@ -207,6 +209,7 @@ func BayesSearch(l workload.Layer, trials int, rng *rand.Rand, cost Cost) Result
 	if res.Cycles >= invalidMappingScore {
 		res.Found = false
 	}
+	res.CostCalls = res.Evaluated
 	return res
 }
 

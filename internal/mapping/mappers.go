@@ -3,6 +3,7 @@ package mapping
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"xdse/internal/workload"
 )
@@ -20,6 +21,22 @@ type Result struct {
 	Cycles    float64
 	Found     bool
 	Evaluated int
+
+	// CostCalls is the number of cost-model invocations actually made,
+	// including the warm-start probe and any strict-fallback
+	// re-evaluations. Without pruning it equals Evaluated; with a
+	// GenConfig.CostLB bound it is usually much smaller.
+	CostCalls int
+	// LBPruned counts candidates whose cost call was skipped because the
+	// lower bound proved they could not beat the incumbent. Pruned
+	// candidates still count toward Evaluated, so search trajectories
+	// (band budgets, trial counts) are bit-identical with and without
+	// pruning.
+	LBPruned int
+	// WarmFallback reports that the strict warm-start contract had to
+	// re-evaluate externally-pruned candidates because the enumeration
+	// did not strictly beat the probe (see EnumeratePruned).
+	WarmFallback bool
 }
 
 // RandomSearch explores `trials` random valid-factor mappings (Timeloop-like
@@ -35,6 +52,7 @@ func RandomSearch(l workload.Layer, trials int, rng *rand.Rand, cost Cost) Resul
 			res.Best, res.Cycles, res.Found = m, c, true
 		}
 	}
+	res.CostCalls = res.Evaluated
 	return res
 }
 
@@ -51,16 +69,49 @@ func pickSpread(vs []int, max int) []int {
 		return out
 	}
 	out := make([]int, 0, max)
-	seen := map[int]bool{}
 	for i := 0; i < max; i++ {
 		idx := len(vs) - 1 - i*(len(vs)-1)/(max-1)
 		v := vs[idx]
-		if !seen[v] {
-			seen[v] = true
+		dup := false
+		for _, u := range out {
+			if u == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, v)
 		}
 	}
 	return out
+}
+
+// spreadKey indexes the memoized pickSpread-over-divisors lists.
+type spreadKey struct{ n, max int }
+
+// spreadCache memoizes spreadDivisors: the enumeration asks for the same
+// (dimension size, fan-out) pairs on every candidate, so the per-call map
+// and slice allocations of the original hot loop collapse to lookups.
+var (
+	spreadMu    sync.RWMutex
+	spreadCache = map[spreadKey][]int{}
+)
+
+// spreadDivisors returns pickSpread(Divisors(n), max), memoized. The
+// returned slice is shared between callers and must be treated as read-only.
+func spreadDivisors(n, max int) []int {
+	k := spreadKey{n, max}
+	spreadMu.RLock()
+	vs, ok := spreadCache[k]
+	spreadMu.RUnlock()
+	if ok {
+		return vs
+	}
+	vs = pickSpread(Divisors(n), max)
+	spreadMu.Lock()
+	spreadCache[k] = vs
+	spreadMu.Unlock()
+	return vs
 }
 
 // GenConfig bounds the pruned enumeration.
@@ -82,6 +133,25 @@ type GenConfig struct {
 	BaseValid func(Mapping) bool
 	// Orderings limits stationary-tensor combinations (default all 9).
 	Orderings []Mapping
+
+	// CostLB, when set, returns a certified lower bound on cost(m) for
+	// any mapping occupying the given spatial PE count (e.g. the
+	// compute-time floor MACs/PEs of the perf model). The enumeration
+	// skips the cost call for candidates whose bound proves they cannot
+	// strictly beat the incumbent; skipped candidates still count toward
+	// Evaluated, so the candidate trajectory — and therefore the returned
+	// best mapping and cycles — is bit-identical with or without the
+	// bound. Only CostCalls/LBPruned change.
+	CostLB func(spatialPEs int) float64
+	// Incumbent, when set, warm-starts the search: it is probed through
+	// the cost model once before enumeration and its cycles seed the
+	// pruning bound (it is never returned as the result). The strict
+	// contract is preserved by a fallback pass: if the enumeration does
+	// not strictly beat the probe, every candidate skipped on the probe's
+	// account is re-evaluated in candidate order, so the returned best
+	// mapping and cycles are always bit-identical to a cold run.
+	// Incumbent is only consulted when CostLB is also set.
+	Incumbent *Mapping
 }
 
 // defaultOrderings enumerates the 3x3 stationary-tensor choices.
@@ -95,10 +165,106 @@ func defaultOrderings() []Mapping {
 	return out
 }
 
+// allOrderings is the shared default ordering set (read-only).
+var allOrderings = defaultOrderings()
+
+// skippedCand is a candidate whose cost call was skipped on account of the
+// external warm-start probe; it is remembered (with its candidate index) so
+// the strict fallback can re-evaluate it in order.
+type skippedCand struct {
+	n int
+	m Mapping
+}
+
+// enumerator carries the running state of one pruned enumeration: the
+// incumbent, the candidate counter, the pruning bound, and the scratch
+// buffers that keep the hot loop allocation-free.
+type enumerator struct {
+	cost      Cost
+	lb        func(int) float64
+	orderings []Mapping
+
+	// probe is the external warm-start bound (+Inf when absent).
+	probe float64
+	// curLB is the lower bound of the current spatial base.
+	curLB    float64
+	hasLB    bool
+	hasCurLB bool
+
+	best       Mapping
+	bestCycles float64
+	bestN      int // candidate index of the first attainer of bestCycles
+	found      bool
+
+	n         int // candidates considered (the Evaluated count)
+	limit     int // current band's candidate cap
+	costCalls int
+	pruned    int
+	skipped   []skippedCand
+
+	// bufs are the fit-filter scratch buffers of emitTemporal, one per
+	// temporal nesting level (each holds at most 3 surviving factors).
+	bufs [6][4]int
+}
+
+// setBase records the spatial base's PE occupancy, fixing the lower bound
+// for every candidate emitted from that base.
+func (e *enumerator) setBase(pes int) {
+	e.hasCurLB = e.hasLB
+	if e.hasLB {
+		e.curLB = e.lb(pes)
+	}
+}
+
+// try considers one temporal fill under every ordering. It returns false
+// when the band's candidate budget is exhausted.
+func (e *enumerator) try(m Mapping) bool {
+	for _, ord := range e.orderings {
+		mm := m
+		mm.DRAMStationary = ord.DRAMStationary
+		mm.NoCStationary = ord.NoCStationary
+		e.n++
+		if e.hasCurLB {
+			bound := e.bestCycles
+			if e.probe < bound {
+				bound = e.probe
+			}
+			if e.curLB >= bound {
+				// The bound proves mm cannot strictly beat the
+				// incumbent. Skips justified only by the probe
+				// (curLB below the running best) must be
+				// remembered for the strict fallback.
+				e.pruned++
+				if e.curLB < e.bestCycles {
+					e.skipped = append(e.skipped, skippedCand{e.n, mm})
+				}
+				if e.n >= e.limit {
+					return false
+				}
+				continue
+			}
+		}
+		e.costCalls++
+		if c, ok := e.cost(mm); ok && c < e.bestCycles {
+			e.best, e.bestCycles, e.found, e.bestN = mm, c, true, e.n
+		}
+		if e.n >= e.limit {
+			return false
+		}
+	}
+	return true
+}
+
 // EnumeratePruned performs the dMazeRunner/Interstellar-style search of
 // §4.8: it formulates a pruned space of at most MaxN high-utilization
 // mappings (relaxing PE-utilization thresholds iteratively if the strict
 // space is smaller than MinN) and evaluates it linearly.
+//
+// When GenConfig.CostLB is set, candidates that provably cannot beat the
+// incumbent skip the cost-model call (but still count toward Evaluated);
+// when GenConfig.Incumbent additionally seeds the bound, a strict fallback
+// pass guarantees the returned best mapping and cycles are bit-identical to
+// a cold run — only CostCalls, LBPruned, and WarmFallback vary.
 func EnumeratePruned(l workload.Layer, cfg GenConfig, cost Cost) Result {
 	dims := Dims(l)
 	if cfg.MaxN <= 0 {
@@ -109,7 +275,22 @@ func EnumeratePruned(l workload.Layer, cfg GenConfig, cost Cost) Result {
 	}
 	orderings := cfg.Orderings
 	if orderings == nil {
-		orderings = defaultOrderings()
+		orderings = allOrderings
+	}
+
+	e := &enumerator{
+		cost:       cost,
+		lb:         cfg.CostLB,
+		hasLB:      cfg.CostLB != nil,
+		orderings:  orderings,
+		probe:      math.Inf(1),
+		bestCycles: math.Inf(1),
+	}
+	if cfg.Incumbent != nil && e.hasLB {
+		e.costCalls++
+		if c, ok := cost(*cfg.Incumbent); ok {
+			e.probe = c
+		}
 	}
 
 	// Utilization bands are explored from high PE utilization downward,
@@ -118,7 +299,6 @@ func EnumeratePruned(l workload.Layer, cfg GenConfig, cost Cost) Result {
 	// low-parallelism mappings when links or buffers rule the big ones
 	// out. Unused slices roll over to the next band.
 	bands := [][2]float64{{0.75, 1.0}, {0.5, 0.75}, {0.25, 0.5}, {0, 0.25}}
-	res := Result{Cycles: math.Inf(1)}
 	budget := cfg.MaxN
 	for i, band := range bands {
 		share := budget / (len(bands) - i)
@@ -128,51 +308,60 @@ func EnumeratePruned(l workload.Layer, cfg GenConfig, cost Cost) Result {
 		if share > budget {
 			share = budget
 		}
-		sub := enumerateAt(l, dims, cfg, band[0], band[1], share, orderings, cost)
-		res.Evaluated += sub.Evaluated
-		if sub.Found && sub.Cycles < res.Cycles {
-			res.Best, res.Cycles, res.Found = sub.Best, sub.Cycles, true
-		}
-		budget -= sub.Evaluated
+		start := e.n
+		e.limit = e.n + share
+		e.enumerateAt(l, dims, cfg, band[0], band[1])
+		budget -= e.n - start
 		if budget <= 0 {
 			break
 		}
+	}
+
+	res := Result{
+		Best: e.best, Cycles: e.bestCycles, Found: e.found,
+		Evaluated: e.n, CostCalls: e.costCalls, LBPruned: e.pruned,
+	}
+	if len(e.skipped) > 0 && !(e.found && e.bestCycles < e.probe) {
+		// Strict fallback: the enumeration did not strictly beat the
+		// probe, so a candidate skipped on the probe's account could
+		// have been the cold run's winner (or an earlier attainer of
+		// the same cycles). Re-evaluate them in candidate order and
+		// merge with first-attainer semantics.
+		res.WarmFallback = true
+		bestN := e.bestN
+		for _, s := range e.skipped {
+			res.CostCalls++
+			c, ok := cost(s.m)
+			if !ok {
+				continue
+			}
+			if c < res.Cycles || (c == res.Cycles && res.Found && s.n < bestN) {
+				res.Best, res.Cycles, res.Found = s.m, c, true
+				bestN = s.n
+			}
+		}
+	}
+	if !res.Found {
+		res.Cycles = math.Inf(1)
+		res.Best = Mapping{}
 	}
 	return res
 }
 
 // enumerateAt runs one enumeration pass over spatial tilings whose PE
-// utilization falls in [minUtil, maxUtil], capped at maxN evaluations.
-func enumerateAt(l workload.Layer, dims [NumDims]int, cfg GenConfig, minUtil, maxUtil float64, maxN int, orderings []Mapping, cost Cost) Result {
-	res := Result{Cycles: math.Inf(1)}
-	perDim := 6
+// utilization falls in [minUtil, maxUtil], capped at the enumerator's
+// current band limit.
+func (e *enumerator) enumerateAt(l workload.Layer, dims [NumDims]int, cfg GenConfig, minUtil, maxUtil float64) {
+	const perDim = 6
+	optK := spreadDivisors(dims[DimK], perDim)
+	optC := spreadDivisors(dims[DimC], perDim)
+	optY := spreadDivisors(dims[DimY], perDim)
+	optX := spreadDivisors(dims[DimX], perDim)
 
-	spatialDims := []Dim{DimK, DimC, DimY, DimX}
-	opt := make(map[Dim][]int, len(spatialDims))
-	for _, d := range spatialDims {
-		opt[d] = pickSpread(Divisors(dims[d]), perDim)
-	}
-
-	try := func(m Mapping) bool {
-		for _, ord := range orderings {
-			mm := m
-			mm.DRAMStationary = ord.DRAMStationary
-			mm.NoCStationary = ord.NoCStationary
-			res.Evaluated++
-			if c, ok := cost(mm); ok && c < res.Cycles {
-				res.Best, res.Cycles, res.Found = mm, c, true
-			}
-			if res.Evaluated >= maxN {
-				return false
-			}
-		}
-		return true
-	}
-
-	for _, sk := range opt[DimK] {
-		for _, sc := range opt[DimC] {
-			for _, sy := range opt[DimY] {
-				for _, sx := range opt[DimX] {
+	for _, sk := range optK {
+		for _, sc := range optC {
+			for _, sy := range optY {
+				for _, sx := range optX {
 					pes := sk * sc * sy * sx
 					util := float64(pes) / float64(cfg.PEs)
 					if pes > cfg.PEs || util < minUtil || util > maxUtil {
@@ -196,23 +385,24 @@ func enumerateAt(l workload.Layer, dims [NumDims]int, cfg GenConfig, minUtil, ma
 					if cfg.BaseValid != nil && !cfg.BaseValid(base) {
 						continue
 					}
-					if !emitTemporal(l, base, dims, cfg, try) {
-						return res
+					e.setBase(pes)
+					if !e.emitTemporal(l, base, dims, cfg) {
+						return
 					}
 				}
 			}
 		}
 	}
-	return res
 }
 
 // fitOptions filters candidate factors of dimension d at level lv to those
-// whose resulting tile fits the corresponding buffer.
-func fitOptions(l workload.Layer, m Mapping, d Dim, lv Level, factors []int, capacity int, tileBytes func(workload.Layer, Mapping) int64) []int {
+// whose resulting tile fits the corresponding buffer, appending survivors to
+// dst (a scratch buffer owned by the enumerator).
+func fitOptions(l workload.Layer, m Mapping, d Dim, lv Level, factors []int, capacity int, tileBytes func(workload.Layer, Mapping) int64, dst []int) []int {
 	if capacity <= 0 {
 		return factors
 	}
-	var out []int
+	out := dst
 	for _, f := range factors {
 		trial := m
 		trial.F[d][lv] = f
@@ -225,9 +415,10 @@ func fitOptions(l workload.Layer, m Mapping, d Dim, lv Level, factors []int, cap
 
 // emitTemporal fills the RF/L2/DRAM factors of K,C,Y,X around the spatial
 // base — pruning register-file and scratchpad overflows before evaluation —
-// and emits candidate mappings until the callback declines. Filter taps are
-// placed at the RF level when they fit, at the L2/DRAM boundary otherwise.
-func emitTemporal(l workload.Layer, base Mapping, dims [NumDims]int, cfg GenConfig, try func(Mapping) bool) bool {
+// and emits candidate mappings until the band budget is exhausted. Filter
+// taps are placed at the RF level when they fit, at the L2/DRAM boundary
+// otherwise.
+func (e *enumerator) emitTemporal(l workload.Layer, base Mapping, dims [NumDims]int, cfg GenConfig) bool {
 	// Prefer filter taps resident in the RF (maximal convolution reuse).
 	taps := base
 	taps.F[DimR][LvlRF], taps.F[DimR][LvlDRAM] = dims[DimR]/base.F[DimR][LvlSpatial], 1
@@ -241,27 +432,27 @@ func emitTemporal(l workload.Layer, base Mapping, dims [NumDims]int, cfg GenConf
 	remY := dims[DimY] / base.F[DimY][LvlSpatial]
 	remX := dims[DimX] / base.F[DimX][LvlSpatial]
 
-	rfK := fitOptions(l, base, DimK, LvlRF, pickSpread(Divisors(remK), 3), cfg.L1Bytes, RFTileBytes)
+	rfK := fitOptions(l, base, DimK, LvlRF, spreadDivisors(remK, 3), cfg.L1Bytes, RFTileBytes, e.bufs[0][:0])
 	for _, fk := range rfK {
 		mk := base
 		mk.F[DimK][LvlRF] = fk
-		rfC := fitOptions(l, mk, DimC, LvlRF, pickSpread(Divisors(remC), 3), cfg.L1Bytes, RFTileBytes)
+		rfC := fitOptions(l, mk, DimC, LvlRF, spreadDivisors(remC, 3), cfg.L1Bytes, RFTileBytes, e.bufs[1][:0])
 		for _, fc := range rfC {
 			m := mk
 			m.F[DimC][LvlRF] = fc
-			l2K := fitOptions(l, m, DimK, LvlL2, pickSpread(Divisors(remK/fk), 3), cfg.L2Bytes, L2TileBytes)
+			l2K := fitOptions(l, m, DimK, LvlL2, spreadDivisors(remK/fk, 3), cfg.L2Bytes, L2TileBytes, e.bufs[2][:0])
 			for _, gk := range l2K {
 				mg := m
 				mg.F[DimK][LvlL2] = gk
-				l2C := fitOptions(l, mg, DimC, LvlL2, pickSpread(Divisors(remC/fc), 3), cfg.L2Bytes, L2TileBytes)
+				l2C := fitOptions(l, mg, DimC, LvlL2, spreadDivisors(remC/fc, 3), cfg.L2Bytes, L2TileBytes, e.bufs[3][:0])
 				for _, gc := range l2C {
 					mc := mg
 					mc.F[DimC][LvlL2] = gc
-					l2Y := fitOptions(l, mc, DimY, LvlL2, pickSpread(Divisors(remY), 3), cfg.L2Bytes, L2TileBytes)
+					l2Y := fitOptions(l, mc, DimY, LvlL2, spreadDivisors(remY, 3), cfg.L2Bytes, L2TileBytes, e.bufs[4][:0])
 					for _, gy := range l2Y {
 						my := mc
 						my.F[DimY][LvlL2] = gy
-						l2X := fitOptions(l, my, DimX, LvlL2, pickSpread(Divisors(remX), 2), cfg.L2Bytes, L2TileBytes)
+						l2X := fitOptions(l, my, DimX, LvlL2, spreadDivisors(remX, 2), cfg.L2Bytes, L2TileBytes, e.bufs[5][:0])
 						for _, gx := range l2X {
 							mm := my
 							mm.F[DimX][LvlL2] = gx
@@ -269,7 +460,7 @@ func emitTemporal(l workload.Layer, base Mapping, dims [NumDims]int, cfg GenConf
 							mm.F[DimC][LvlDRAM] = remC / fc / gc
 							mm.F[DimY][LvlDRAM] = remY / gy
 							mm.F[DimX][LvlDRAM] = remX / gx
-							if !try(mm) {
+							if !e.try(mm) {
 								return false
 							}
 						}

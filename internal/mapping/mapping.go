@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"xdse/internal/workload"
 )
@@ -213,12 +214,27 @@ func Dims(l workload.Layer) [NumDims]int {
 	return [NumDims]int{pad(k), pad(c), pad(y), pad(x), pad(r), pad(s)}
 }
 
-// Divisors returns the sorted divisors of n.
+// divisorCache memoizes Divisors per dimension size. Layer dimensions are
+// smooth-padded to a small set of values, so enumeration hot loops ask for
+// the same divisor lists millions of times across a DSE campaign; memoizing
+// removes the dominant allocation of the mapping search.
+var (
+	divisorMu    sync.RWMutex
+	divisorCache = map[int][]int{}
+)
+
+// Divisors returns the sorted divisors of n. The returned slice is memoized
+// and shared between callers: it must be treated as read-only.
 func Divisors(n int) []int {
 	if n < 1 {
-		return []int{1}
+		n = 1
 	}
-	var ds []int
+	divisorMu.RLock()
+	ds, ok := divisorCache[n]
+	divisorMu.RUnlock()
+	if ok {
+		return ds
+	}
 	for i := 1; i*i <= n; i++ {
 		if n%i == 0 {
 			ds = append(ds, i)
@@ -228,6 +244,9 @@ func Divisors(n int) []int {
 		}
 	}
 	sort.Ints(ds)
+	divisorMu.Lock()
+	divisorCache[n] = ds
+	divisorMu.Unlock()
 	return ds
 }
 

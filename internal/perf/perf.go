@@ -9,7 +9,9 @@
 package perf
 
 import (
+	"fmt"
 	"math"
+	"strings"
 
 	"xdse/internal/arch"
 	"xdse/internal/mapping"
@@ -282,6 +284,65 @@ func (b *Breakdown) MaxTNoC() (arch.Operand, float64) {
 		}
 	}
 	return best, bestT
+}
+
+// MappingSubKey returns a canonical key of exactly the design parameters
+// Evaluate reads: PEs, the L1/L2 capacities, the NoC width and per-operand
+// physical/virtual link counts, and the off-chip-bandwidth-to-frequency
+// ratio (Evaluate only ever consumes OffchipMBps and FreqMHz through
+// BytesPerCycle, so the ratio is captured as a gcd-reduced integer pair —
+// two designs at different clocks but the same bytes/cycle share a key).
+// Two designs with equal sub-keys are indistinguishable to Evaluate for
+// every (layer, mapping) pair, which is what makes the layer-grain mapping
+// cache in internal/eval sound. When adding a field to arch.Design that
+// Evaluate reads, extend this key (TestMappingSubKeyCoversDesign guards
+// against forgetting).
+func MappingSubKey(d arch.Design) string {
+	num, den := d.OffchipMBps, d.FreqMHz
+	if den <= 0 {
+		num, den = 0, 1
+	}
+	if num < 0 {
+		num = 0
+	}
+	if g := gcd(num, den); g > 1 {
+		num, den = num/g, den/g
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "pe%d,l1:%d,l2:%d,noc%d,bpc%d/%d", d.PEs, d.L1Bytes, d.L2Bytes(), d.NoCWidthBits, num, den)
+	for _, op := range arch.Operands {
+		fmt.Fprintf(&b, ",%v:%dx%d", op, d.PhysLinks[op], d.VirtLinks[op])
+	}
+	return b.String()
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// CostLowerBoundFn returns a certified lower bound on the cycles Evaluate
+// can report for any valid mapping of layer l occupying the given number of
+// spatial PEs: Cycles = max(TComp, ...) >= TComp = paddedMACs/PEsUsed. The
+// pruned enumerator uses it to skip cost calls that provably cannot beat an
+// incumbent without changing the search result.
+func CostLowerBoundFn(l workload.Layer) func(spatialPEs int) float64 {
+	dims := mapping.Dims(l)
+	macs := 1.0
+	for dim := mapping.Dim(0); dim < mapping.NumDims; dim++ {
+		macs *= float64(dims[dim])
+	}
+	return func(spatialPEs int) float64 {
+		if spatialPEs < 1 {
+			spatialPEs = 1
+		}
+		return macs / float64(spatialPEs)
+	}
 }
 
 // CostFn adapts Evaluate into the mapping.Cost callback for design d and

@@ -117,6 +117,17 @@ func (l Layer) OutputElems() int64 {
 	return int64(n.K) * int64(n.Y) * int64(n.X)
 }
 
+// ShapeKey returns a canonical key of everything the mapping search reads
+// from the layer: the operator kind, the normalized loop extents, and the
+// stride. Name and Mult are deliberately excluded — Mult only scales
+// whole-network totals after the per-occurrence search has run, so two
+// layers with equal shape keys have identical mapping-search results on any
+// given design.
+func (l Layer) ShapeKey() string {
+	n := l.normalized()
+	return fmt.Sprintf("%d|%d,%d,%d,%d,%d,%d|%d", int(n.Kind), n.K, n.C, n.Y, n.X, n.R, n.S, n.Stride)
+}
+
 // String renders the shape in a compact loop-nest notation.
 func (l Layer) String() string {
 	n := l.normalized()
