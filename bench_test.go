@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -65,7 +66,7 @@ func BenchmarkFig3(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var last exp.Run
 			for i := 0; i < b.N; i++ {
-				last = exp.RunOne(cfg, technique(name), workload.EfficientNetB0(), cfg.Budget)
+				last = exp.RunOne(context.Background(), cfg, technique(name), workload.EfficientNetB0(), cfg.Budget)
 			}
 			reportRun(b, last)
 		})
@@ -76,7 +77,7 @@ func BenchmarkFig3(b *testing.B) {
 func BenchmarkFig4(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		runs := exp.RunFig4(cfg)
+		runs := exp.RunFig4(context.Background(), cfg)
 		if i == b.N-1 && runs[1].Trace.Best != nil {
 			b.ReportMetric(runs[1].Trace.BestObjective(), "ms-latency")
 		}
@@ -94,7 +95,7 @@ func BenchmarkFig9(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var last exp.Run
 			for i := 0; i < b.N; i++ {
-				last = exp.RunOne(cfg, technique(name), workload.ResNet18(), 0)
+				last = exp.RunOne(context.Background(), cfg, technique(name), workload.ResNet18(), 0)
 				if last.Evaluations == 0 {
 					b.Fatal("no evaluations")
 				}
@@ -112,7 +113,7 @@ func BenchmarkFig10(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var last exp.Run
 			for i := 0; i < b.N; i++ {
-				last = exp.RunOne(cfg, technique(name), workload.MobileNetV2(), 0)
+				last = exp.RunOne(context.Background(), cfg, technique(name), workload.MobileNetV2(), 0)
 			}
 			reportRun(b, last)
 		})
@@ -127,7 +128,7 @@ func BenchmarkFig11(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var last exp.Run
 			for i := 0; i < b.N; i++ {
-				last = exp.RunOne(cfg, technique(name), workload.Transformer(), 0)
+				last = exp.RunOne(context.Background(), cfg, technique(name), workload.Transformer(), 0)
 			}
 			reportRun(b, last)
 		})
@@ -141,7 +142,7 @@ func BenchmarkFig12(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var last exp.Run
 			for i := 0; i < b.N; i++ {
-				last = exp.RunOne(cfg, technique(name), workload.ResNet50(), 0)
+				last = exp.RunOne(context.Background(), cfg, technique(name), workload.ResNet50(), 0)
 			}
 			b.ReportMetric(last.Trace.AreaPowerFraction()*100, "%feasible-ap")
 			b.ReportMetric(last.Trace.FeasibleFraction()*100, "%feasible-all")
@@ -156,7 +157,7 @@ func BenchmarkTable2(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var last exp.Run
 			for i := 0; i < b.N; i++ {
-				last = exp.RunOne(cfg, technique(name), workload.BERT(), cfg.DynamicBudget)
+				last = exp.RunOne(context.Background(), cfg, technique(name), workload.BERT(), cfg.DynamicBudget)
 			}
 			reportRun(b, last)
 		})
@@ -170,7 +171,7 @@ func BenchmarkTable3(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var last exp.Run
 			for i := 0; i < b.N; i++ {
-				last = exp.RunOne(cfg, technique(name), workload.VGG16(), 0)
+				last = exp.RunOne(context.Background(), cfg, technique(name), workload.VGG16(), 0)
 			}
 			b.ReportMetric(last.Trace.ReductionPerAttempt(), "%reduction/attempt")
 		})
@@ -195,7 +196,7 @@ func BenchmarkFig14(b *testing.B) {
 	cfg.CodesignBudget = 30
 	var rows []exp.Fig14Row
 	for i := 0; i < b.N; i++ {
-		rows = exp.RunFig14(cfg)
+		rows = exp.RunFig14(context.Background(), cfg)
 	}
 	if len(rows) > 0 && rows[0].DSEFPS > 0 {
 		b.ReportMetric(rows[0].DSEFPS, "fps")
@@ -303,7 +304,7 @@ func BenchmarkBatchEvaluation(b *testing.B) {
 			c.Workers = workers
 			var last exp.Run
 			for i := 0; i < b.N; i++ {
-				last = exp.RunOne(c, technique("ExplainableDSE-Codesign"), workload.ResNet18(), 30)
+				last = exp.RunOne(context.Background(), c, technique("ExplainableDSE-Codesign"), workload.ResNet18(), 30)
 			}
 			reportRun(b, last)
 		})
@@ -315,7 +316,7 @@ func BenchmarkBatchEvaluation(b *testing.B) {
 // BenchmarkPerfEvaluate measures one analytical cost-model evaluation.
 func BenchmarkPerfEvaluate(b *testing.B) {
 	space := arch.EdgeSpace()
-	d := space.Decode(space.Initial())
+	d := space.MustDecode(space.Initial())
 	l := workload.ResNet18().Layers[1]
 	m := mapping.FixedOutputStationary(l, d.PEs, d.L1Bytes, d.L2Bytes())
 	b.ReportAllocs()
@@ -334,7 +335,7 @@ func BenchmarkMappingSearch(b *testing.B) {
 	for op := 0; op < arch.NumOperands; op++ {
 		pt[arch.PVirt0+op] = 3
 	}
-	d := space.Decode(pt)
+	d := space.MustDecode(pt)
 	l := workload.ResNet18().Layers[1]
 	b.Run("pruned", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {

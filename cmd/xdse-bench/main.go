@@ -11,13 +11,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -101,13 +104,15 @@ func evalConfig(s *arch.Space, cold bool) eval.Config {
 	return cfg
 }
 
-func benchEvaluateDesign(s *arch.Space, pts []arch.Point, cold bool) (testing.BenchmarkResult, eval.Stats) {
+func benchEvaluateDesign(ctx context.Context, s *arch.Space, pts []arch.Point, cold bool) (testing.BenchmarkResult, eval.Stats) {
 	var stats eval.Stats
 	res := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e := eval.New(evalConfig(s, cold))
 			for _, pt := range pts {
-				e.Evaluate(pt)
+				// A cancelled evaluation returns immediately, so a SIGINT
+				// lands between designs instead of after the full campaign.
+				e.EvaluateCtx(ctx, pt)
 			}
 			stats = e.Stats()
 		}
@@ -124,7 +129,7 @@ func benchEnumerate(warm bool) testing.BenchmarkResult {
 	for op := 0; op < arch.NumOperands; op++ {
 		pt[arch.PVirt0+op] = 2
 	}
-	d := s.Decode(pt)
+	d := s.MustDecode(pt)
 	l := workload.ResNet18().Layers[1]
 	cfg := mapping.GenConfig{
 		PEs: d.PEs, L1Bytes: d.L1Bytes, L2Bytes: d.L2Bytes(),
@@ -158,18 +163,37 @@ func gitCommit() string {
 	return strings.TrimSpace(string(out))
 }
 
+// exitIfInterrupted aborts the run without touching the trajectory file when
+// the benchmark was signalled: a record timed against a half-cancelled
+// campaign would poison the perf baseline. Exit code 130 matches shell
+// convention for SIGINT.
+func exitIfInterrupted(ctx context.Context, outPath string) {
+	if ctx.Err() == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "xdse-bench: interrupted; no record appended to %s\n", outPath)
+	os.Exit(130)
+}
+
 func main() {
 	outPath := flag.String("out", "BENCH_eval.json", "trajectory file to append the record to")
 	points := flag.Int("points", 24, "campaign size (design points per benchmark op)")
 	flag.Parse()
 
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	s := benchSpace()
 	pts := benchPoints(s, *points)
 
-	coldRes, _ := benchEvaluateDesign(s, pts, true)
-	warmRes, warmStats := benchEvaluateDesign(s, pts, false)
+	coldRes, _ := benchEvaluateDesign(ctx, s, pts, true)
+	exitIfInterrupted(ctx, *outPath)
+	warmRes, warmStats := benchEvaluateDesign(ctx, s, pts, false)
+	exitIfInterrupted(ctx, *outPath)
 	enumCold := benchEnumerate(false)
+	exitIfInterrupted(ctx, *outPath)
 	enumWarm := benchEnumerate(true)
+	exitIfInterrupted(ctx, *outPath)
 
 	rec := Record{
 		Timestamp: time.Now().UTC().Format(time.RFC3339),

@@ -6,13 +6,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"xdse/internal/accelmodel"
 	"xdse/internal/arch"
@@ -41,8 +44,16 @@ func main() {
 		parallel = flag.Int("parallel", 1, "concurrent optimizer runs per campaign (results are identical for any value)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 		memProf  = flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
+		ckptDir  = flag.String("checkpoint", "", "checkpoint directory: journal every run's evaluations there so a killed campaign is resumable")
+		resume   = flag.Bool("resume", false, "resume from the journals in -checkpoint instead of starting fresh")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the campaign context: every run stops at its
+	// next batch boundary, checkpoints are flushed on the way out, and the
+	// partial report still renders. A second signal kills hard.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -111,6 +122,12 @@ func main() {
 		cfg.Models = ms
 	}
 	cfg.Out = os.Stdout
+	if *resume && *ckptDir == "" {
+		fmt.Fprintf(os.Stderr, "xdse: -resume requires -checkpoint\n")
+		os.Exit(2)
+	}
+	cfg.CheckpointDir = *ckptDir
+	cfg.Resume = *resume
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "xdse: %v\n", err)
@@ -127,7 +144,7 @@ func main() {
 		return
 	}
 	if *explore {
-		if err := runExplore(cfg, *spec, *mode, *quiet); err != nil {
+		if err := runExplore(ctx, cfg, *spec, *mode, *quiet); err != nil {
 			fmt.Fprintf(os.Stderr, "xdse: %v\n", err)
 			os.Exit(1)
 		}
@@ -137,11 +154,11 @@ func main() {
 	run := func(name string) {
 		switch name {
 		case "fig3":
-			exp.ReportFig3(cfg, exp.RunFig3(cfg))
+			exp.ReportFig3(cfg, exp.RunFig3(ctx, cfg))
 		case "fig4":
-			exp.ReportFig4(cfg, exp.RunFig4(cfg))
+			exp.ReportFig4(cfg, exp.RunFig4(ctx, cfg))
 		case "fig9", "fig10", "fig12", "table3", "static":
-			c := exp.RunCampaign(cfg, exp.AllTechniques(), cfg.Models, 0)
+			c := exp.RunCampaign(ctx, cfg, exp.AllTechniques(), cfg.Models, 0)
 			exp.ReportFig9(cfg, c, "Fig9 (static exploration)")
 			exp.ReportFig10(cfg, c)
 			exp.ReportFig12(cfg, c)
@@ -156,24 +173,24 @@ func main() {
 			fmt.Printf("Headline vs black-box codesign only (like-for-like): %.1fx lower latency, %.1fx fewer iterations, %.1fx less time\n",
 				sc.LatencyRatioVsBest, sc.IterRatio, sc.TimeRatio)
 		case "table2":
-			c := exp.RunCampaign(cfg, exp.AllTechniques(), cfg.Models, cfg.DynamicBudget)
+			c := exp.RunCampaign(ctx, cfg, exp.AllTechniques(), cfg.Models, cfg.DynamicBudget)
 			exp.ReportFig9(cfg, c, fmt.Sprintf("Table2 (dynamic DSE, %d iterations)", cfg.DynamicBudget))
 		case "fig11":
-			exp.ReportFig11(cfg, exp.RunFig11(cfg))
+			exp.ReportFig11(cfg, exp.RunFig11(ctx, cfg))
 		case "table7":
 			exp.ReportTable7(cfg, exp.RunTable7(cfg))
 		case "fig14":
-			exp.ReportFig14(cfg, exp.RunFig14(cfg))
+			exp.ReportFig14(cfg, exp.RunFig14(ctx, cfg))
 		case "fig15":
 			exp.ReportFig15(cfg, exp.RunFig15(cfg))
 		case "ablation":
-			exp.ReportAblations(cfg, exp.RunAblations(cfg))
+			exp.ReportAblations(cfg, exp.RunAblations(ctx, cfg))
 		case "energy":
-			exp.ReportEnergyObjective(cfg, exp.RunEnergyObjective(cfg))
+			exp.ReportEnergyObjective(cfg, exp.RunEnergyObjective(ctx, cfg))
 		case "multiworkload":
-			exp.ReportMultiWorkload(cfg, exp.RunMultiWorkload(cfg))
+			exp.ReportMultiWorkload(cfg, exp.RunMultiWorkload(ctx, cfg))
 		case "joint":
-			exp.ReportJointVsTwoStage(cfg, exp.RunJointVsTwoStage(cfg))
+			exp.ReportJointVsTwoStage(cfg, exp.RunJointVsTwoStage(ctx, cfg))
 		default:
 			fmt.Fprintf(os.Stderr, "xdse: unknown experiment %q\n", name)
 			os.Exit(2)
@@ -182,17 +199,38 @@ func main() {
 
 	if *expName == "all" {
 		for _, name := range []string{"fig3", "fig4", "fig9", "table2", "fig11", "table7", "fig14", "fig15", "ablation", "energy", "multiworkload", "joint"} {
+			if ctx.Err() != nil {
+				break
+			}
 			run(name)
 		}
+		exitIfInterrupted(ctx, *ckptDir)
 		return
 	}
 	run(*expName)
+	exitIfInterrupted(ctx, *ckptDir)
+}
+
+// exitIfInterrupted finishes an interrupted invocation: the partial report
+// has already rendered, so say how to pick the campaign back up and exit
+// with the conventional SIGINT status.
+func exitIfInterrupted(ctx context.Context, ckptDir string) {
+	if ctx.Err() == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "\nxdse: interrupted; report above is partial\n")
+	if ckptDir != "" {
+		fmt.Fprintf(os.Stderr, "xdse: resumable from %s (re-run with -checkpoint %s -resume)\n", ckptDir, ckptDir)
+	} else {
+		fmt.Fprintf(os.Stderr, "xdse: run with -checkpoint DIR to make interrupted campaigns resumable\n")
+	}
+	os.Exit(130)
 }
 
 // runExplore performs one ad-hoc Explainable-DSE exploration over a
 // (possibly user-specified) design space, printing the bottleneck reasoning
 // behind every acquisition.
-func runExplore(cfg exp.Config, specPath, mode string, quiet bool) error {
+func runExplore(ctx context.Context, cfg exp.Config, specPath, mode string, quiet bool) error {
 	specText := arch.EdgeSpaceSpec
 	if specPath != "" {
 		data, err := os.ReadFile(specPath)
@@ -235,7 +273,10 @@ func runExplore(cfg exp.Config, specPath, mode string, quiet bool) error {
 	}
 	fmt.Printf("exploring %v over %s designs (%s, budget %d)\n\n", names, space.Size(), mode, cfg.Budget)
 
-	tr := ex.Run(ev.Problem(cfg.Budget), rand.New(rand.NewSource(cfg.Seed)))
+	tr := ex.Run(ev.ProblemCtx(ctx, cfg.Budget), rand.New(rand.NewSource(cfg.Seed)))
+	if ctx.Err() != nil {
+		fmt.Printf("\ninterrupted after %d designs; partial results below\n", tr.Evaluations)
+	}
 	fmt.Printf("\n%d designs evaluated, %.0f%% of acquisitions feasible\n",
 		tr.Evaluations, tr.FeasibleFraction()*100)
 	if tr.Best == nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestParseDesignOverrides(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := space.Decode(pt)
+	d := space.MustDecode(pt)
 	if d.PEs != 512 {
 		t.Fatalf("PEs = %d", d.PEs)
 	}
@@ -52,14 +53,14 @@ func TestParseDesignErrors(t *testing.T) {
 
 func TestRunExploreRejectsBadMode(t *testing.T) {
 	cfg := testConfig()
-	if err := runExplore(cfg, "", "warp", true); err == nil || !strings.Contains(err.Error(), "mode") {
+	if err := runExplore(context.Background(), cfg, "", "warp", true); err == nil || !strings.Contains(err.Error(), "mode") {
 		t.Fatalf("bad mode accepted: %v", err)
 	}
 }
 
 func TestRunExploreRejectsMissingSpec(t *testing.T) {
 	cfg := testConfig()
-	if err := runExplore(cfg, "/nonexistent/spec", "fixdf", true); err == nil {
+	if err := runExplore(context.Background(), cfg, "/nonexistent/spec", "fixdf", true); err == nil {
 		t.Fatal("missing spec file accepted")
 	}
 }

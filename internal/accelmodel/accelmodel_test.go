@@ -193,7 +193,7 @@ func TestBandwidthFormula(t *testing.T) {
 	le.Perf.TDMA = 1000
 	le.Perf.DataOffchip[arch.OpW] = 3000
 	le.Perf.DataOffchip[arch.OpI] = 1000
-	d := space.Decode(space.Initial())
+	d := space.MustDecode(space.Initial())
 	preds := m.predictDMA(2.0, arch.OpW, le, d)
 	wantBW := int(math.Ceil(4000.0 / 500.0 * float64(d.FreqMHz)))
 	found := false
@@ -217,7 +217,7 @@ func TestNoCWidthClampedToBroadcast(t *testing.T) {
 	le.Perf.Valid = true
 	le.Perf.NoCBytesPerGroup[arch.OpI] = 6 // cap = 48 bits
 	le.Perf.NoCGroups[arch.OpI] = 4
-	d := space.Decode(space.Initial()) // width 16, 1 link
+	d := space.MustDecode(space.Initial()) // width 16, 1 link
 	preds := m.predictNoC(8.0, arch.OpI, le, d)
 	for _, p := range preds {
 		if space.Params[p.Param].Name == "noc_width_bits" {
@@ -236,7 +236,7 @@ func TestNoCLinksClampedToGroups(t *testing.T) {
 	le.Perf.Valid = true
 	le.Perf.NoCBytesPerGroup[arch.OpI] = 1000 // width unclamped
 	le.Perf.NoCGroups[arch.OpI] = 3
-	d := space.Decode(space.Initial())
+	d := space.MustDecode(space.Initial())
 	preds := m.predictNoC(16.0, arch.OpI, le, d)
 	for _, p := range preds {
 		if space.Params[p.Param].Name == "phys_unicast_I" {
@@ -264,7 +264,7 @@ func TestAmdahlScaling(t *testing.T) {
 	le.Perf.DataSPM[2] = 1024
 	le.Perf.ReuseAvailSPM[1] = 1
 	le.Perf.ReuseAvailSPM[2] = 1
-	d := space.Decode(space.Initial()) // L2 = 64 KB
+	d := space.MustDecode(space.Initial()) // L2 = 64 KB
 	preds := m.predictDMA(4.0, arch.OpW, le, d)
 	for _, p := range preds {
 		if space.Params[p.Param].Name == "L2_KB" {
@@ -345,7 +345,7 @@ func TestMitigateIncompatiblePredictsVirtualLinks(t *testing.T) {
 func TestAreaPowerTrees(t *testing.T) {
 	space, _, _ := setup()
 	var em energy.Model
-	est := em.Estimate(space.Decode(space.Initial()))
+	est := em.Estimate(space.MustDecode(space.Initial()))
 	at := AreaTree(est)
 	if err := at.Validate(); err != nil {
 		t.Fatal(err)
@@ -409,7 +409,7 @@ func TestMitigateDispatchNoC(t *testing.T) {
 
 func TestMitigateIncompatibleBufferOverflows(t *testing.T) {
 	space, m, _ := setup()
-	d := space.Decode(space.Initial())
+	d := space.MustDecode(space.Initial())
 	le := eval.LayerEval{Layer: workload.ResNet18().Layers[0]}
 	le.Perf.Incompat = "RF tile exceeds L1 capacity"
 	le.Perf.IncompatCount = 1
@@ -431,7 +431,7 @@ func TestMitigateIncompatibleBufferOverflows(t *testing.T) {
 func TestCurrentPhysicalResolvesEveryParameter(t *testing.T) {
 	space, m, _ := setup()
 	pt := compatiblePoint(space)
-	d := space.Decode(pt)
+	d := space.MustDecode(pt)
 	for i, p := range space.Params {
 		got := m.currentPhysical(i, d)
 		want := space.PhysicalValue(i, pt[i], d.PEs)
@@ -450,7 +450,7 @@ func TestParamIndexUnknown(t *testing.T) {
 
 func TestPredictSpatialEnableCapsAtPEs(t *testing.T) {
 	space, m, _ := setup()
-	d := space.Decode(space.Initial()) // 64 PEs
+	d := space.MustDecode(space.Initial()) // 64 PEs
 	le := eval.LayerEval{Layer: workload.ResNet18().Layers[1]}
 	le.Perf.Valid = true
 	le.Perf.PEsUsed = 32

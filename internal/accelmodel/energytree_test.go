@@ -96,7 +96,7 @@ func TestEnergyObjectiveMitigationGrowsBuffers(t *testing.T) {
 
 func TestPredictSpatialEnableVirtFirst(t *testing.T) {
 	space, m, _ := setup()
-	d := space.Decode(space.Initial()) // 64 PEs, 1 link, 1 virt per NoC
+	d := space.MustDecode(space.Initial()) // 64 PEs, 1 link, 1 virt per NoC
 	le := eval.LayerEval{Layer: workload.ResNet18().Layers[1]}
 	le.Perf.Valid = true
 	le.Perf.PEsUsed = 1
@@ -123,7 +123,7 @@ func TestPredictSpatialEnableLinksWhenVirtMaxed(t *testing.T) {
 	for op := 0; op < arch.NumOperands; op++ {
 		pt[arch.PVirt0+op] = 3 // 512-way, the maximum
 	}
-	d := space.Decode(pt)
+	d := space.MustDecode(pt)
 	le := eval.LayerEval{Layer: workload.ResNet18().Layers[1]}
 	le.Perf.Valid = true
 	le.Perf.PEsUsed = 1
@@ -145,7 +145,7 @@ func TestPredictSpatialEnableLinksWhenVirtMaxed(t *testing.T) {
 
 func TestMitigateEnergyDispatch(t *testing.T) {
 	space, _, _ := setup()
-	d := space.Decode(compatiblePoint(space))
+	d := space.MustDecode(compatiblePoint(space))
 	le := eval.LayerEval{Layer: workload.ResNet18().Layers[1]}
 	le.Perf.Valid = true
 	le.Perf.DataOffchip[arch.OpI] = 1e6

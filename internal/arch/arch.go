@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"strconv"
 	"strings"
 )
 
@@ -220,6 +221,26 @@ func (pt Point) Key() string {
 	return b.String()
 }
 
+// ParseKey inverts Point.Key, rebuilding the point from its cache-key form.
+// It is the checkpoint-resume path back from journaled keys to evaluable
+// points; the result is syntactically parsed only — validate it against a
+// Space with CheckPoint before decoding.
+func ParseKey(key string) (Point, error) {
+	if key == "" {
+		return nil, fmt.Errorf("arch: empty point key")
+	}
+	parts := strings.Split(key, ",")
+	pt := make(Point, len(parts))
+	for i, s := range parts {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("arch: point key %q: %w", key, err)
+		}
+		pt[i] = v
+	}
+	return pt, nil
+}
+
 // EdgeSpace constructs the Table 1 design space for edge DNN inference
 // accelerators: 7 PE options, 8 L1 sizes, 7 L2 sizes, 10 bandwidths, 16 NoC
 // widths, 64 physical-unicast fractions and 4 virtual-unicast degrees per
@@ -296,14 +317,32 @@ func (s *Space) Clamp(i, idx int) int {
 	return idx
 }
 
+// CheckPoint reports whether a point is well-formed for this space: the
+// arity matches the parameter list and every index addresses a declared
+// value. Points built through Space methods always pass; the check exists so
+// externally supplied points (resumed journals, hand-written initials) fail
+// with a diagnosable error instead of an out-of-range panic deep in Decode.
+func (s *Space) CheckPoint(pt Point) error {
+	if len(pt) != len(s.Params) {
+		return fmt.Errorf("arch: point arity %d != %d params", len(pt), len(s.Params))
+	}
+	for i, p := range s.Params {
+		if pt[i] < 0 || pt[i] >= len(p.Values) {
+			return fmt.Errorf("arch: parameter %q index %d out of range [0,%d)", p.Name, pt[i], len(p.Values))
+		}
+	}
+	return nil
+}
+
 // Decode materializes a design from a point. Parameters are matched by
 // name, so partial or custom spaces decode too: any accelerator field whose
 // parameter the space does not declare keeps a neutral default of 1 (16 for
-// the NoC width). Decode panics if the point has the wrong arity; callers
-// construct points only through Space methods.
-func (s *Space) Decode(pt Point) Design {
-	if len(pt) != len(s.Params) {
-		panic(fmt.Sprintf("arch: point arity %d != %d params", len(pt), len(s.Params)))
+// the NoC width). A malformed point (wrong arity or an out-of-range index)
+// returns an error rather than panicking; callers that construct points only
+// through Space methods can use MustDecode.
+func (s *Space) Decode(pt Point) (Design, error) {
+	if err := s.CheckPoint(pt); err != nil {
+		return Design{}, err
 	}
 	d := Design{
 		PEs: 1, L1Bytes: 1, L2KB: 1, OffchipMBps: 1, NoCWidthBits: 16,
@@ -341,6 +380,17 @@ func (s *Space) Decode(pt Point) Design {
 				}
 			}
 		}
+	}
+	return d, nil
+}
+
+// MustDecode is Decode for points known well-formed by construction (built
+// through Space methods); it panics on a malformed point the way
+// regexp.MustCompile panics on a bad pattern.
+func (s *Space) MustDecode(pt Point) Design {
+	d, err := s.Decode(pt)
+	if err != nil {
+		panic(err)
 	}
 	return d
 }

@@ -39,7 +39,7 @@ func TestEdgeSpaceSize(t *testing.T) {
 
 func TestDecodeInitial(t *testing.T) {
 	s := EdgeSpace()
-	d := s.Decode(s.Initial())
+	d := s.MustDecode(s.Initial())
 	if d.PEs != 64 || d.L1Bytes != 8 || d.L2KB != 64 || d.OffchipMBps != 1024 || d.NoCWidthBits != 16 {
 		t.Fatalf("initial design = %v", d)
 	}
@@ -64,7 +64,7 @@ func TestDecodePERelativeLinks(t *testing.T) {
 	pt := s.Initial()
 	pt[PPEs] = 3 // 512 PEs
 	pt[PPhys0] = 15
-	d := s.Decode(pt)
+	d := s.MustDecode(pt)
 	if d.PEs != 512 {
 		t.Fatalf("PEs = %d", d.PEs)
 	}
@@ -77,7 +77,7 @@ func TestDecodeAllRandomValid(t *testing.T) {
 	s := EdgeSpace()
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 200; i++ {
-		d := s.Decode(s.Random(rng))
+		d := s.MustDecode(s.Random(rng))
 		if err := d.Valid(); err != nil {
 			t.Fatalf("random design invalid: %v", err)
 		}
@@ -182,12 +182,12 @@ func TestBytesPerCycle(t *testing.T) {
 
 func TestDesignValidRejects(t *testing.T) {
 	s := EdgeSpace()
-	d := s.Decode(s.Initial())
+	d := s.MustDecode(s.Initial())
 	d.PhysLinks[0] = d.PEs + 1
 	if err := d.Valid(); err == nil {
 		t.Fatal("links > PEs should be invalid")
 	}
-	d = s.Decode(s.Initial())
+	d = s.MustDecode(s.Initial())
 	d.L2KB = 0
 	if err := d.Valid(); err == nil {
 		t.Fatal("zero L2 should be invalid")

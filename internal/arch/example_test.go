@@ -23,7 +23,7 @@ param offchip_MBps list 1024 4096 8192
 	pt := space.Initial()
 	pt[0] = 2 // 256 PEs
 	pt[2] = 1 // 4096 MBps
-	d := space.Decode(pt)
+	d := space.MustDecode(pt)
 	fmt.Printf("PEs=%d L2=%dKB BW=%dMBps\n", d.PEs, d.L2KB, d.OffchipMBps)
 	// Output:
 	// designs: 60

@@ -32,7 +32,7 @@ func FuzzParseSpace(f *testing.F) {
 			}
 		}
 		// Accepted spaces must decode their initial point.
-		_ = s.Decode(s.Initial())
+		_ = s.MustDecode(s.Initial())
 		if !strings.Contains(spec, "param") {
 			t.Fatal("space without param directives accepted")
 		}

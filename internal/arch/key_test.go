@@ -1,0 +1,80 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+// Malformed points must surface as errors, not index panics: the resume path
+// feeds journaled keys straight into Decode.
+func TestCheckPointMalformed(t *testing.T) {
+	s := EdgeSpace()
+
+	good := s.Initial()
+	if err := s.CheckPoint(good); err != nil {
+		t.Fatalf("CheckPoint(Initial) = %v, want nil", err)
+	}
+
+	cases := []struct {
+		name string
+		pt   Point
+		want string
+	}{
+		{"short arity", good[:len(good)-1], "arity"},
+		{"long arity", append(good.Clone(), 0), "arity"},
+		{"negative index", func() Point { p := good.Clone(); p[PPEs] = -1; return p }(), "out of range"},
+		{"overflow index", func() Point { p := good.Clone(); p[PL1] = 99; return p }(), "out of range"},
+		{"nil point", nil, "arity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := s.CheckPoint(tc.pt)
+			if err == nil {
+				t.Fatalf("CheckPoint(%v) = nil, want error containing %q", tc.pt, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("CheckPoint(%v) = %q, want substring %q", tc.pt, err, tc.want)
+			}
+			if _, derr := s.Decode(tc.pt); derr == nil {
+				t.Errorf("Decode(%v) = nil error, want the CheckPoint failure", tc.pt)
+			}
+		})
+	}
+}
+
+func TestMustDecodePanicsOnMalformed(t *testing.T) {
+	s := EdgeSpace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustDecode on a malformed point did not panic")
+		}
+	}()
+	s.MustDecode(Point{1})
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	s := EdgeSpace()
+	pts := []Point{
+		s.Initial(),
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 0},
+	}
+	// Keep the hand-written point within the space arity.
+	pts[1] = pts[1][:len(s.Params)]
+	for _, pt := range pts {
+		got, err := ParseKey(pt.Key())
+		if err != nil {
+			t.Fatalf("ParseKey(%q): %v", pt.Key(), err)
+		}
+		if !got.Equal(pt) {
+			t.Errorf("ParseKey(Key(%v)) = %v", pt, got)
+		}
+	}
+}
+
+func TestParseKeyMalformed(t *testing.T) {
+	for _, key := range []string{"", "1,2,x", "1,,2", "1.5", "1, 2"} {
+		if pt, err := ParseKey(key); err == nil {
+			t.Errorf("ParseKey(%q) = %v, want error", key, pt)
+		}
+	}
+}

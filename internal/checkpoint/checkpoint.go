@@ -1,0 +1,428 @@
+// Package checkpoint makes long exploration campaigns crash-safe: every
+// unique design evaluation is appended to a per-run journal the moment it
+// completes, so a killed run can resume without losing (or re-charging)
+// evaluated designs. The journal is an append-only JSONL file whose lines
+// carry a CRC32 and which is periodically compacted into an atomically
+// renamed snapshot; a torn trailing write — the signature of a hard kill —
+// is detected by the CRC and dropped with a warning rather than poisoning
+// the resume.
+//
+// Resume model: the journal is a durable memo, not a program counter. A
+// resumed run re-executes its (deterministic) optimizer from the start;
+// journaled designs are answered from the replayed records instead of being
+// recomputed, and the evaluator's unique-design accounting is pre-seeded
+// with the journaled keys, so the resumed trace — steps, best solution, and
+// budget spent — is bit-identical to an uninterrupted run's regardless of
+// where the kill landed.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"xdse/internal/search"
+)
+
+// journalFile and snapshotFile name the two on-disk halves of a checkpoint
+// directory: the append-only tail and the last compacted prefix.
+const (
+	journalFile  = "journal.jsonl"
+	snapshotFile = "snapshot.jsonl"
+)
+
+// Record is one journaled design evaluation: the design's point key, its
+// scalar evaluation outcome, and the journal sequence number it was written
+// at. The domain payload (Costs.Raw) is deliberately not persisted — replay
+// rematerializes it on demand through the evaluator, which is deterministic.
+type Record struct {
+	// Step is the journal sequence number (0-based, unique per run).
+	Step int
+	// Key is the design point's cache key (arch.Point.Key).
+	Key string
+	// Costs is the evaluation outcome, with Raw stripped.
+	Costs search.Costs
+}
+
+// line is the JSON wire form of a Record. Floats travel as hex-float
+// strings (strconv 'x' format) so the round trip is bit-exact and ±Inf/NaN
+// — legal objective values for unevaluable designs — survive, which plain
+// JSON numbers cannot guarantee.
+type line struct {
+	Step       int    `json:"step"`
+	Key        string `json:"key"`
+	Objective  string `json:"obj"`
+	Feasible   bool   `json:"feasible"`
+	MeetsAP    bool   `json:"meets_ap"`
+	BudgetUtil string `json:"budget"`
+	Violations int    `json:"violations"`
+	Err        string `json:"err,omitempty"`
+}
+
+// formatF renders a float for the journal: shortest hex form that parses
+// back to the identical bits (Inf and NaN included).
+func formatF(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+// parseF is the inverse of formatF.
+func parseF(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+// encode renders a Record as one CRC'd journal line (newline included).
+func encode(r Record) ([]byte, error) {
+	data, err := json.Marshal(line{
+		Step:       r.Step,
+		Key:        r.Key,
+		Objective:  formatF(r.Costs.Objective),
+		Feasible:   r.Costs.Feasible,
+		MeetsAP:    r.Costs.MeetsAreaPower,
+		BudgetUtil: formatF(r.Costs.BudgetUtil),
+		Violations: r.Costs.Violations,
+		Err:        r.Costs.Err,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []byte(fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(data), data)), nil
+}
+
+// decode parses one journal line (without its trailing newline), verifying
+// the CRC before trusting the payload.
+func decode(text string) (Record, error) {
+	if len(text) < 9 || text[8] != ' ' {
+		return Record{}, fmt.Errorf("checkpoint: malformed line %q", truncateForErr(text))
+	}
+	want, err := strconv.ParseUint(text[:8], 16, 32)
+	if err != nil {
+		return Record{}, fmt.Errorf("checkpoint: bad CRC field: %w", err)
+	}
+	payload := text[9:]
+	if got := crc32.ChecksumIEEE([]byte(payload)); got != uint32(want) {
+		return Record{}, fmt.Errorf("checkpoint: CRC mismatch (want %08x, got %08x)", want, got)
+	}
+	var l line
+	if err := json.Unmarshal([]byte(payload), &l); err != nil {
+		return Record{}, fmt.Errorf("checkpoint: bad JSON: %w", err)
+	}
+	obj, err := parseF(l.Objective)
+	if err != nil {
+		return Record{}, fmt.Errorf("checkpoint: bad objective: %w", err)
+	}
+	budget, err := parseF(l.BudgetUtil)
+	if err != nil {
+		return Record{}, fmt.Errorf("checkpoint: bad budget: %w", err)
+	}
+	return Record{
+		Step: l.Step,
+		Key:  l.Key,
+		Costs: search.Costs{
+			Objective:      obj,
+			Feasible:       l.Feasible,
+			MeetsAreaPower: l.MeetsAP,
+			BudgetUtil:     budget,
+			Violations:     l.Violations,
+			Err:            l.Err,
+		},
+	}, nil
+}
+
+// truncateForErr bounds corrupt-line excerpts embedded in error messages.
+func truncateForErr(s string) string {
+	if len(s) > 40 {
+		return s[:40] + "…"
+	}
+	return s
+}
+
+// Options tunes a journal's durability/throughput trade-off.
+type Options struct {
+	// Fresh discards any existing journal in the directory instead of
+	// resuming from it (a new run that happens to reuse a directory).
+	Fresh bool
+	// SyncEvery is the fsync cadence in appended records: the journal is
+	// flushed and fsync'd after every SyncEvery-th append, bounding how
+	// many evaluations a hard kill can lose. 0 selects the default (16);
+	// negative syncs only on Flush/Close (fastest, weakest).
+	SyncEvery int
+	// SnapshotEvery compacts the full record set into an atomically
+	// renamed snapshot (and truncates the journal tail) every N appends.
+	// 0 selects the default (512); negative disables snapshotting.
+	SnapshotEvery int
+	// Warnf, when non-nil, receives non-fatal recovery warnings (torn or
+	// CRC-failing lines dropped during load). The default discards them.
+	Warnf func(format string, args ...any)
+}
+
+func (o Options) syncEvery() int {
+	if o.SyncEvery == 0 {
+		return 16
+	}
+	return o.SyncEvery
+}
+
+func (o Options) snapshotEvery() int {
+	if o.SnapshotEvery == 0 {
+		return 512
+	}
+	return o.SnapshotEvery
+}
+
+func (o Options) warnf(format string, args ...any) {
+	if o.Warnf != nil {
+		o.Warnf(format, args...)
+	}
+}
+
+// Journal is one run's open checkpoint: the records replayed from disk at
+// Open plus everything appended since. It is safe for concurrent Append
+// from evaluation workers.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	f         *os.File
+	w         *bufio.Writer
+	seen      map[string]bool
+	recs      []Record // full record set, snapshot source
+	replayed  int      // how many of recs were loaded from disk at Open
+	unsynced  int
+	sinceSnap int
+	closed    bool
+}
+
+// Open opens (creating if needed) the checkpoint directory for one run,
+// loads every intact record unless opts.Fresh, and readies the journal for
+// appends. Corrupt or torn trailing lines are dropped with a warning — the
+// expected aftermath of a hard kill — never a fatal error.
+func Open(dir string, opts Options) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if opts.Fresh {
+		for _, name := range []string{snapshotFile, journalFile} {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+				return nil, err
+			}
+		}
+	}
+	recs, err := Load(dir, opts.Warnf)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{
+		dir:      dir,
+		opts:     opts,
+		f:        f,
+		w:        bufio.NewWriter(f),
+		seen:     make(map[string]bool, len(recs)),
+		recs:     recs,
+		replayed: len(recs),
+	}
+	for _, r := range recs {
+		j.seen[r.Key] = true
+	}
+	return j, nil
+}
+
+// Load reads every intact record from a checkpoint directory (snapshot
+// first, then the journal tail), deduplicated by design key with the first
+// occurrence winning. A line that is truncated or fails its CRC — and
+// everything after it in that file — is dropped via warnf; Load only errors
+// on I/O failures, never on corrupt content.
+func Load(dir string, warnf func(format string, args ...any)) ([]Record, error) {
+	warn := func(format string, args ...any) {
+		if warnf != nil {
+			warnf(format, args...)
+		}
+	}
+	var recs []Record
+	seen := make(map[string]bool)
+	for _, name := range []string{snapshotFile, journalFile} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		rest := string(data)
+		lineNo := 0
+		for rest != "" {
+			lineNo++
+			text, tail, complete := strings.Cut(rest, "\n")
+			if !complete {
+				warn("checkpoint: %s/%s line %d: torn write (no newline), dropping", dir, name, lineNo)
+				break
+			}
+			rest = tail
+			rec, err := decode(text)
+			if err != nil {
+				warn("checkpoint: %s/%s line %d: %v — dropping this and later lines", dir, name, lineNo, err)
+				break
+			}
+			if seen[rec.Key] {
+				continue
+			}
+			seen[rec.Key] = true
+			recs = append(recs, rec)
+		}
+	}
+	return recs, nil
+}
+
+// Dir returns the checkpoint directory this journal persists into.
+func (j *Journal) Dir() string { return j.dir }
+
+// Replayed returns the records that were loaded from disk when the journal
+// was opened — the resume set. The returned slice is shared; callers must
+// not mutate it.
+func (j *Journal) Replayed() []Record { return j.recs[:j.replayed] }
+
+// Len returns the total number of records (replayed plus appended).
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.recs)
+}
+
+// Append journals one completed design evaluation. Appends are deduplicated
+// by key — re-acquisitions of memoized designs are free in the budget and
+// therefore absent from the journal. Safe for concurrent use.
+func (j *Journal) Append(key string, c search.Costs) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("checkpoint: append to closed journal")
+	}
+	if j.seen[key] {
+		return nil
+	}
+	c.Raw = nil
+	rec := Record{Step: len(j.recs), Key: key, Costs: c}
+	data, err := encode(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := j.w.Write(data); err != nil {
+		return err
+	}
+	j.seen[key] = true
+	j.recs = append(j.recs, rec)
+	j.unsynced++
+	j.sinceSnap++
+	if n := j.opts.syncEvery(); n > 0 && j.unsynced >= n {
+		if err := j.flushLocked(); err != nil {
+			return err
+		}
+	}
+	if n := j.opts.snapshotEvery(); n > 0 && j.sinceSnap >= n {
+		if err := j.snapshotLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushLocked drains the buffer and fsyncs the journal. Caller holds j.mu.
+func (j *Journal) flushLocked() error {
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.unsynced = 0
+	return nil
+}
+
+// Flush forces buffered records to stable storage (the shutdown path).
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	return j.flushLocked()
+}
+
+// snapshotLocked compacts the full record set into snapshotFile via
+// write-temp + fsync + atomic rename, then truncates the journal tail. A
+// crash at any point leaves either the old snapshot + full journal or the
+// new snapshot (+ a possibly duplicated tail, which Load dedups). Caller
+// holds j.mu.
+func (j *Journal) snapshotLocked() error {
+	if err := j.flushLocked(); err != nil {
+		return err
+	}
+	tmpPath := filepath.Join(j.dir, snapshotFile+".tmp")
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(tmp)
+	for _, r := range j.recs {
+		data, err := encode(r)
+		if err == nil {
+			_, err = bw.Write(data)
+		}
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+	}
+	if err := bw.Flush(); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, filepath.Join(j.dir, snapshotFile)); err != nil {
+		return err
+	}
+	// Truncate the journal tail: its content now lives in the snapshot.
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(j.dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	j.sinceSnap = 0
+	return nil
+}
+
+// Close flushes, fsyncs, and closes the journal. Idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

@@ -152,7 +152,7 @@ func (e *Explorer) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
 	if share < 2 {
 		share = 2
 	}
-	for i := 0; i < restarts && t.Evaluations < p.Budget; i++ {
+	for i := 0; i < restarts && t.Evaluations < p.Budget && !p.Cancelled(); i++ {
 		initial := p.Start()
 		if i > 0 {
 			initial = p.Space.Random(rng)
@@ -178,6 +178,15 @@ func (e *Explorer) runFrom(p *search.Problem, t *search.Trace, initial arch.Poin
 
 	cur := initial.Clone()
 	curCosts := p.Evaluate(cur)
+	// Cancellation contract: a cancelled evaluation is never recorded, so
+	// an interrupted trace is a clean batch-boundary prefix of the
+	// uninterrupted one (what makes kill-and-resume bit-identical).
+	if p.Cancelled() {
+		return
+	}
+	// The solution's Raw payload drives the bottleneck analysis; replayed
+	// costs carry a Deferred thunk that must be materialized on adoption.
+	curCosts.Raw = search.ResolveRaw(curCosts.Raw)
 	if !left(t.Record(p, cur, curCosts)) {
 		return
 	}
@@ -222,6 +231,9 @@ func (e *Explorer) runFrom(p *search.Problem, t *search.Trace, initial arch.Poin
 			pts[i] = cands[i].pt
 		}
 		costs := p.EvaluateBatch(pts)
+		if p.Cancelled() {
+			return
+		}
 
 		var evs []evaluated
 		budgetLeft := true
@@ -243,6 +255,7 @@ func (e *Explorer) runFrom(p *search.Problem, t *search.Trace, initial arch.Poin
 			e.logf(o, "attempt %d: new solution (%s): obj=%.4g feasible=%v budget=%.2f point=%s\n",
 				attempt, why, nextCosts.Objective, nextCosts.Feasible, nextCosts.BudgetUtil, describePoint(p.Space, next))
 			cur, curCosts = next, nextCosts
+			curCosts.Raw = search.ResolveRaw(curCosts.Raw)
 			stale = 0
 			// A new solution re-opens previously blocked ranges.
 			blocked = map[dirKey]bool{}

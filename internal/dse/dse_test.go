@@ -36,7 +36,7 @@ type toyModel struct {
 }
 
 func (m *toyModel) evaluate(pt arch.Point) search.Costs {
-	d := m.space.Decode(pt)
+	d := m.space.MustDecode(pt)
 	ev := &toyEval{pes: d.PEs, bw: d.OffchipMBps}
 	ev.comp = m.compWork / float64(d.PEs)
 	ev.dma = m.dmaWork / float64(d.OffchipMBps)
@@ -157,7 +157,7 @@ func TestExplorerConvergesOnToyDomain(t *testing.T) {
 	if tr.Evaluations > 80 {
 		t.Fatalf("used %d evaluations", tr.Evaluations)
 	}
-	d := p.Space.Decode(tr.Best)
+	d := p.Space.MustDecode(tr.Best)
 	if d.PEs <= 64 || d.OffchipMBps <= 1024 {
 		t.Fatalf("engine never scaled the bottleneck parameters: %v", d)
 	}
@@ -200,7 +200,7 @@ func TestExplorerConstraintMitigation(t *testing.T) {
 	if tr.Best == nil {
 		t.Fatal("never recovered feasibility")
 	}
-	d := p.Space.Decode(tr.Best)
+	d := p.Space.MustDecode(tr.Best)
 	if a := 0.012*float64(d.PEs) + 0.0002*float64(d.OffchipMBps); a > m.areaCap {
 		t.Fatalf("best design still violates area: %v", a)
 	}

@@ -49,7 +49,7 @@ func TestAcquireRoundsUpAndSteps(t *testing.T) {
 	if len(cands) != 1 {
 		t.Fatalf("candidates = %d", len(cands))
 	}
-	if got := space.Decode(cands[0].pt).PEs; got != 128 {
+	if got := space.MustDecode(cands[0].pt).PEs; got != 128 {
 		t.Fatalf("rounded PEs = %d, want 128", got)
 	}
 
@@ -57,7 +57,7 @@ func TestAcquireRoundsUpAndSteps(t *testing.T) {
 	// the predicted direction (no wasted attempt).
 	preds = []search.Prediction{{Param: arch.PPEs, Value: 64}}
 	cands = e.acquire(p, cur, preds, map[dirKey]bool{})
-	if len(cands) != 1 || space.Decode(cands[0].pt).PEs != 128 {
+	if len(cands) != 1 || space.MustDecode(cands[0].pt).PEs != 128 {
 		t.Fatalf("same-value prediction did not step: %+v", cands)
 	}
 
@@ -66,7 +66,7 @@ func TestAcquireRoundsUpAndSteps(t *testing.T) {
 	high[arch.PPEs] = 3 // 512
 	preds = []search.Prediction{{Param: arch.PPEs, Value: 300, Reduce: true}}
 	cands = e.acquire(p, high, preds, map[dirKey]bool{})
-	if len(cands) != 1 || space.Decode(cands[0].pt).PEs != 256 {
+	if len(cands) != 1 || space.MustDecode(cands[0].pt).PEs != 256 {
 		t.Fatalf("reduce prediction wrong: %+v", cands)
 	}
 }
@@ -103,7 +103,7 @@ func TestAcquireJointCandidateForMultipleParams(t *testing.T) {
 		t.Fatalf("candidates = %d, want 3", len(cands))
 	}
 	joint := cands[2].pt
-	d := space.Decode(joint)
+	d := space.MustDecode(joint)
 	if d.PEs != 256 || d.OffchipMBps != 8192 {
 		t.Fatalf("joint candidate = %v", d)
 	}
@@ -124,7 +124,7 @@ func TestAcquirePERelativeRounding(t *testing.T) {
 	if len(cands) != 1 {
 		t.Fatalf("candidates = %d", len(cands))
 	}
-	d := space.Decode(cands[0].pt)
+	d := space.MustDecode(cands[0].pt)
 	if d.PhysLinks[arch.OpI] < 20 || d.PhysLinks[arch.OpI] >= 24 {
 		t.Fatalf("I links = %d, want minimal >= 20", d.PhysLinks[arch.OpI])
 	}

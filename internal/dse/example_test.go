@@ -16,7 +16,7 @@ func Example() {
 
 	trace := explorer.Run(problem, rand.New(rand.NewSource(1)))
 
-	d := problem.Space.Decode(trace.Best)
+	d := problem.Space.MustDecode(trace.Best)
 	fmt.Printf("best objective: %.2f\n", trace.BestObjective())
 	fmt.Printf("PEs=%d BW=%d MBps\n", d.PEs, d.OffchipMBps)
 	fmt.Println("explored fraction of budget:", trace.Evaluations < 60)

@@ -10,7 +10,7 @@ import (
 
 func baseDesign() arch.Design {
 	s := arch.EdgeSpace()
-	return s.Decode(s.Initial())
+	return s.MustDecode(s.Initial())
 }
 
 func TestEstimatePositive(t *testing.T) {
@@ -83,7 +83,7 @@ func TestMaxDesignExceedsEdgeConstraints(t *testing.T) {
 		pt[i] = len(s.Params[i].Values) - 1
 	}
 	var m Model
-	e := m.Estimate(s.Decode(pt))
+	e := m.Estimate(s.MustDecode(pt))
 	if e.AreaMM2 <= 75 {
 		t.Errorf("max design area %v <= 75mm2; constraint can never bind", e.AreaMM2)
 	}
@@ -95,7 +95,7 @@ func TestMaxDesignExceedsEdgeConstraints(t *testing.T) {
 func TestMinDesignWithinEdgeConstraints(t *testing.T) {
 	s := arch.EdgeSpace()
 	var m Model
-	e := m.Estimate(s.Decode(s.Initial()))
+	e := m.Estimate(s.MustDecode(s.Initial()))
 	if e.AreaMM2 >= 75 || e.MaxPowerW >= 4 {
 		t.Fatalf("minimal design already violates constraints: %v mm2, %v W", e.AreaMM2, e.MaxPowerW)
 	}
@@ -116,8 +116,8 @@ func TestEstimateDeterministicProperty(t *testing.T) {
 	s := arch.EdgeSpace()
 	f := func(seed int64) bool {
 		pt := s.Random(rand.New(rand.NewSource(seed)))
-		a := m.Estimate(s.Decode(pt))
-		b := m.Estimate(s.Decode(pt))
+		a := m.Estimate(s.MustDecode(pt))
+		b := m.Estimate(s.MustDecode(pt))
 		return a == b
 	}
 	if err := quick.Check(f, nil); err != nil {

@@ -54,7 +54,7 @@ func BenchmarkEvaluateDesign(b *testing.B) {
 // repeats.
 func BenchmarkEvaluateLayer(b *testing.B) {
 	s := arch.EdgeSpace()
-	d := s.Decode(compatiblePoint(s))
+	d := s.MustDecode(compatiblePoint(s))
 	l := workload.ResNet18().Layers[1]
 	b.Run("cold", func(b *testing.B) {
 		cfg := benchEvalConfig(s)

@@ -94,7 +94,7 @@ func TestConstraintUtilGuards(t *testing.T) {
 // clockless design must read as infinitely slow, not NaN.
 func TestZeroFrequencyDesign(t *testing.T) {
 	e := newEval(FixedDataflow)
-	d := e.Config().Space.Decode(compatiblePoint(e.Config().Space))
+	d := e.Config().Space.MustDecode(compatiblePoint(e.Config().Space))
 	d.FreqMHz = 0
 	me := e.evaluateModel(d, e.emodel.Estimate(d), workload.ResNet18())
 	if !math.IsInf(me.LatencyMs, 1) {

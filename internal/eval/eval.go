@@ -8,6 +8,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -131,6 +132,17 @@ type Config struct {
 	// accounting is exact under eviction: re-evaluating an evicted design
 	// is counted as a recompute, never as a new unique evaluation.
 	CacheCap int
+	// EvalTimeout, when positive, arms a per-evaluation watchdog: a design
+	// whose evaluation (mapping search included) exceeds the deadline is
+	// charged and memoized as infeasible-with-error instead of hanging the
+	// campaign. The abandoned computation is left to finish in the
+	// background; its layer-cache writes remain valid (they are
+	// deterministic), only its design result is discarded.
+	EvalTimeout time.Duration
+	// Faults, when non-nil, deterministically injects failures (panics,
+	// errors, delays) at chosen unique-evaluation ordinals — the
+	// fault-injection hook the resilience tests drive.
+	Faults *FaultPolicy
 }
 
 // LayerEval is one layer's evaluation on a design.
@@ -200,6 +212,15 @@ type Result struct {
 	BudgetUtil float64
 	// MapEvaluations counts mapping candidates examined for this design.
 	MapEvaluations int
+	// Err, when non-empty, explains why the evaluation failed outright (a
+	// recovered panic, an injected fault, a malformed point, a watchdog
+	// timeout, or cancellation). Errored results are always infeasible.
+	Err string
+	// Cancelled reports the evaluation was abandoned because its context
+	// was cancelled. Cancelled results are never cached, never journaled,
+	// and never charged against the unique-design budget — re-evaluating
+	// the point after resume redoes the work from scratch.
+	Cancelled bool
 }
 
 // Evaluator evaluates design points with memoization and counts unique
@@ -236,6 +257,9 @@ type Evaluator struct {
 	dedups     int
 	recomputes int
 	evictions  int
+	panics     int
+	timeouts   int
+	faultSeq   int // next unique-evaluation ordinal (FaultPolicy currency)
 	lhits      int
 	lmisses    int
 	ldedups    int
@@ -279,9 +303,14 @@ type layerEntry struct {
 }
 
 // layerFlight is one in-progress layer search other goroutines can wait on.
+// When the search panics, panicked carries the panic value: waiters re-raise
+// it on their own goroutine so every design joined to the doomed search
+// records the failure itself (instead of deadlocking on a flight that will
+// never close).
 type layerFlight struct {
-	done chan struct{}
-	ent  layerEntry
+	done     chan struct{}
+	ent      layerEntry
+	panicked any
 }
 
 // Stats is a snapshot of the evaluator's instrumentation counters.
@@ -328,6 +357,13 @@ type Stats struct {
 	// elapsed time, so this can exceed the run's elapsed wall clock —
 	// the ratio EvalWall/Elapsed is the effective evaluation parallelism.
 	EvalWall time.Duration
+	// PanicsRecovered counts evaluation panics contained by the evaluator
+	// and converted into infeasible-with-error results. A non-zero count
+	// means some designs crashed the model; the campaign itself survived.
+	PanicsRecovered int
+	// EvalTimeouts counts evaluations abandoned by the Config.EvalTimeout
+	// watchdog and memoized as infeasible-with-error.
+	EvalTimeouts int
 }
 
 // New returns an Evaluator over the given configuration.
@@ -370,26 +406,49 @@ func (e *Evaluator) Evaluations() int {
 	return e.evals
 }
 
+// Prime marks design keys as already evaluated and charges them to the
+// unique-design budget without computing anything — the checkpoint-resume
+// hook. A primed key neither consumes a fault ordinal nor counts as a new
+// unique evaluation when later recomputed (it is a recompute, exactly as an
+// evicted design would be), so a resumed run's budget accounting matches the
+// uninterrupted run's. Keys already seen are ignored; the number of newly
+// primed keys is returned.
+func (e *Evaluator) Prime(keys []string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, k := range keys {
+		if !e.seen[k] {
+			e.seen[k] = true
+			e.evals++
+			n++
+		}
+	}
+	return n
+}
+
 // Stats snapshots the instrumentation counters.
 func (e *Evaluator) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return Stats{
-		Evaluations:    e.evals,
-		CacheHits:      e.hits,
-		InflightDedups: e.dedups,
-		Evictions:      e.evictions,
-		Recomputes:     e.recomputes,
-		LayerHits:      e.lhits,
-		LayerMisses:    e.lmisses,
-		LayerDedups:    e.ldedups,
-		LayerEvictions: e.levictions,
-		WarmProbes:     e.warmProbes,
-		WarmFallbacks:  e.warmFalls,
-		CostCalls:      e.costCalls,
-		LBPruned:       e.lbPruned,
-		MapTrials:      e.trials,
-		EvalWall:       e.wall,
+		Evaluations:     e.evals,
+		CacheHits:       e.hits,
+		InflightDedups:  e.dedups,
+		Evictions:       e.evictions,
+		Recomputes:      e.recomputes,
+		LayerHits:       e.lhits,
+		LayerMisses:     e.lmisses,
+		LayerDedups:     e.ldedups,
+		LayerEvictions:  e.levictions,
+		WarmProbes:      e.warmProbes,
+		WarmFallbacks:   e.warmFalls,
+		CostCalls:       e.costCalls,
+		LBPruned:        e.lbPruned,
+		MapTrials:       e.trials,
+		EvalWall:        e.wall,
+		PanicsRecovered: e.panics,
+		EvalTimeouts:    e.timeouts,
 	}
 }
 
@@ -399,6 +458,7 @@ func (e *Evaluator) ResetCount() {
 	defer e.mu.Unlock()
 	e.evals, e.hits, e.dedups, e.trials, e.wall = 0, 0, 0, 0, 0
 	e.recomputes, e.evictions = 0, 0
+	e.panics, e.timeouts = 0, 0
 	e.lhits, e.lmisses, e.ldedups, e.levictions = 0, 0, 0, 0
 	e.warmProbes, e.warmFalls = 0, 0
 	e.costCalls, e.lbPruned = 0, 0
@@ -408,6 +468,25 @@ func (e *Evaluator) ResetCount() {
 // calls are safe; concurrent misses on the same point compute it once and
 // share the result, so parallel batches never discard duplicate work.
 func (e *Evaluator) Evaluate(pt arch.Point) *Result {
+	return e.EvaluateCtx(context.Background(), pt)
+}
+
+// EvaluateCtx is Evaluate with cancellation: when ctx is done the call
+// returns a Cancelled result immediately — an abandoned evaluation is never
+// cached, never counted against the unique-design budget, and therefore
+// invisible to budget accounting, which is what makes a killed-and-resumed
+// run bit-identical to an uninterrupted one. Panics inside the evaluation
+// are contained (Stats.PanicsRecovered) and the design comes back
+// infeasible with the panic text in Err; the Config.EvalTimeout watchdog
+// likewise converts runaway evaluations into charged, memoized errored
+// results.
+func (e *Evaluator) EvaluateCtx(ctx context.Context, pt arch.Point) *Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return cancelledResult(pt, err)
+	}
 	key := pt.Key()
 	e.mu.Lock()
 	if r, ok := e.cache[key]; ok {
@@ -418,17 +497,42 @@ func (e *Evaluator) Evaluate(pt arch.Point) *Result {
 	if f, ok := e.flights[key]; ok {
 		e.dedups++
 		e.mu.Unlock()
-		<-f.done
-		return f.r
+		select {
+		case <-f.done:
+			return f.r
+		case <-ctx.Done():
+			return cancelledResult(pt, ctx.Err())
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	e.flights[key] = f
+	// Unique-evaluation ordinals — the FaultPolicy and OnEvaluation
+	// currency — are assigned when a never-seen key starts evaluating, so
+	// checkpoint-primed keys and recomputes never consume one.
+	ord := -1
+	if !e.seen[key] {
+		ord = e.faultSeq
+		e.faultSeq++
+	}
 	e.mu.Unlock()
 
+	if fp := e.cfg.Faults; fp != nil && ord >= 0 && fp.OnEvaluation != nil {
+		fp.OnEvaluation(ord)
+	}
+
 	start := time.Now()
-	r := e.evaluate(pt)
+	r := e.protectedEvaluate(ctx, pt, ord)
 
 	e.mu.Lock()
+	if r.Cancelled {
+		// Abandoned: no charge, no memo. Waiters on this flight share
+		// the cancellation (batch workers share the campaign context).
+		delete(e.flights, key)
+		e.mu.Unlock()
+		f.r = r
+		close(f.done)
+		return r
+	}
 	e.storeDesign(key, r)
 	if e.seen[key] {
 		e.recomputes++
@@ -446,6 +550,96 @@ func (e *Evaluator) Evaluate(pt arch.Point) *Result {
 	f.r = r
 	close(f.done)
 	return r
+}
+
+// erroredResult builds the infeasible Result recorded for a design whose
+// evaluation failed outright: infinite objective, a large finite constraints
+// budget, and the failure reason in both Err and Violations.
+func erroredResult(pt arch.Point, reason string) *Result {
+	return &Result{
+		Point:      pt.Clone(),
+		LatencyMs:  math.Inf(1),
+		EnergyMJ:   math.Inf(1),
+		Objective:  math.Inf(1),
+		BudgetUtil: maxConstraintUtil,
+		Violations: []string{reason},
+		Err:        reason,
+	}
+}
+
+// cancelledResult builds the uncharged, uncached Result returned when an
+// evaluation is abandoned by context cancellation.
+func cancelledResult(pt arch.Point, err error) *Result {
+	r := erroredResult(pt, "evaluation cancelled: "+err.Error())
+	r.Cancelled = true
+	return r
+}
+
+// protectedEvaluate runs one design evaluation inside the resilience
+// envelope: injected faults applied, panics recovered into errored results,
+// and — when Config.EvalTimeout is set — a watchdog that abandons runaway
+// evaluations. One bad design must never take down a campaign.
+func (e *Evaluator) protectedEvaluate(ctx context.Context, pt arch.Point, ord int) (r *Result) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			e.mu.Lock()
+			e.panics++
+			e.mu.Unlock()
+			r = erroredResult(pt, fmt.Sprintf("panic during evaluation: %v", rec))
+		}
+	}()
+	if e.cfg.EvalTimeout <= 0 {
+		return e.runEvaluate(ctx, pt, ord)
+	}
+	// Watchdog: run the evaluation on its own goroutine and race it
+	// against the deadline and the context. A panic on that goroutine is
+	// ferried back and re-raised here so the recover above owns it.
+	resCh := make(chan *Result, 1)
+	panicCh := make(chan any, 1)
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				panicCh <- rec
+			}
+		}()
+		resCh <- e.runEvaluate(ctx, pt, ord)
+	}()
+	timer := time.NewTimer(e.cfg.EvalTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-resCh:
+		return r
+	case rec := <-panicCh:
+		panic(rec)
+	case <-timer.C:
+		e.mu.Lock()
+		e.timeouts++
+		e.mu.Unlock()
+		return erroredResult(pt, fmt.Sprintf("evaluation exceeded watchdog timeout %v", e.cfg.EvalTimeout))
+	case <-ctx.Done():
+		return cancelledResult(pt, ctx.Err())
+	}
+}
+
+// runEvaluate applies any injected faults for this unique-evaluation
+// ordinal, then evaluates the design.
+func (e *Evaluator) runEvaluate(ctx context.Context, pt arch.Point, ord int) *Result {
+	if fp := e.cfg.Faults; fp != nil && ord >= 0 {
+		if d := fp.delayFor(ord); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return cancelledResult(pt, ctx.Err())
+			}
+		}
+		if fp.panicAt(ord) {
+			panic(fmt.Sprintf("injected fault: panic at unique evaluation %d", ord))
+		}
+		if fp.errorAt(ord) {
+			return erroredResult(pt, fmt.Sprintf("injected fault: error at unique evaluation %d", ord))
+		}
+	}
+	return e.evaluate(ctx, pt)
 }
 
 // storeDesign inserts a result into the bounded design memo, evicting the
@@ -468,14 +662,27 @@ func (e *Evaluator) storeDesign(key string, r *Result) {
 	}
 }
 
-func (e *Evaluator) evaluate(pt arch.Point) *Result {
-	d := e.cfg.Space.Decode(pt)
+func (e *Evaluator) evaluate(ctx context.Context, pt arch.Point) *Result {
+	d, err := e.cfg.Space.Decode(pt)
+	if err != nil {
+		// A malformed point (wrong arity, out-of-range index) is an
+		// errored design, not a crash: optimizers construct points
+		// through Space methods, so this only fires on corrupted external
+		// input — which must degrade gracefully, not kill the campaign.
+		return erroredResult(pt, "malformed design point: "+err.Error())
+	}
 	r := &Result{Point: pt.Clone(), Design: d}
 	r.Energy = e.emodel.Estimate(d)
 	r.AreaMM2 = r.Energy.AreaMM2
 	r.PowerW = r.Energy.MaxPowerW
 
 	for _, mdl := range e.cfg.Models {
+		// Cancellation is honored at model granularity: a partial
+		// evaluation is abandoned wholesale (never cached), so there is
+		// no half-evaluated Result to corrupt the memo.
+		if ctx.Err() != nil {
+			return cancelledResult(pt, ctx.Err())
+		}
 		me := e.evaluateModel(d, r.Energy, mdl)
 		r.MapEvaluations += sumTrials(me)
 		r.Models = append(r.Models, me)
@@ -510,18 +717,36 @@ func (e *Evaluator) evaluateModel(d arch.Design, est energy.Estimate, mdl *workl
 	// Acquire the worker semaphore before spawning so at most Workers
 	// goroutines exist at a time: a 100-layer model under Workers=1 must
 	// not burst 100 goroutines that all immediately block.
+	//
+	// A panic on a layer goroutine would kill the whole process (panics
+	// never cross goroutines), so each worker captures its panic value
+	// into its own slot and the first one — by layer order, so the choice
+	// is deterministic — is re-raised on the calling goroutine after the
+	// barrier, where protectedEvaluate's recover converts it into an
+	// errored design.
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, e.cfg.Workers)
+	panics := make([]any, len(mdl.Layers))
 	for i := range mdl.Layers {
 		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			defer func() {
+				if rec := recover(); rec != nil {
+					panics[i] = rec
+				}
+			}()
 			me.Layers[i] = e.evaluateLayer(d, mdl.Layers[i], int64(i))
 		}(i)
 	}
 	wg.Wait()
+	for _, rec := range panics {
+		if rec != nil {
+			panic(rec)
+		}
+	}
 
 	for i := range me.Layers {
 		me.Layers[i].EnergyMJ = layerEnergyMJ(est, me.Layers[i])
@@ -600,6 +825,9 @@ func (e *Evaluator) layerResult(d arch.Design, l workload.Layer, salt int64) lay
 		e.ldedups++
 		e.mu.Unlock()
 		<-f.done
+		if f.panicked != nil {
+			panic(f.panicked)
+		}
 		return f.ent
 	}
 	f := &layerFlight{done: make(chan struct{})}
@@ -615,6 +843,19 @@ func (e *Evaluator) layerResult(d arch.Design, l workload.Layer, salt int64) lay
 	}
 	e.mu.Unlock()
 
+	// A panicking search must still resolve the flight — waiters would
+	// otherwise block forever — and must not poison the cache: unregister
+	// the flight, hand the panic value to waiters, and re-raise.
+	defer func() {
+		if rec := recover(); rec != nil {
+			e.mu.Lock()
+			delete(e.lflights, key)
+			e.mu.Unlock()
+			f.panicked = rec
+			close(f.done)
+			panic(rec)
+		}
+	}()
 	ent := e.searchLayer(d, l, salt, incumbent)
 
 	e.mu.Lock()

@@ -1,0 +1,61 @@
+package eval
+
+import "time"
+
+// FaultPolicy deterministically injects failures into chosen evaluations so
+// tests can prove the resilience layer — panic containment, errored-design
+// accounting, watchdog timeouts, and kill-and-resume determinism — without
+// touching the models themselves.
+//
+// Faults are addressed by unique-evaluation ordinal: the 0-based order in
+// which never-before-seen design keys begin evaluating. Memoized revisits,
+// in-flight joins, recomputes of evicted designs, and checkpoint-primed keys
+// never consume an ordinal, so under Workers=1 the ordinal sequence is fully
+// deterministic. A fault therefore fires at most once per unique design: a
+// panicked or errored evaluation is charged and memoized, so the design is
+// never retried.
+type FaultPolicy struct {
+	// PanicAt lists unique-evaluation ordinals whose evaluation panics
+	// (exercising the containment and recovery paths).
+	PanicAt []int
+	// ErrorAt lists ordinals whose evaluation returns an injected errored
+	// result without running the models.
+	ErrorAt []int
+	// DelayAt lists ordinals whose evaluation sleeps for Delay before
+	// starting (exercising the Config.EvalTimeout watchdog; the sleep is
+	// cancellable by the evaluation context).
+	DelayAt []int
+	// Delay is the sleep applied at DelayAt ordinals.
+	Delay time.Duration
+	// OnEvaluation, when non-nil, is called synchronously at the start of
+	// every unique evaluation with its ordinal — the hook kill-and-resume
+	// tests use to cancel a campaign at an exact evaluation index. It runs
+	// outside the panic-containment envelope; it must not panic.
+	OnEvaluation func(ord int)
+}
+
+// contains reports whether ord appears in the (typically tiny) list.
+func contains(list []int, ord int) bool {
+	for _, v := range list {
+		if v == ord {
+			return true
+		}
+	}
+	return false
+}
+
+// panicAt reports whether this ordinal's evaluation should panic.
+func (p *FaultPolicy) panicAt(ord int) bool { return p != nil && contains(p.PanicAt, ord) }
+
+// errorAt reports whether this ordinal's evaluation should fail with an
+// injected error.
+func (p *FaultPolicy) errorAt(ord int) bool { return p != nil && contains(p.ErrorAt, ord) }
+
+// delayFor returns the sleep to apply before this ordinal's evaluation
+// (zero for ordinals not in DelayAt).
+func (p *FaultPolicy) delayFor(ord int) time.Duration {
+	if p != nil && contains(p.DelayAt, ord) {
+		return p.Delay
+	}
+	return 0
+}

@@ -1,0 +1,231 @@
+package eval
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"xdse/internal/arch"
+	"xdse/internal/workload"
+)
+
+// newFaultEval builds a single-worker evaluator with a fault policy (and
+// optionally a watchdog timeout) over the small FixedDataflow configuration.
+func newFaultEval(fp *FaultPolicy, timeout time.Duration) *Evaluator {
+	return New(Config{
+		Space:       arch.EdgeSpace(),
+		Models:      []*workload.Model{workload.ResNet18()},
+		Constraints: EdgeConstraints(),
+		Mode:        FixedDataflow,
+		MapTrials:   200,
+		Seed:        1,
+		Workers:     1,
+		Faults:      fp,
+		EvalTimeout: timeout,
+	})
+}
+
+// distinctPoints returns n well-formed points that decode to distinct designs.
+func distinctPoints(s *arch.Space, n int) []arch.Point {
+	pts := make([]arch.Point, n)
+	for i := range pts {
+		pt := compatiblePoint(s)
+		pt[arch.PPEs] = s.Clamp(arch.PPEs, 1+i)
+		pts[i] = pt
+	}
+	return pts
+}
+
+// assertErrored checks the infeasible-with-error shape every failed
+// evaluation must have.
+func assertErrored(t *testing.T, r *Result, wantSubstr string) {
+	t.Helper()
+	if r.Err == "" || !strings.Contains(r.Err, wantSubstr) {
+		t.Fatalf("Err = %q, want substring %q", r.Err, wantSubstr)
+	}
+	if r.Feasible {
+		t.Error("errored result marked feasible")
+	}
+	if !math.IsInf(r.Objective, 1) {
+		t.Errorf("errored Objective = %v, want +Inf", r.Objective)
+	}
+	if len(r.Violations) == 0 {
+		t.Error("errored result has no violation entry")
+	}
+}
+
+func TestInjectedPanicContained(t *testing.T) {
+	e := newFaultEval(&FaultPolicy{PanicAt: []int{1}}, 0)
+	pts := distinctPoints(e.Config().Space, 3)
+
+	r0 := e.Evaluate(pts[0])
+	r1 := e.Evaluate(pts[1])
+	r2 := e.Evaluate(pts[2])
+
+	if r0.Err != "" || r2.Err != "" {
+		t.Fatalf("healthy evaluations errored: %q, %q", r0.Err, r2.Err)
+	}
+	assertErrored(t, r1, "injected fault: panic at unique evaluation 1")
+	if !strings.Contains(r1.Err, "panic during evaluation") {
+		t.Errorf("Err = %q, want the recovered-panic prefix", r1.Err)
+	}
+
+	st := e.Stats()
+	if st.PanicsRecovered != 1 {
+		t.Errorf("PanicsRecovered = %d, want 1", st.PanicsRecovered)
+	}
+	if st.Evaluations != 3 {
+		t.Errorf("Evaluations = %d, want 3 (panicked design is charged)", st.Evaluations)
+	}
+
+	// The panicked design is memoized: a revisit must not re-fire the fault.
+	if again := e.Evaluate(pts[1]); again != r1 {
+		t.Error("panicked design not memoized")
+	}
+	if st := e.Stats(); st.PanicsRecovered != 1 {
+		t.Errorf("PanicsRecovered after revisit = %d, want 1", st.PanicsRecovered)
+	}
+}
+
+func TestInjectedError(t *testing.T) {
+	e := newFaultEval(&FaultPolicy{ErrorAt: []int{0}}, 0)
+	r := e.Evaluate(compatiblePoint(e.Config().Space))
+	assertErrored(t, r, "injected fault: error at unique evaluation 0")
+	if st := e.Stats(); st.PanicsRecovered != 0 || st.Evaluations != 1 {
+		t.Errorf("stats = %+v, want no panics and 1 charged evaluation", st)
+	}
+}
+
+func TestWatchdogTimeout(t *testing.T) {
+	e := newFaultEval(&FaultPolicy{DelayAt: []int{0}, Delay: 10 * time.Second}, 30*time.Millisecond)
+	pt := compatiblePoint(e.Config().Space)
+
+	r := e.Evaluate(pt)
+	assertErrored(t, r, "watchdog timeout")
+	st := e.Stats()
+	if st.EvalTimeouts != 1 {
+		t.Errorf("EvalTimeouts = %d, want 1", st.EvalTimeouts)
+	}
+	if st.Evaluations != 1 {
+		t.Errorf("Evaluations = %d, want 1 (timed-out design is charged)", st.Evaluations)
+	}
+	// Memoized: the revisit answers from cache instead of re-arming the
+	// watchdog.
+	if again := e.Evaluate(pt); again != r {
+		t.Error("timed-out design not memoized")
+	}
+	if st := e.Stats(); st.EvalTimeouts != 1 {
+		t.Errorf("EvalTimeouts after revisit = %d, want 1", st.EvalTimeouts)
+	}
+}
+
+func TestCancellationUnchargedUncached(t *testing.T) {
+	// Pre-cancelled context: immediate Cancelled result, nothing charged.
+	e := newFaultEval(nil, 0)
+	pt := compatiblePoint(e.Config().Space)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := e.EvaluateCtx(ctx, pt)
+	if !r.Cancelled {
+		t.Fatal("pre-cancelled context did not yield a Cancelled result")
+	}
+	assertErrored(t, r, "evaluation cancelled")
+	if e.Evaluations() != 0 {
+		t.Errorf("Evaluations = %d, want 0 (cancelled evaluations are free)", e.Evaluations())
+	}
+
+	// Cancellation mid-evaluation (during an injected delay): also free,
+	// and the point stays evaluable afterwards.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	e2 := newFaultEval(&FaultPolicy{
+		DelayAt:      []int{0},
+		Delay:        10 * time.Second,
+		OnEvaluation: func(ord int) { cancel2() },
+	}, 0)
+	r2 := e2.EvaluateCtx(ctx2, pt)
+	if !r2.Cancelled {
+		t.Fatal("mid-evaluation cancellation did not yield a Cancelled result")
+	}
+	if e2.Evaluations() != 0 {
+		t.Errorf("Evaluations = %d, want 0 after cancelled evaluation", e2.Evaluations())
+	}
+	// Fresh context: the design evaluates from scratch. Its unique
+	// ordinal was not burned by the cancelled attempt being charged —
+	// disable the hook so the retry can run.
+	e2.cfg.Faults = nil
+	r3 := e2.Evaluate(pt)
+	if r3.Cancelled || r3.Err != "" {
+		t.Fatalf("post-cancel re-evaluation failed: %+v", r3.Err)
+	}
+	if e2.Evaluations() != 1 {
+		t.Errorf("Evaluations = %d, want 1 after successful retry", e2.Evaluations())
+	}
+}
+
+func TestOrdinalDeterminismAndPriming(t *testing.T) {
+	run := func(prime bool) []int {
+		var ords []int
+		e := newFaultEval(&FaultPolicy{OnEvaluation: func(ord int) { ords = append(ords, ord) }}, 0)
+		pts := distinctPoints(e.Config().Space, 3)
+		if prime {
+			// A primed key is already charged, so re-evaluating it is a
+			// recompute that must not consume an ordinal.
+			if n := e.Prime([]string{pts[1].Key()}); n != 1 {
+				t.Fatalf("Prime = %d, want 1", n)
+			}
+		}
+		for _, pt := range []arch.Point{pts[0], pts[1], pts[0], pts[2]} {
+			e.Evaluate(pt)
+		}
+		if e.Evaluations() != 3 {
+			t.Fatalf("Evaluations = %d, want 3", e.Evaluations())
+		}
+		return ords
+	}
+
+	if got := run(false); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("ordinals = %v, want [0 1 2]", got)
+	}
+	// With pts[1] primed, only pts[0] and pts[2] are unique evaluations.
+	if got := run(true); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("ordinals with priming = %v, want [0 1]", got)
+	}
+}
+
+func TestPrimeBudgetAccounting(t *testing.T) {
+	e := newFaultEval(nil, 0)
+	pts := distinctPoints(e.Config().Space, 2)
+	keys := []string{pts[0].Key(), pts[1].Key()}
+
+	if n := e.Prime(keys); n != 2 {
+		t.Fatalf("Prime = %d, want 2", n)
+	}
+	if e.Evaluations() != 2 {
+		t.Fatalf("Evaluations after Prime = %d, want 2", e.Evaluations())
+	}
+	if n := e.Prime(keys); n != 0 {
+		t.Errorf("second Prime = %d, want 0", n)
+	}
+
+	// Evaluating a primed design redoes the work as a recompute without
+	// charging the budget again.
+	r := e.Evaluate(pts[0])
+	if r.Err != "" {
+		t.Fatalf("recompute of primed design failed: %s", r.Err)
+	}
+	st := e.Stats()
+	if st.Evaluations != 2 {
+		t.Errorf("Evaluations = %d, want 2 (recompute is free)", st.Evaluations)
+	}
+	if st.Recomputes != 1 {
+		t.Errorf("Recomputes = %d, want 1", st.Recomputes)
+	}
+}
+
+func TestMalformedPointErrored(t *testing.T) {
+	e := newFaultEval(nil, 0)
+	r := e.Evaluate(arch.Point{0, 1})
+	assertErrored(t, r, "malformed design point")
+}

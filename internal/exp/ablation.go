@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -24,7 +25,7 @@ type AblationResult struct {
 // DESIGN.md calls out: the §4.4 aggregation rule, the top-K sub-function
 // filter, the §4.6 budget-aware update, and the §4.5 one-parameter-per-
 // candidate acquisition.
-func RunAblations(cfg Config) []AblationResult {
+func RunAblations(ctx context.Context, cfg Config) []AblationResult {
 	variants := []struct {
 		name string
 		opts dse.Options
@@ -49,7 +50,7 @@ func RunAblations(cfg Config) []AblationResult {
 		})
 		ex := dse.New(accelmodel.New(space, cons))
 		ex.Opts = v.opts
-		tr := ex.Run(ev.Problem(cfg.Budget), rand.New(rand.NewSource(cfg.Seed)))
+		tr := ex.Run(ev.ProblemCtx(ctx, cfg.Budget), rand.New(rand.NewSource(cfg.Seed)))
 		out = append(out, AblationResult{
 			Variant:     v.name,
 			BestLatency: tr.BestObjective(),

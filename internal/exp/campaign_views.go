@@ -129,16 +129,17 @@ func ReportTable3(cfg Config, c *Campaign) {
 // evaluations, memoized cache hits (with memo evictions), in-flight
 // deduplications under the batch pool, layer-grain mapping-cache hits,
 // warm-start probes, mapping-search trials against actual cost-model
-// calls, evaluation wall time, batch-layer activity, and budget-free
-// repeat acquisitions.
+// calls, evaluation wall time, batch-layer activity, budget-free
+// repeat acquisitions, and recovered evaluation panics (non-zero means
+// designs crashed the model but the campaign survived).
 func ReportEvalStats(cfg Config, c *Campaign) {
 	w := cfg.out()
 	fmt.Fprintf(w, "\n== Evaluation-layer stats (summed over models) ==\n")
 	tb := newTable("Technique", "Evals", "CacheHits", "Evict", "InflightDedup",
 		"LayerHits", "WarmProbes", "MapTrials", "CostCalls", "EvalWall",
-		"Batches", "BatchPts", "Repeats")
+		"Batches", "BatchPts", "Repeats", "Panics")
 	for _, tech := range techniqueOrder(c) {
-		var evals, hits, evict, dedups, lhits, probes, repeats int
+		var evals, hits, evict, dedups, lhits, probes, repeats, panics int
 		var trials, costCalls, batches, pts int64
 		var wall time.Duration
 		for _, r := range c.Runs {
@@ -157,6 +158,7 @@ func ReportEvalStats(cfg Config, c *Campaign) {
 			batches += r.Batch.Batches
 			pts += r.Batch.Points
 			repeats += r.Trace.RepeatSteps
+			panics += r.Stats.PanicsRecovered + int(r.Batch.PanicsRecovered)
 		}
 		tb.add(tech,
 			fmt.Sprintf("%d", evals),
@@ -170,7 +172,8 @@ func ReportEvalStats(cfg Config, c *Campaign) {
 			fmt.Sprintf("%.2fs", wall.Seconds()),
 			fmt.Sprintf("%d", batches),
 			fmt.Sprintf("%d", pts),
-			fmt.Sprintf("%d", repeats))
+			fmt.Sprintf("%d", repeats),
+			fmt.Sprintf("%d", panics))
 	}
 	tb.write(w)
 }

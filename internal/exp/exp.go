@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 
 	"xdse/internal/accelmodel"
 	"xdse/internal/arch"
+	"xdse/internal/checkpoint"
 	"xdse/internal/dse"
 	"xdse/internal/eval"
 	"xdse/internal/opt"
@@ -57,6 +59,20 @@ type Config struct {
 	// CSVDir, when non-empty, receives one CSV trace per run
 	// ("<technique>_<model>.csv"), the raw series behind the figures.
 	CSVDir string
+	// CheckpointDir, when non-empty, journals every run's unique design
+	// evaluations under "<dir>/<technique>_<model>/", making a killed
+	// campaign resumable (see internal/checkpoint).
+	CheckpointDir string
+	// Resume selects what an existing journal under CheckpointDir means:
+	// true replays it (continuing a killed campaign), false discards it
+	// and starts fresh.
+	Resume bool
+	// EvalTimeout, when positive, arms the evaluator's per-evaluation
+	// watchdog (see eval.Config.EvalTimeout).
+	EvalTimeout time.Duration
+	// Faults, when non-nil, injects deterministic evaluation failures —
+	// the resilience-testing hook (see eval.FaultPolicy).
+	Faults *eval.FaultPolicy
 }
 
 // Default returns the reduced-budget configuration.
@@ -166,11 +182,31 @@ type Run struct {
 	Stats eval.Stats
 	// Batch reports the run's batch-evaluation layer activity.
 	Batch search.BatchReport
+	// Err is non-empty when the run itself crashed (an optimizer panic
+	// escaped the evaluation layer's containment): the trace is whatever
+	// was recorded before the crash, and the campaign carried on.
+	Err string
+	// Resumed is the number of journaled evaluations replayed into this
+	// run from a previous (killed) invocation.
+	Resumed int
+	// CheckpointDir is the run's journal directory ("" when the run was
+	// not checkpointed); a killed campaign is resumable from it.
+	CheckpointDir string
+	// Interrupted reports the run's context was cancelled before the
+	// exploration completed; the trace is a clean batch-boundary prefix.
+	Interrupted bool
 }
 
 // RunOne performs one exploration of a model with a technique. A budget of
 // zero or less selects the configuration's per-technique static budget.
-func RunOne(cfg Config, tech Technique, model *workload.Model, budget int) Run {
+// Cancelling ctx stops the exploration at the next batch boundary and
+// returns the partial run with Interrupted set; with cfg.CheckpointDir the
+// completed evaluations are journaled, so invoking the same run again with
+// cfg.Resume produces a final trace bit-identical to an uninterrupted one.
+func RunOne(ctx context.Context, cfg Config, tech Technique, model *workload.Model, budget int) Run {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if budget <= 0 {
 		budget = cfg.budgetFor(tech)
 	}
@@ -184,24 +220,60 @@ func RunOne(cfg Config, tech Technique, model *workload.Model, budget int) Run {
 		MapTrials:   cfg.MapTrials,
 		Seed:        cfg.Seed,
 		Workers:     cfg.Workers,
+		EvalTimeout: cfg.EvalTimeout,
+		Faults:      cfg.Faults,
 	})
 	o := tech.Make(space, cons)
-	prob := ev.Problem(budget)
+	run := Run{Technique: tech.Name, Model: model.Name, Mode: tech.Mode}
+	warnf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "exp: "+format+"\n", args...)
+	}
+	var prob *search.Problem
+	if cfg.CheckpointDir != "" {
+		dir := filepath.Join(cfg.CheckpointDir, fmt.Sprintf("%s_%s", sanitize(tech.Name), sanitize(model.Name)))
+		j, err := checkpoint.Open(dir, checkpoint.Options{Fresh: !cfg.Resume, Warnf: warnf})
+		if err != nil {
+			warnf("checkpoint %s unavailable, running unjournaled: %v", dir, err)
+			prob = ev.ProblemCtx(ctx, budget)
+		} else {
+			defer j.Close()
+			run.CheckpointDir = dir
+			run.Resumed = len(j.Replayed())
+			prob = ev.ResumableProblem(ctx, budget, j, warnf)
+		}
+	} else {
+		prob = ev.ProblemCtx(ctx, budget)
+	}
 	start := time.Now()
-	tr := o.Run(prob, rand.New(rand.NewSource(cfg.Seed)))
-	if cfg.CSVDir != "" {
+	tr, panicErr := runOptimizer(o, prob, rand.New(rand.NewSource(cfg.Seed)))
+	run.Err = panicErr
+	run.Interrupted = ctx.Err() != nil
+	if cfg.CSVDir != "" && !run.Interrupted {
 		writeTraceCSV(cfg.CSVDir, tech.Name, model.Name, tr)
 	}
-	return Run{
-		Technique:   tech.Name,
-		Model:       model.Name,
-		Mode:        tech.Mode,
-		Trace:       tr,
-		Evaluations: ev.Evaluations(),
-		Elapsed:     time.Since(start),
-		Stats:       ev.Stats(),
-		Batch:       prob.Stats.Report(),
-	}
+	run.Trace = tr
+	run.Evaluations = ev.Evaluations()
+	run.Elapsed = time.Since(start)
+	run.Stats = ev.Stats()
+	run.Batch = prob.Stats.Report()
+	return run
+}
+
+// runOptimizer runs one optimizer with last-resort panic containment: a
+// panic that escapes the evaluation layer (a bug in the optimizer itself)
+// is reported on the run instead of aborting the campaign. The returned
+// trace is never nil.
+func runOptimizer(o search.Optimizer, p *search.Problem, rng *rand.Rand) (tr *search.Trace, panicErr string) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			panicErr = fmt.Sprintf("optimizer panic: %v", rec)
+		}
+		if tr == nil {
+			tr = &search.Trace{Name: o.Name()}
+		}
+	}()
+	tr = o.Run(p, rng)
+	return tr, ""
 }
 
 // budgetFor picks the iteration budget for a technique at static scale.
@@ -233,7 +305,17 @@ func (c *Campaign) Get(tech, model string) *Run {
 // that many runs execute concurrently; every run is self-contained (own
 // evaluator, own RNG), and results land in a positionally-indexed slice, so
 // the campaign is identical to a serial one in both content and order.
-func RunCampaign(cfg Config, techs []Technique, models []*workload.Model, budget int) *Campaign {
+//
+// Resilience: a run that crashes outright (even outside the optimizer, e.g.
+// during evaluator construction) is reported through its Run.Err — the
+// campaign always completes with one Run per (technique, model) pair.
+// Cancelling ctx stops every in-progress run at its next batch boundary and
+// skips not-yet-started ones (their runs come back Interrupted with empty
+// traces).
+func RunCampaign(ctx context.Context, cfg Config, techs []Technique, models []*workload.Model, budget int) *Campaign {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	type job struct {
 		tech   Technique
 		model  *workload.Model
@@ -250,9 +332,23 @@ func RunCampaign(cfg Config, techs []Technique, models []*workload.Model, budget
 		}
 	}
 	runs := make([]Run, len(jobs))
+	safeRun := func(i int, j job) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				runs[i] = Run{
+					Technique: j.tech.Name,
+					Model:     j.model.Name,
+					Mode:      j.tech.Mode,
+					Trace:     &search.Trace{Name: j.tech.Name},
+					Err:       fmt.Sprintf("run panic: %v", rec),
+				}
+			}
+		}()
+		runs[i] = RunOne(ctx, cfg, j.tech, j.model, j.budget)
+	}
 	if cfg.Parallel <= 1 {
 		for i, j := range jobs {
-			runs[i] = RunOne(cfg, j.tech, j.model, j.budget)
+			safeRun(i, j)
 		}
 		return &Campaign{Runs: runs}
 	}
@@ -264,7 +360,7 @@ func RunCampaign(cfg Config, techs []Technique, models []*workload.Model, budget
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			runs[i] = RunOne(cfg, j.tech, j.model, j.budget)
+			safeRun(i, j)
 		}(i, j)
 	}
 	wg.Wait()

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -66,7 +67,7 @@ func TestRunOneAndCampaign(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tinyConfig(&buf)
 	techs := []Technique{FixDFTechniques()[1], FixDFTechniques()[7]} // random + explainable
-	c := RunCampaign(cfg, techs, cfg.Models, 0)
+	c := RunCampaign(context.Background(), cfg, techs, cfg.Models, 0)
 	if len(c.Runs) != 2 {
 		t.Fatalf("campaign runs = %d", len(c.Runs))
 	}
@@ -109,13 +110,13 @@ func TestParallelCampaignMatchesSerial(t *testing.T) {
 	serialCfg := tinyConfig(&bufA)
 	serialCfg.Budget = 20
 	serialCfg.Workers = 1
-	serial := RunCampaign(serialCfg, techs, serialCfg.Models, 0)
+	serial := RunCampaign(context.Background(), serialCfg, techs, serialCfg.Models, 0)
 
 	parCfg := tinyConfig(&bufB)
 	parCfg.Budget = 20
 	parCfg.Workers = 4
 	parCfg.Parallel = 2
-	par := RunCampaign(parCfg, techs, parCfg.Models, 0)
+	par := RunCampaign(context.Background(), parCfg, techs, parCfg.Models, 0)
 
 	if len(serial.Runs) != len(par.Runs) {
 		t.Fatalf("campaign sizes differ: %d vs %d", len(serial.Runs), len(par.Runs))
@@ -159,7 +160,7 @@ func TestParallelCampaignMatchesSerial(t *testing.T) {
 func TestFig4(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tinyConfig(&buf)
-	runs := RunFig4(cfg)
+	runs := RunFig4(context.Background(), cfg)
 	if len(runs) != 2 {
 		t.Fatalf("fig4 runs = %d", len(runs))
 	}
@@ -221,7 +222,7 @@ func TestFig14(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tinyConfig(&buf)
 	cfg.CodesignBudget = 25
-	rows := RunFig14(cfg)
+	rows := RunFig14(context.Background(), cfg)
 	if len(rows) != 4 {
 		t.Fatalf("fig14 rows = %d", len(rows))
 	}
@@ -256,7 +257,7 @@ func TestAblations(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tinyConfig(&buf)
 	cfg.Budget = 60
-	res := RunAblations(cfg)
+	res := RunAblations(context.Background(), cfg)
 	if len(res) != 7 {
 		t.Fatalf("ablations = %d", len(res))
 	}
@@ -302,7 +303,7 @@ func TestShortModel(t *testing.T) {
 func TestFig4ExplainableWalkIsNearMonotone(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tinyConfig(&buf)
-	runs := RunFig4(cfg)
+	runs := RunFig4(context.Background(), cfg)
 	ex := runs[1]
 	if ex.Technique != "ExplainableDSE" {
 		t.Fatalf("unexpected run order: %s", ex.Technique)

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -9,6 +10,7 @@ import (
 	"xdse/internal/dse"
 	"xdse/internal/eval"
 	"xdse/internal/opt"
+	"xdse/internal/search"
 	"xdse/internal/workload"
 )
 
@@ -32,7 +34,7 @@ type EnergyRun struct {
 // minimizing latency and once minimizing energy, demonstrating that the
 // same engine drives a different bottleneck model (the additive energy
 // tree) toward a different corner of the space.
-func RunEnergyObjective(cfg Config) []EnergyRun {
+func RunEnergyObjective(ctx context.Context, cfg Config) []EnergyRun {
 	var out []EnergyRun
 	for _, obj := range []eval.Objective{eval.MinLatency, eval.MinEnergy} {
 		space := arch.EdgeSpace()
@@ -44,7 +46,7 @@ func RunEnergyObjective(cfg Config) []EnergyRun {
 		model := accelmodel.New(space, cons)
 		model.Objective = obj
 		ex := dse.New(model)
-		tr := ex.Run(ev.Problem(cfg.Budget), rand.New(rand.NewSource(cfg.Seed)))
+		tr := ex.Run(ev.ProblemCtx(ctx, cfg.Budget), rand.New(rand.NewSource(cfg.Seed)))
 
 		run := EnergyRun{Objective: obj, Evaluations: ev.Evaluations()}
 		if tr.Best != nil {
@@ -92,7 +94,7 @@ type MultiWorkloadRun struct {
 // RunMultiWorkload explores one accelerator for {ResNet18, MobileNetV2}
 // (the §4.4 multi-workload aggregation path) and, for reference, dedicated
 // per-model designs.
-func RunMultiWorkload(cfg Config) []MultiWorkloadRun {
+func RunMultiWorkload(ctx context.Context, cfg Config) []MultiWorkloadRun {
 	models := []*workload.Model{workload.ResNet18(), workload.MobileNetV2()}
 
 	explore := func(label string, ms []*workload.Model) MultiWorkloadRun {
@@ -103,7 +105,7 @@ func RunMultiWorkload(cfg Config) []MultiWorkloadRun {
 			Mode: eval.FixedDataflow, Seed: cfg.Seed,
 		})
 		ex := dse.New(accelmodel.New(space, cons))
-		tr := ex.Run(ev.Problem(cfg.Budget), rand.New(rand.NewSource(cfg.Seed)))
+		tr := ex.Run(ev.ProblemCtx(ctx, cfg.Budget), rand.New(rand.NewSource(cfg.Seed)))
 		run := MultiWorkloadRun{Label: label, Evaluations: ev.Evaluations()}
 		for _, m := range ms {
 			run.Models = append(run.Models, m.Name)
@@ -155,7 +157,7 @@ type JointRun struct {
 // with a single random mapping per layer — no inner optimization) versus
 // the two-stage partitioned exploration (an inner mapping optimization per
 // hardware trial).
-func RunJointVsTwoStage(cfg Config) []JointRun {
+func RunJointVsTwoStage(ctx context.Context, cfg Config) []JointRun {
 	model := workload.EfficientNetB0()
 	explore := func(label string, mapTrials int) JointRun {
 		space := arch.EdgeSpace()
@@ -164,7 +166,7 @@ func RunJointVsTwoStage(cfg Config) []JointRun {
 			Constraints: eval.EdgeConstraints(), Mode: eval.RandomMappings,
 			MapTrials: mapTrials, Seed: cfg.Seed,
 		})
-		tr := opt.Random{}.Run(ev.Problem(cfg.CodesignBudget), rand.New(rand.NewSource(cfg.Seed)))
+		tr := opt.Random{}.Run(ev.ProblemCtx(ctx, cfg.CodesignBudget), rand.New(rand.NewSource(cfg.Seed)))
 		run := JointRun{Label: label, Evaluations: ev.Evaluations()}
 		if tr.Best != nil {
 			r := ev.Evaluate(tr.Best)
@@ -173,7 +175,7 @@ func RunJointVsTwoStage(cfg Config) []JointRun {
 		}
 		// Total mapping evaluations across all visited designs.
 		for _, s := range tr.Steps {
-			if r, ok := s.Costs.Raw.(*eval.Result); ok {
+			if r, ok := search.ResolveRaw(s.Costs.Raw).(*eval.Result); ok {
 				run.MapEvalTotal += r.MapEvaluations
 			}
 		}

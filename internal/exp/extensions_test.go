@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ func TestEnergyObjectiveExperiment(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tinyConfig(&buf)
 	cfg.Budget = 80
-	runs := RunEnergyObjective(cfg)
+	runs := RunEnergyObjective(context.Background(), cfg)
 	if len(runs) != 2 {
 		t.Fatalf("runs = %d", len(runs))
 	}
@@ -37,7 +38,7 @@ func TestMultiWorkloadExperiment(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tinyConfig(&buf)
 	cfg.Budget = 80
-	runs := RunMultiWorkload(cfg)
+	runs := RunMultiWorkload(context.Background(), cfg)
 	if len(runs) != 3 {
 		t.Fatalf("runs = %d", len(runs))
 	}
@@ -64,7 +65,7 @@ func TestJointVsTwoStageExperiment(t *testing.T) {
 	cfg := tinyConfig(&buf)
 	cfg.CodesignBudget = 12
 	cfg.MapTrials = 100
-	runs := RunJointVsTwoStage(cfg)
+	runs := RunJointVsTwoStage(context.Background(), cfg)
 	if len(runs) != 2 {
 		t.Fatalf("runs = %d", len(runs))
 	}
@@ -85,7 +86,7 @@ func TestFig11ReportRenders(t *testing.T) {
 	cfg.Budget = 30
 	cfg.CodesignBudget = 10
 	cfg.MapTrials = 100
-	c := RunFig11(cfg)
+	c := RunFig11(context.Background(), cfg)
 	ReportFig11(cfg, c)
 	out := buf.String()
 	if !strings.Contains(out, "EfficientNetB0") || !strings.Contains(out, "Transformer") {
@@ -103,7 +104,7 @@ func TestSummarizeExcludesExplainableFromBaselines(t *testing.T) {
 		FixDFTechniques()[1], // random
 		FixDFTechniques()[7], // explainable fixdf
 	}
-	c := RunCampaign(cfg, techs, cfg.Models, 0)
+	c := RunCampaign(context.Background(), cfg, techs, cfg.Models, 0)
 	s := Summarize(cfg, c, "ExplainableDSE-FixDF")
 	// With only random search as a baseline, the iteration ratio must be
 	// (random evals / explainable evals), and explainable converges in
@@ -121,7 +122,7 @@ func TestSummarizeVsFiltersBaselines(t *testing.T) {
 		CodesignTechniques()[0], // RandomSearch-Codesign
 		FixDFTechniques()[7],    // ExplainableDSE-FixDF
 	}
-	c := RunCampaign(cfg, techs, cfg.Models, 0)
+	c := RunCampaign(context.Background(), cfg, techs, cfg.Models, 0)
 	// A filter selecting only codesign baselines must ignore the FixDF run.
 	s := SummarizeVs(cfg, c, "ExplainableDSE-FixDF", func(tech string) bool {
 		return strings.HasSuffix(tech, "-Codesign")
@@ -137,7 +138,7 @@ func TestRunOneWritesTraceCSV(t *testing.T) {
 	cfg := tinyConfig(&buf)
 	cfg.Budget = 10
 	cfg.CSVDir = t.TempDir()
-	r := RunOne(cfg, FixDFTechniques()[1], cfg.Models[0], cfg.Budget)
+	r := RunOne(context.Background(), cfg, FixDFTechniques()[1], cfg.Models[0], cfg.Budget)
 	if r.Evaluations == 0 {
 		t.Fatal("no evaluations")
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -9,7 +10,7 @@ import (
 
 // RunFig11 reproduces Fig. 11: latency reduction over iterations for
 // EfficientNetB0 (CV) and Transformer (NLP) across the technique roster.
-func RunFig11(cfg Config) *Campaign {
+func RunFig11(ctx context.Context, cfg Config) *Campaign {
 	cfg.Models = []*workload.Model{workload.EfficientNetB0(), workload.Transformer()}
 	techs := []Technique{}
 	for _, t := range AllTechniques() {
@@ -19,7 +20,7 @@ func RunFig11(cfg Config) *Campaign {
 			techs = append(techs, t)
 		}
 	}
-	return RunCampaign(cfg, techs, cfg.Models, 0)
+	return RunCampaign(ctx, cfg, techs, cfg.Models, 0)
 }
 
 // fig11Checkpoints returns the iteration counts at which the best-so-far

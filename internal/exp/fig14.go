@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -68,7 +69,7 @@ type EdgeRefPoint struct {
 
 // RunFig14 runs Explainable-DSE codesign for the case-study CV models and
 // derives throughput, area efficiency, and energy efficiency.
-func RunFig14(cfg Config) []Fig14Row {
+func RunFig14(ctx context.Context, cfg Config) []Fig14Row {
 	models := []*workload.Model{
 		workload.MobileNetV2(), workload.EfficientNetB0(),
 		workload.ResNet50(), workload.VGG16(),
@@ -84,7 +85,7 @@ func RunFig14(cfg Config) []Fig14Row {
 			Mode: eval.PrunedMappings, MapTrials: cfg.MapTrials, Seed: cfg.Seed,
 		})
 		ex := dse.New(accelmodel.New(space, cons))
-		tr := ex.Run(ev.Problem(cfg.CodesignBudget), rand.New(rand.NewSource(cfg.Seed)))
+		tr := ex.Run(ev.ProblemCtx(ctx, cfg.CodesignBudget), rand.New(rand.NewSource(cfg.Seed)))
 
 		row := Fig14Row{Model: m.Name, Refs: map[string]EdgeRefPoint{}}
 		if tr.Best != nil {

@@ -36,7 +36,7 @@ type mapperFn func(l workload.Layer, trials int, rng *rand.Rand, cost mapping.Co
 func RunFig15(cfg Config) []Fig15Result {
 	model := workload.ResNet18()
 	space := arch.EdgeSpace()
-	design := space.Decode(referencePoint(space))
+	design := space.MustDecode(referencePoint(space))
 	trials := cfg.MapTrials
 
 	mappers := []struct {

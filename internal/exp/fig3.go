@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"xdse/internal/workload"
@@ -10,9 +11,9 @@ import (
 // explainable DSE on the EfficientNetB0 edge-accelerator exploration —
 // (a) efficiency (best latency), (b) feasibility of evaluated solutions,
 // and (c) agility (exploration time).
-func RunFig3(cfg Config) *Campaign {
+func RunFig3(ctx context.Context, cfg Config) *Campaign {
 	cfg.Models = []*workload.Model{workload.EfficientNetB0()}
-	return RunCampaign(cfg, AllTechniques(), cfg.Models, 0)
+	return RunCampaign(ctx, cfg, AllTechniques(), cfg.Models, 0)
 }
 
 // ReportFig3 renders the three panels as one table.

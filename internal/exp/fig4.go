@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -40,7 +41,7 @@ type Fig4Run struct {
 
 // RunFig4 explores the toy space for the single ResNet CONV5_2b layer with
 // HyperMapper 2.0 and Explainable-DSE.
-func RunFig4(cfg Config) []Fig4Run {
+func RunFig4(ctx context.Context, cfg Config) []Fig4Run {
 	model := workload.ResNetConv52b()
 	budget := 30
 	var out []Fig4Run
@@ -55,7 +56,7 @@ func RunFig4(cfg Config) []Fig4Run {
 			Mode:        eval.FixedDataflow,
 			Seed:        cfg.Seed,
 		})
-		tr := mk(space, cons).Run(ev.Problem(budget), rand.New(rand.NewSource(cfg.Seed)))
+		tr := mk(space, cons).Run(ev.ProblemCtx(ctx, budget), rand.New(rand.NewSource(cfg.Seed)))
 		out = append(out, Fig4Run{Technique: name, Trace: tr})
 	}
 
@@ -77,7 +78,7 @@ func ReportFig4(cfg Config, runs []Fig4Run) {
 		fmt.Fprintf(w, "\n-- %s --\n", run.Technique)
 		tb := newTable("Iter", "PEs", "L2(KB)", "Latency(ms)", "BestSoFar(ms)")
 		for _, s := range run.Trace.Steps {
-			d := space.Decode(s.Point)
+			d := space.MustDecode(s.Point)
 			lat := "-"
 			if s.Costs.Feasible {
 				lat = fmt.Sprintf("%.3f", s.Costs.Objective)

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestExplainableFindsFeasibleForWholeSuite(t *testing.T) {
 		m := m
 		t.Run(m.Name, func(t *testing.T) {
 			t.Parallel()
-			r := RunOne(cfg, tech, m, cfg.Budget)
+			r := RunOne(context.Background(), cfg, tech, m, cfg.Budget)
 			if r.Trace.Best == nil {
 				t.Fatalf("no feasible design within %d iterations", cfg.Budget)
 			}
@@ -50,7 +51,7 @@ func TestCodesignFeasibleForHardModels(t *testing.T) {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			r := RunOne(cfg, tech, workload.ByName(name), cfg.CodesignBudget)
+			r := RunOne(context.Background(), cfg, tech, workload.ByName(name), cfg.CodesignBudget)
 			if r.Trace.Best == nil {
 				t.Fatalf("no feasible codesign within %d iterations", cfg.CodesignBudget)
 			}

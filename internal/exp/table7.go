@@ -57,7 +57,7 @@ func layerSplitsLog10(l workload.Layer) float64 {
 func RunTable7(cfg Config) []Table7Row {
 	space := arch.EdgeSpace()
 	ref := referencePoint(space)
-	design := space.Decode(ref)
+	design := space.MustDecode(ref)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	var rows []Table7Row

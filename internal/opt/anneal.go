@@ -39,6 +39,9 @@ func (a Anneal) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
 
 	cur := p.Start()
 	curCosts := p.Evaluate(cur)
+	if p.Cancelled() {
+		return t
+	}
 	if !t.Record(p, cur, curCosts) {
 		return t
 	}

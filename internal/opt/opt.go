@@ -39,8 +39,17 @@ func score(c search.Costs) float64 {
 // the costs (for optimizers that feed them back into their models) and
 // whether the budget allows further acquisitions. All randomness must have
 // happened on the caller's goroutine while generating pts.
+//
+// A cancelled batch is never recorded and ends the run (false return): the
+// interrupted trace is a clean batch-boundary prefix of the uninterrupted
+// acquisition sequence, which is what the kill-and-resume contract needs.
+// Every baseline routes its evaluations through here, so this check covers
+// all of them.
 func evalRecord(t *search.Trace, p *search.Problem, pts []arch.Point) ([]search.Costs, bool) {
 	costs := p.EvaluateBatch(pts)
+	if p.Cancelled() {
+		return costs, false
+	}
 	return costs, t.RecordBatch(p, pts, costs)
 }
 

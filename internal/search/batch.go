@@ -1,6 +1,8 @@
 package search
 
 import (
+	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,9 +15,11 @@ import (
 // calls; all updates are atomic. Attach one to Problem.Stats to measure a
 // run (eval.Evaluator.Problem does this automatically).
 type BatchStats struct {
-	batches int64
-	points  int64
-	wallNs  int64
+	batches   int64
+	points    int64
+	wallNs    int64
+	panics    int64
+	cancelled int64
 }
 
 // add accumulates one batch; a nil receiver (no stats attached) is a no-op.
@@ -26,6 +30,22 @@ func (s *BatchStats) add(points int, wall time.Duration) {
 	atomic.AddInt64(&s.batches, 1)
 	atomic.AddInt64(&s.points, int64(points))
 	atomic.AddInt64(&s.wallNs, int64(wall))
+}
+
+// recovered counts one worker panic converted into an errored evaluation;
+// nil receivers are a no-op.
+func (s *BatchStats) recovered() {
+	if s != nil {
+		atomic.AddInt64(&s.panics, 1)
+	}
+}
+
+// skipped counts one point left unevaluated because the batch was cancelled;
+// nil receivers are a no-op.
+func (s *BatchStats) skipped() {
+	if s != nil {
+		atomic.AddInt64(&s.cancelled, 1)
+	}
 }
 
 // BatchReport is a point-in-time snapshot of BatchStats.
@@ -39,6 +59,14 @@ type BatchReport struct {
 	// count, so this is directly comparable between serial and parallel
 	// runs of the same exploration.
 	Wall time.Duration
+	// PanicsRecovered counts worker panics contained by EvaluateBatch and
+	// converted into errored, infeasible Costs. This is the batch layer's
+	// backstop for Problems whose Evaluate does not recover on its own
+	// (eval.Evaluator recovers internally and counts in eval.Stats).
+	PanicsRecovered int64
+	// CancelledPoints counts points left unevaluated because the
+	// problem's context was cancelled mid-batch.
+	CancelledPoints int64
 }
 
 // Report snapshots the counters. Safe to call concurrently with updates;
@@ -48,10 +76,44 @@ func (s *BatchStats) Report() BatchReport {
 		return BatchReport{}
 	}
 	return BatchReport{
-		Batches: atomic.LoadInt64(&s.batches),
-		Points:  atomic.LoadInt64(&s.points),
-		Wall:    time.Duration(atomic.LoadInt64(&s.wallNs)),
+		Batches:         atomic.LoadInt64(&s.batches),
+		Points:          atomic.LoadInt64(&s.points),
+		Wall:            time.Duration(atomic.LoadInt64(&s.wallNs)),
+		PanicsRecovered: atomic.LoadInt64(&s.panics),
+		CancelledPoints: atomic.LoadInt64(&s.cancelled),
 	}
+}
+
+// largeBudgetUtil stands in for the constraints budget of designs that never
+// produced one (panicked, errored, or cancelled evaluations): large enough
+// to dominate any real utilization, finite so downstream comparisons and
+// penalty formulas stay ordered.
+const largeBudgetUtil = 1e6
+
+// ErroredCosts returns the infeasible Costs recorded for a design whose
+// evaluation failed outright (recovered panic, injected fault, watchdog
+// timeout): infinite objective, a large finite constraints budget, and the
+// failure reason in Err.
+func ErroredCosts(reason string) Costs {
+	return Costs{
+		Objective:  math.Inf(1),
+		BudgetUtil: largeBudgetUtil,
+		Violations: 1,
+		Err:        reason,
+	}
+}
+
+// safeEvaluate runs p.Evaluate with panic containment: a panicking
+// evaluation is recorded as infeasible-with-error instead of tearing down
+// the exploration (one bad design must never kill a campaign).
+func (p *Problem) safeEvaluate(pt arch.Point) (c Costs) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.Stats.recovered()
+			c = ErroredCosts(fmt.Sprintf("panic during evaluation: %v", r))
+		}
+	}()
+	return p.Evaluate(pt)
 }
 
 // EvaluateBatch evaluates every point through the problem's bounded worker
@@ -68,16 +130,37 @@ func (s *BatchStats) Report() BatchReport {
 // With Workers <= 1 (the zero value) the batch is evaluated serially on
 // the calling goroutine, so problems whose Evaluate is not concurrency-safe
 // remain correct by default.
+//
+// Resilience contract: a panic inside one point's evaluation is contained —
+// that point's Costs come back infeasible with the panic text in Err, and
+// the rest of the batch completes normally. When the problem's context is
+// cancelled, points not yet dispatched are skipped and returned as errored
+// Costs; callers must consult Cancelled before recording the batch, so a
+// cancelled batch never reaches the trace.
 func (p *Problem) EvaluateBatch(pts []arch.Point) []Costs {
 	start := time.Now()
 	out := make([]Costs, len(pts))
+	ctx := p.Context()
+	done := ctx.Done()
+	one := func(i int) {
+		if done != nil {
+			select {
+			case <-done:
+				p.Stats.skipped()
+				out[i] = ErroredCosts("evaluation cancelled: " + ctx.Err().Error())
+				return
+			default:
+			}
+		}
+		out[i] = p.safeEvaluate(pts[i])
+	}
 	workers := p.Workers
 	if workers > len(pts) {
 		workers = len(pts)
 	}
 	if workers <= 1 {
 		for i := range pts {
-			out[i] = p.Evaluate(pts[i])
+			one(i)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -87,7 +170,7 @@ func (p *Problem) EvaluateBatch(pts []arch.Point) []Costs {
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					out[i] = p.Evaluate(pts[i])
+					one(i)
 				}
 			}()
 		}

@@ -1,0 +1,148 @@
+package search
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"xdse/internal/arch"
+)
+
+// panicProblem panics on points whose first index equals bad; everything
+// else evaluates normally.
+func panicProblem(budget, bad int) *Problem {
+	return &Problem{
+		Space:  arch.EdgeSpace(),
+		Budget: budget,
+		Stats:  &BatchStats{},
+		Evaluate: func(pt arch.Point) Costs {
+			if pt[0] == bad {
+				panic("model blew up")
+			}
+			return Costs{Objective: float64(pt[0]), Feasible: true, BudgetUtil: 0.5}
+		},
+	}
+}
+
+func TestEvaluateBatchContainsPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := panicProblem(100, 2)
+		p.Workers = workers
+		pts := make([]arch.Point, 5)
+		for i := range pts {
+			pts[i] = p.Space.Initial()
+			pts[i][0] = i
+		}
+		costs := p.EvaluateBatch(pts)
+		for i, c := range costs {
+			if i == 2 {
+				if c.Err == "" || !strings.Contains(c.Err, "panic during evaluation: model blew up") {
+					t.Fatalf("workers=%d: panicked point Err = %q", workers, c.Err)
+				}
+				if c.Feasible || !math.IsInf(c.Objective, 1) {
+					t.Errorf("workers=%d: panicked point costs = %+v, want infeasible +Inf", workers, c)
+				}
+				continue
+			}
+			if c.Err != "" || !c.Feasible {
+				t.Errorf("workers=%d: healthy point %d came back %+v", workers, i, c)
+			}
+		}
+		if rep := p.Stats.Report(); rep.PanicsRecovered != 1 {
+			t.Errorf("workers=%d: PanicsRecovered = %d, want 1", workers, rep.PanicsRecovered)
+		}
+	}
+}
+
+func TestEvaluateBatchCancelSkipsRemainder(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	evaluated := 0
+	p := &Problem{
+		Space:  arch.EdgeSpace(),
+		Budget: 100,
+		Ctx:    ctx,
+		Stats:  &BatchStats{},
+		Evaluate: func(pt arch.Point) Costs {
+			evaluated++
+			if evaluated == 2 {
+				cancel() // the campaign is killed mid-batch
+			}
+			return Costs{Objective: float64(pt[0]), Feasible: true, BudgetUtil: 0.5}
+		},
+	}
+	pts := make([]arch.Point, 6)
+	for i := range pts {
+		pts[i] = p.Space.Initial()
+		pts[i][0] = i
+	}
+	costs := p.EvaluateBatch(pts) // Workers=1: serial, deterministic cut
+	if evaluated != 2 {
+		t.Fatalf("evaluated %d points, want 2 before the cancellation lands", evaluated)
+	}
+	for i, c := range costs {
+		if i < 2 {
+			if c.Err != "" {
+				t.Errorf("point %d evaluated before cancel came back errored: %q", i, c.Err)
+			}
+			continue
+		}
+		if !strings.Contains(c.Err, "evaluation cancelled") {
+			t.Errorf("point %d after cancel: Err = %q, want cancellation", i, c.Err)
+		}
+	}
+	if rep := p.Stats.Report(); rep.CancelledPoints != 4 {
+		t.Errorf("CancelledPoints = %d, want 4", rep.CancelledPoints)
+	}
+	if !p.Cancelled() {
+		t.Error("Problem.Cancelled() = false after context cancellation")
+	}
+}
+
+func TestProblemContextDefaults(t *testing.T) {
+	p := &Problem{Space: arch.EdgeSpace(), Budget: 1}
+	if p.Context() == nil {
+		t.Fatal("nil-Ctx problem must still return a usable context")
+	}
+	if p.Cancelled() {
+		t.Error("nil-Ctx problem reports cancelled")
+	}
+}
+
+func TestTraceFingerprintAndDiff(t *testing.T) {
+	p := &Problem{
+		Space:  arch.EdgeSpace(),
+		Budget: 10,
+		Evaluate: func(pt arch.Point) Costs {
+			return Costs{Objective: float64(pt[0]), Feasible: true, BudgetUtil: 0.5}
+		},
+	}
+	build := func(objs ...int) *Trace {
+		tr := &Trace{Name: "toy"}
+		for _, o := range objs {
+			pt := p.Space.Initial()
+			pt[0] = o
+			tr.Record(p, pt, p.Evaluate(pt))
+		}
+		return tr
+	}
+	a, b := build(3, 1, 2), build(3, 1, 2)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("identical traces fingerprint differently:\n%s", a.Diff(b))
+	}
+	if d := a.Diff(b); d != "" {
+		t.Fatalf("identical traces diff: %s", d)
+	}
+	c := build(3, 2, 2)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("divergent traces fingerprint equal")
+	}
+	if d := a.Diff(c); !strings.Contains(d, "step 1") {
+		t.Fatalf("Diff = %q, want first divergence at step 1", d)
+	}
+	// A clean prefix (the interrupted-run shape) diverges only in length.
+	pre := build(3, 1)
+	if d := a.Diff(pre); !strings.Contains(d, "step counts differ") {
+		t.Fatalf("Diff of prefix = %q, want a step-count mismatch", d)
+	}
+}

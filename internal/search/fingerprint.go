@@ -1,0 +1,78 @@
+package search
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Fingerprint returns a stable digest of everything a trace asserts about
+// an exploration: the full acquisition sequence (point, objective bits,
+// feasibility, constraint budget bits, running best bits, error reason),
+// the best solution, and the unique-design budget accounting. Wall-clock
+// fields and domain payloads (Raw) are excluded, so two runs are
+// fingerprint-equal exactly when they are bit-identical in every
+// reproducibility-relevant respect — the equality the kill-and-resume
+// contract promises.
+func (t *Trace) Fingerprint() string {
+	h := sha256.New()
+	f := func(v float64) string {
+		// Hash the IEEE bits: bit-identity is the contract, and the
+		// bits distinguish signed zeroes and NaN payloads that a
+		// decimal rendering would conflate.
+		return fmt.Sprintf("%016x", math.Float64bits(v))
+	}
+	fmt.Fprintf(h, "name=%s evals=%d repeats=%d\n", t.Name, t.Evaluations, t.RepeatSteps)
+	for _, s := range t.Steps {
+		fmt.Fprintf(h, "%d|%s|%s|%v|%s|%d|%s|%s\n",
+			s.Iter, s.Point.Key(), f(s.Costs.Objective), s.Costs.Feasible,
+			f(s.Costs.BudgetUtil), s.Costs.Violations, s.Costs.Err, f(s.BestSoFar))
+	}
+	if t.Best != nil {
+		fmt.Fprintf(h, "best=%s obj=%s\n", t.Best.Key(), f(t.BestCosts.Objective))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Diff renders the first divergence between two traces for test failure
+// messages: the step index plus both sides' renderings, or a summary-level
+// mismatch (length, budget accounting, best solution). It returns the empty
+// string when the traces are fingerprint-equal.
+func (t *Trace) Diff(o *Trace) string {
+	render := func(s Step) string {
+		return fmt.Sprintf("iter=%d pt=%s obj=%x feas=%v budget=%x err=%q best=%x",
+			s.Iter, s.Point.Key(), math.Float64bits(s.Costs.Objective), s.Costs.Feasible,
+			math.Float64bits(s.Costs.BudgetUtil), s.Costs.Err, math.Float64bits(s.BestSoFar))
+	}
+	var b strings.Builder
+	n := len(t.Steps)
+	if len(o.Steps) < n {
+		n = len(o.Steps)
+	}
+	for i := 0; i < n; i++ {
+		if a, c := render(t.Steps[i]), render(o.Steps[i]); a != c {
+			fmt.Fprintf(&b, "step %d:\n  a: %s\n  b: %s\n", i, a, c)
+			return b.String()
+		}
+	}
+	if len(t.Steps) != len(o.Steps) {
+		fmt.Fprintf(&b, "step counts differ: %d vs %d\n", len(t.Steps), len(o.Steps))
+	}
+	if t.Evaluations != o.Evaluations || t.RepeatSteps != o.RepeatSteps {
+		fmt.Fprintf(&b, "budget accounting differs: evals %d vs %d, repeats %d vs %d\n",
+			t.Evaluations, o.Evaluations, t.RepeatSteps, o.RepeatSteps)
+	}
+	aBest, bBest := "", ""
+	if t.Best != nil {
+		aBest = t.Best.Key()
+	}
+	if o.Best != nil {
+		bBest = o.Best.Key()
+	}
+	if aBest != bBest {
+		fmt.Fprintf(&b, "best points differ: %q vs %q\n", aBest, bBest)
+	}
+	return b.String()
+}

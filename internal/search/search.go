@@ -8,6 +8,8 @@
 package search
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"time"
@@ -31,9 +33,32 @@ type Costs struct {
 	// Violations counts violated constraints (monomodal-range pruning of
 	// §4.6 compares candidate violation counts against the solution's).
 	Violations int
+	// Err, when non-empty, explains why the design could not be evaluated
+	// normally (a recovered panic, an injected fault, a watchdog timeout,
+	// or cancellation). Errored designs are always infeasible.
+	Err string
 	// Raw carries the domain evaluation payload (e.g. *eval.Result) for
-	// domain-specific bottleneck models.
+	// domain-specific bottleneck models. It may be a Deferred thunk when
+	// the costs were replayed from a checkpoint journal; consumers that
+	// need the payload must resolve it through ResolveRaw.
 	Raw any
+}
+
+// Deferred is a lazily rematerialized evaluation payload: checkpoint replay
+// restores a design's Costs without its domain payload (the journal stores
+// only the scalar outcome), so Raw carries a thunk that recomputes the
+// payload on demand. Resolution is deterministic — the evaluator memoizes by
+// design key — and never charges the unique-design budget (replayed keys are
+// pre-seeded as already evaluated).
+type Deferred func() any
+
+// ResolveRaw materializes a Costs.Raw payload, invoking a Deferred thunk if
+// one is present and returning any other payload unchanged.
+func ResolveRaw(raw any) any {
+	if d, ok := raw.(Deferred); ok {
+		return d()
+	}
+	return raw
 }
 
 // Prediction is one bottleneck-mitigating parameter prediction produced by
@@ -75,6 +100,46 @@ type Problem struct {
 	// problem so campaign reports can measure the batch layer. It is a
 	// pointer so Problem values stay trivially copyable.
 	Stats *BatchStats
+	// Ctx, when non-nil, cancels the exploration: EvaluateBatch stops
+	// dispatching work once the context is done, and every optimizer
+	// checks Cancelled at its batch boundaries and returns its partial
+	// trace. A nil Ctx means the run cannot be cancelled.
+	Ctx context.Context
+}
+
+// Context returns the problem's cancellation context (context.Background
+// when none was attached).
+func (p *Problem) Context() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
+	}
+	return context.Background()
+}
+
+// Cancelled reports whether the problem's context has been cancelled.
+// Optimizers consult it at batch boundaries: a cancelled batch is never
+// recorded on the trace, so an interrupted run's trace is a clean prefix of
+// the uninterrupted acquisition sequence at batch granularity.
+func (p *Problem) Cancelled() bool {
+	return p.Ctx != nil && p.Ctx.Err() != nil
+}
+
+// Validate checks the problem's externally supplied parts once at
+// construction time: a non-nil Initial point must be well-formed for the
+// space. Optimizers may assume a validated problem and construct all further
+// points through Space methods, which keeps the hot path free of arity
+// checks (malformed points reaching Space.Decode degrade to an error, not a
+// panic).
+func (p *Problem) Validate() error {
+	if p.Space == nil {
+		return fmt.Errorf("search: problem has no space")
+	}
+	if p.Initial != nil {
+		if err := p.Space.CheckPoint(p.Initial); err != nil {
+			return fmt.Errorf("search: initial point: %w", err)
+		}
+	}
+	return nil
 }
 
 // maxSteps resolves the acquisition cap (see Problem.MaxSteps).
