@@ -22,10 +22,16 @@ import (
 	"xdse/internal/dse"
 	"xdse/internal/eval"
 	"xdse/internal/exp"
+	"xdse/internal/obs"
 	"xdse/internal/workload"
 )
 
 func main() {
+	// `xdse report <trace.jsonl>` is a subcommand, not a flag: it reads a
+	// -trace-out file back and renders the explanation timeline.
+	if len(os.Args) > 1 && os.Args[1] == "report" {
+		os.Exit(runReport(os.Args[2:]))
+	}
 	var (
 		expName  = flag.String("exp", "fig3", "experiment: fig3|fig4|fig9|fig10|fig11|fig12|table2|table3|table7|fig14|fig15|ablation|energy|multiworkload|joint|all")
 		full     = flag.Bool("full", false, "use the paper-scale budgets (2500 iterations, 10000 mapping trials)")
@@ -46,6 +52,8 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 		ckptDir  = flag.String("checkpoint", "", "checkpoint directory: journal every run's evaluations there so a killed campaign is resumable")
 		resume   = flag.Bool("resume", false, "resume from the journals in -checkpoint instead of starting fresh")
+		traceOut = flag.String("trace-out", "", "write every run's structured explanation events to this JSONL file (read back with `xdse report`)")
+		metrsOut = flag.String("metrics-out", "", "write the campaign's merged metrics to this file in Prometheus text format")
 	)
 	flag.Parse()
 
@@ -136,6 +144,41 @@ func main() {
 		cfg.CSVDir = *csvDir
 	}
 
+	// Observability outputs. finishObs is idempotent and must run on every
+	// exit path that produced events — including the interrupted one, which
+	// exits through os.Exit and therefore skips deferred closers.
+	var traceSink *obs.JSONLSink
+	if *traceOut != "" {
+		s, err := obs.NewJSONLSink(*traceOut, obs.JSONLOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xdse: %v\n", err)
+			os.Exit(1)
+		}
+		traceSink = s
+		cfg.Trace = s
+	}
+	if *metrsOut != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	obsDone := false
+	finishObs := func() {
+		if obsDone {
+			return
+		}
+		obsDone = true
+		if traceSink != nil {
+			if err := traceSink.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "xdse: trace: %v\n", err)
+			}
+		}
+		if cfg.Metrics != nil {
+			if err := writeMetricsFile(*metrsOut, cfg.Metrics); err != nil {
+				fmt.Fprintf(os.Stderr, "xdse: metrics: %v\n", err)
+			}
+		}
+	}
+	defer finishObs()
+
 	if *mapOnly {
 		if err := runMapper(cfg, *spec, *design); err != nil {
 			fmt.Fprintf(os.Stderr, "xdse: %v\n", err)
@@ -204,20 +247,22 @@ func main() {
 			}
 			run(name)
 		}
-		exitIfInterrupted(ctx, *ckptDir)
+		exitIfInterrupted(ctx, *ckptDir, finishObs)
 		return
 	}
 	run(*expName)
-	exitIfInterrupted(ctx, *ckptDir)
+	exitIfInterrupted(ctx, *ckptDir, finishObs)
 }
 
 // exitIfInterrupted finishes an interrupted invocation: the partial report
-// has already rendered, so say how to pick the campaign back up and exit
-// with the conventional SIGINT status.
-func exitIfInterrupted(ctx context.Context, ckptDir string) {
+// has already rendered, so flush the observability outputs (finish), say how
+// to pick the campaign back up, and exit with the conventional SIGINT
+// status. It exits through os.Exit, so finish must not rely on defers.
+func exitIfInterrupted(ctx context.Context, ckptDir string, finish func()) {
 	if ctx.Err() == nil {
 		return
 	}
+	finish()
 	fmt.Fprintf(os.Stderr, "\nxdse: interrupted; report above is partial\n")
 	if ckptDir != "" {
 		fmt.Fprintf(os.Stderr, "xdse: resumable from %s (re-run with -checkpoint %s -resume)\n", ckptDir, ckptDir)
@@ -225,6 +270,47 @@ func exitIfInterrupted(ctx context.Context, ckptDir string) {
 		fmt.Fprintf(os.Stderr, "xdse: run with -checkpoint DIR to make interrupted campaigns resumable\n")
 	}
 	os.Exit(130)
+}
+
+// writeMetricsFile dumps the registry to path in the Prometheus text
+// exposition format, self-checking the dump for well-formedness so a broken
+// export fails loudly instead of poisoning a scrape.
+func writeMetricsFile(path string, reg *obs.Registry) error {
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		return err
+	}
+	if err := obs.ValidatePrometheus(b.String()); err != nil {
+		return fmt.Errorf("malformed dump: %w", err)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// runReport implements `xdse report [-top N] <trace.jsonl>`: it reads the
+// structured explanation trace a campaign wrote through -trace-out and
+// renders the per-run acquisition timeline plus the top-N
+// bottleneck/mitigation summary.
+func runReport(args []string) int {
+	fs := flag.NewFlagSet("xdse report", flag.ExitOnError)
+	topN := fs.Int("top", 5, "how many bottlenecks/rules to rank in the summary")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: xdse report [-top N] <trace.jsonl>\n")
+		return 2
+	}
+	warnf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "xdse report: "+format+"\n", a...)
+	}
+	events, err := obs.ReadTrace(fs.Arg(0), warnf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xdse report: %v\n", err)
+		return 1
+	}
+	if err := obs.WriteReport(os.Stdout, events, *topN); err != nil {
+		fmt.Fprintf(os.Stderr, "xdse report: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
 // runExplore performs one ad-hoc Explainable-DSE exploration over a
@@ -266,6 +352,9 @@ func runExplore(ctx context.Context, cfg exp.Config, specPath, mode string, quie
 	ex := dse.New(accelmodel.New(space, cons))
 	if !quiet {
 		ex.Opts.Log = os.Stdout
+	}
+	if cfg.Trace != nil {
+		ex.Opts.Sink = obs.WithRun(cfg.Trace, "explore_"+mode)
 	}
 	names := make([]string, len(cfg.Models))
 	for i, m := range cfg.Models {

@@ -191,6 +191,7 @@ func (m *Model) MitigateObjective(raw any, sub, maxBottlenecks int) ([]search.Pr
 			bn.Scaling = 2
 		}
 		ps := m.mitigate(bn, le, r.Design)
+		stampProvenance(ps, bn)
 		for _, p := range ps {
 			fmt.Fprintf(&explain, "mitigate %s (%.0f%%, s=%.2f): %s\n",
 				bn.Factor.Name, bn.Contribution*100, bn.Scaling, p.Why)
@@ -198,6 +199,20 @@ func (m *Model) MitigateObjective(raw any, sub, maxBottlenecks int) ([]search.Pr
 		preds = append(preds, ps...)
 	}
 	return preds, explain.String()
+}
+
+// stampProvenance fills the trace-provenance fields of predictions produced
+// while mitigating one bottleneck: the subroutines name their Rule, the
+// analysis loop attributes the driving factor, its cost contribution, and
+// the targeted scaling. Already-attributed predictions are left alone.
+func stampProvenance(ps []search.Prediction, bn bottleneck.Bottleneck) {
+	for i := range ps {
+		if ps[i].Factor == "" {
+			ps[i].Factor = bn.Factor.Name
+		}
+		ps[i].Contribution = bn.Contribution
+		ps[i].Scaling = bn.Scaling
+	}
 }
 
 // mitigateIncompatible predicts the resource growth that makes an
@@ -213,6 +228,7 @@ func (m *Model) mitigateIncompatible(le eval.LayerEval, d arch.Design) ([]search
 			if idx, ok := m.paramIndex(fmt.Sprintf("virt_unicast_%v", op)); ok {
 				preds = append(preds, search.Prediction{
 					Param: idx, Value: b.VirtNeeded[op],
+					Factor: "incompatible", Rule: "incompat-virt",
 					Why: fmt.Sprintf("incompatible: %v NoC needs %d-way time-sharing (has %d)", op, b.VirtNeeded[op], d.VirtLinks[op]),
 				})
 			}
@@ -222,6 +238,7 @@ func (m *Model) mitigateIncompatible(le eval.LayerEval, d arch.Design) ([]search
 		if idx, ok := m.paramIndex("L1_bytes"); ok {
 			preds = append(preds, search.Prediction{
 				Param: idx, Value: 2 * d.L1Bytes,
+				Factor: "incompatible", Rule: "incompat-rf",
 				Why: "incompatible: RF tile overflows L1; double it",
 			})
 		}
@@ -230,6 +247,7 @@ func (m *Model) mitigateIncompatible(le eval.LayerEval, d arch.Design) ([]search
 		if idx, ok := m.paramIndex("L2_KB"); ok {
 			preds = append(preds, search.Prediction{
 				Param: idx, Value: 2 * d.L2KB,
+				Factor: "incompatible", Rule: "incompat-spm",
 				Why: "incompatible: L2 tile overflows scratchpad; double it",
 			})
 		}
@@ -283,7 +301,7 @@ func (m *Model) predictPEs(s float64, d arch.Design) []search.Prediction {
 	}
 	want := int(math.Ceil(s * float64(d.PEs)))
 	return []search.Prediction{{
-		Param: idx, Value: want,
+		Param: idx, Value: want, Rule: "scale-pes",
 		Why: fmt.Sprintf("computation-bound: scale PEs %d -> %d (s=%.2f)", d.PEs, want, s),
 	}}
 }
@@ -317,14 +335,14 @@ func (m *Model) predictSpatialEnable(s float64, le eval.LayerEval, d arch.Design
 			maxVirt := m.Space.Params[idx].Values[len(m.Space.Params[idx].Values)-1]
 			if shares <= maxVirt {
 				preds = append(preds, search.Prediction{
-					Param: idx, Value: shares,
+					Param: idx, Value: shares, Rule: "spatial-virt",
 					Why: fmt.Sprintf("only %d/%d PEs mappable: raise %v time-shared unicast to %d for %d-way parallelism", b.PEsUsed, d.PEs, op, shares, desired),
 				})
 			} else if lidx, ok := m.paramIndex(fmt.Sprintf("phys_unicast_%v", op)); ok {
 				want := (desired + maxVirt - 1) / maxVirt
 				if want > d.PhysLinks[op] {
 					preds = append(preds, search.Prediction{
-						Param: lidx, Value: want,
+						Param: lidx, Value: want, Rule: "spatial-links",
 						Why: fmt.Sprintf("only %d/%d PEs mappable: grow %v unicast links to %d (virtual capacity maxed)", b.PEsUsed, d.PEs, op, want),
 					})
 				}
@@ -350,7 +368,7 @@ func (m *Model) predictNoC(s float64, op arch.Operand, le eval.LayerEval, d arch
 		want := math.Min(float64(d.NoCWidthBits)*s, maxWidth)
 		if want > float64(d.NoCWidthBits) {
 			preds = append(preds, search.Prediction{
-				Param: idx, Value: int(math.Ceil(want)),
+				Param: idx, Value: int(math.Ceil(want)), Rule: "noc-width",
 				Why: fmt.Sprintf("%v NoC: widen bus %db -> %.0fb (broadcast cap %.0fb)", op, d.NoCWidthBits, want, maxWidth),
 			})
 		}
@@ -362,7 +380,7 @@ func (m *Model) predictNoC(s float64, op arch.Operand, le eval.LayerEval, d arch
 		want := math.Min(float64(d.PhysLinks[op])*s, maxLinks)
 		if want > float64(d.PhysLinks[op]) {
 			preds = append(preds, search.Prediction{
-				Param: idx, Value: int(math.Ceil(want)),
+				Param: idx, Value: int(math.Ceil(want)), Rule: "noc-links",
 				Why: fmt.Sprintf("%v NoC: add unicast links %d -> %.0f (groups %d)", op, d.PhysLinks[op], want, b.NoCGroups[op]),
 			})
 		}
@@ -372,7 +390,7 @@ func (m *Model) predictNoC(s float64, op arch.Operand, le eval.LayerEval, d arch
 	if idx, ok := m.paramIndex(fmt.Sprintf("virt_unicast_%v", op)); ok {
 		if need := b.VirtNeeded[op]; need > 1 && need > d.VirtLinks[op]/2 {
 			preds = append(preds, search.Prediction{
-				Param: idx, Value: 2 * need,
+				Param: idx, Value: 2 * need, Rule: "noc-virt",
 				Why: fmt.Sprintf("%v NoC: raise time-shared unicast to %d (needed %d)", op, 2*need, need),
 			})
 		}
@@ -389,7 +407,7 @@ func (m *Model) predictNoC(s float64, op arch.Operand, le eval.LayerEval, d arch
 	if len(preds) == 0 && !rfPredicted {
 		if idx, ok := m.paramIndex("L1_bytes"); ok {
 			preds = append(preds, search.Prediction{
-				Param: idx, Value: 2 * d.L1Bytes,
+				Param: idx, Value: 2 * d.L1Bytes, Rule: "rf-grow",
 				Why: fmt.Sprintf("%v NoC bound with clamped width/links: double RF to %dB for larger broadcast payloads", op, 2*d.L1Bytes),
 			})
 		}
@@ -415,7 +433,7 @@ func (m *Model) predictDMA(s float64, op arch.Operand, le eval.LayerEval, d arch
 		want := int(math.Ceil(bpcNew * float64(d.FreqMHz)))
 		if want > d.OffchipMBps {
 			preds = append(preds, search.Prediction{
-				Param: idx, Value: want,
+				Param: idx, Value: want, Rule: "dma-bandwidth",
 				Why: fmt.Sprintf("DMA-bound: raise bandwidth %d -> %d MBps (s=%.2f)", d.OffchipMBps, want, s),
 			})
 		}
@@ -476,6 +494,7 @@ func (m *Model) MitigateConstraints(raw any) ([]search.Prediction, string) {
 				if want < cur {
 					p := search.Prediction{
 						Param: idx, Value: want, Reduce: true,
+						Factor: v.label, Scaling: v.s, Rule: "shrink",
 						Why: fmt.Sprintf("%s violated (%.2fx): shrink %s %d -> %d", v.label, v.s, name, cur, want),
 					}
 					fmt.Fprintf(&explain, "%s\n", p.Why)

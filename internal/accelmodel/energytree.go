@@ -123,7 +123,7 @@ func (m *Model) predictSPMGrowth(s float64, op arch.Operand, le eval.LayerEval, 
 		return nil
 	}
 	return []search.Prediction{{
-		Param: idx, Value: wantKB,
+		Param: idx, Value: wantKB, Rule: "spm-grow",
 		Why: fmt.Sprintf("DRAM-bound on %v: grow L2 %dKB -> %dKB to exploit %.2fx reuse (Amdahl A=%.2f)", op, d.L2KB, wantKB, target, a),
 	}}
 }
@@ -154,7 +154,7 @@ func (m *Model) predictRFGrowth(s float64, op arch.Operand, le eval.LayerEval, d
 		return nil
 	}
 	return []search.Prediction{{
-		Param: idx, Value: int(math.Ceil(newRF)),
+		Param: idx, Value: int(math.Ceil(newRF)), Rule: "rf-grow",
 		Why: fmt.Sprintf("NoC-traffic-bound on %v: grow RF %dB -> %.0fB for %.2fx more reuse", op, d.L1Bytes, newRF, target),
 	}}
 }
@@ -176,6 +176,7 @@ func (m *Model) mitigateObjectiveEnergy(r *eval.Result, le eval.LayerEval, maxBo
 			bn.Scaling = 2
 		}
 		ps := m.mitigateEnergy(bn, le, r.Design)
+		stampProvenance(ps, bn)
 		for _, p := range ps {
 			fmt.Fprintf(&explain, "mitigate %s (%.0f%%, s=%.2f): %s\n",
 				bn.Factor.Name, bn.Contribution*100, bn.Scaling, p.Why)

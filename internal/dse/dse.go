@@ -14,9 +14,11 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 
 	"xdse/internal/arch"
+	"xdse/internal/obs"
 	"xdse/internal/search"
 )
 
@@ -55,8 +57,15 @@ type Options struct {
 	// attempts tolerated before termination (default 3).
 	Patience int
 	// Log, when non-nil, receives the per-attempt explanations that make
-	// the exploration auditable.
+	// the exploration auditable, rendered in the engine's historical
+	// human-readable format (internally an obs.TextSink over the
+	// structured event stream).
 	Log io.Writer
+	// Sink, when non-nil, additionally receives the structured
+	// explanation events (see internal/obs). It is combined with Log's
+	// text rendering and with the problem's Events sink; events are
+	// derived from, never feeding back into, the acquisition sequence.
+	Sink obs.Sink
 	// DisableBudgetAwareUpdate replaces the §4.6 constraint-budget-aware
 	// solution update with plain greedy feasible-min (ablation hook).
 	DisableBudgetAwareUpdate bool
@@ -143,9 +152,19 @@ func (e *Explorer) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
 	start := time.Now()
 	defer func() { t.Elapsed = time.Since(start) }()
 
+	// One emitter serves the whole run: the legacy text log, the
+	// engine-level structured sink, and the problem-level sink (campaign
+	// tracing) all hang off it. A nil emitter (nothing attached) keeps
+	// every emission a no-op and skips all rendering.
+	var text obs.Sink
+	if o.Log != nil {
+		text = obs.NewTextSink(o.Log)
+	}
+	em := obs.NewEmitter(text, o.Sink, p.Events)
+
 	restarts := o.Restarts
 	if restarts <= 1 {
-		e.runFrom(p, t, p.Start(), rng, p.Budget)
+		e.runFrom(p, t, p.Start(), rng, p.Budget, em, 0)
 		return t
 	}
 	share := p.Budget / restarts
@@ -161,7 +180,7 @@ func (e *Explorer) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
 		if i == restarts-1 || stopAt > p.Budget {
 			stopAt = p.Budget
 		}
-		e.runFrom(p, t, initial, rng, stopAt)
+		e.runFrom(p, t, initial, rng, stopAt, em, i)
 	}
 	return t
 }
@@ -169,7 +188,9 @@ func (e *Explorer) Run(p *search.Problem, rng *rand.Rand) *search.Trace {
 // runFrom is one exploration from a given initial point, recorded into the
 // shared trace t. stopAt is this restart's cumulative unique-evaluation
 // ceiling (<= p.Budget): the restart yields once the trace reaches it.
-func (e *Explorer) runFrom(p *search.Problem, t *search.Trace, initial arch.Point, rng *rand.Rand, stopAt int) {
+// Events flow through em (nil = disabled, all emission and rendering
+// skipped); restart labels them for multi-restart runs.
+func (e *Explorer) runFrom(p *search.Problem, t *search.Trace, initial arch.Point, rng *rand.Rand, stopAt int, em *obs.Emitter, restart int) {
 	o := e.opts()
 
 	// left gates continuation on both the global budget (Record's own
@@ -190,8 +211,15 @@ func (e *Explorer) runFrom(p *search.Problem, t *search.Trace, initial arch.Poin
 	if !left(t.Record(p, cur, curCosts)) {
 		return
 	}
-	e.logf(o, "initial solution: obj=%.4g feasible=%v budget=%.2f\n",
-		curCosts.Objective, curCosts.Feasible, curCosts.BudgetUtil)
+	if em.Enabled() {
+		em.Emit(obs.Event{
+			Kind: obs.KindIncumbentImproved, Restart: restart, Attempt: 0,
+			Why: "initial", Objective: obs.Float(curCosts.Objective),
+			Feasible: curCosts.Feasible, BudgetUtil: obs.Float(curCosts.BudgetUtil),
+			Text: fmt.Sprintf("initial solution: obj=%.4g feasible=%v budget=%.2f\n",
+				curCosts.Objective, curCosts.Feasible, curCosts.BudgetUtil),
+		})
+	}
 
 	// blocked remembers parameter/direction ranges abandoned after §4.6
 	// monomodal pruning (a candidate violating more constraints than the
@@ -200,9 +228,23 @@ func (e *Explorer) runFrom(p *search.Problem, t *search.Trace, initial arch.Poin
 
 	stale := 0
 	for attempt := 1; ; attempt++ {
-		preds, explain := e.analyze(o, curCosts)
+		em.Emit(obs.Event{Kind: obs.KindStepStarted, Restart: restart, Attempt: attempt})
+		preds, explain := e.analyze(o, em, restart, attempt, curCosts)
 		if explain != "" {
-			e.logf(o, "--- attempt %d ---\n%s", attempt, explain)
+			em.Emit(obs.Event{
+				Kind: obs.KindNote, Restart: restart, Attempt: attempt,
+				Text: fmt.Sprintf("--- attempt %d ---\n%s", attempt, explain),
+			})
+		}
+		if em.Enabled() {
+			for _, pr := range preds {
+				em.Emit(obs.Event{
+					Kind: obs.KindMitigationProposed, Restart: restart, Attempt: attempt,
+					Param: p.Space.Params[pr.Param].Name, Value: pr.Value,
+					Reduce: pr.Reduce, Rule: pr.Rule, Factor: pr.Factor,
+					Scaling: obs.Float(pr.Scaling), Why: pr.Why,
+				})
+			}
 		}
 
 		cands := e.acquire(p, cur, preds, blocked)
@@ -211,10 +253,20 @@ func (e *Explorer) runFrom(p *search.Problem, t *search.Trace, initial arch.Poin
 			// the black-box counterpart (§4.3) — neighbor sampling.
 			cands = e.neighborCandidates(p, cur, rng)
 			if len(cands) == 0 {
-				e.logf(o, "no candidates remain; converged after %d attempts\n", attempt)
+				if em.Enabled() {
+					em.Emit(obs.Event{
+						Kind: obs.KindConverged, Restart: restart, Attempt: attempt,
+						Text: fmt.Sprintf("no candidates remain; converged after %d attempts\n", attempt),
+					})
+				}
 				return
 			}
-			e.logf(o, "no bottleneck-guided candidates; sampling %d neighbors\n", len(cands))
+			if em.Enabled() {
+				em.Emit(obs.Event{
+					Kind: obs.KindNote, Restart: restart, Attempt: attempt,
+					Text: fmt.Sprintf("no bottleneck-guided candidates; sampling %d neighbors\n", len(cands)),
+				})
+			}
 		}
 
 		// The candidate set of one attempt is embarrassingly parallel
@@ -230,9 +282,26 @@ func (e *Explorer) runFrom(p *search.Problem, t *search.Trace, initial arch.Poin
 		for i := range cands {
 			pts[i] = cands[i].pt
 		}
+		batchStart := time.Now()
 		costs := p.EvaluateBatch(pts)
 		if p.Cancelled() {
 			return
+		}
+		if em.Enabled() {
+			// Hits are computed from the trace's own seen-set (before
+			// this batch is recorded), not from wall-clock or evaluator
+			// state, so the field is deterministic across runs.
+			hits := 0
+			for _, pt := range pts {
+				if t.Seen(pt) {
+					hits++
+				}
+			}
+			em.Emit(obs.Event{
+				Kind: obs.KindBatchEvaluated, Restart: restart, Attempt: attempt,
+				Points: len(pts), Hits: hits, Misses: len(pts) - hits,
+				WallNs: time.Since(batchStart).Nanoseconds(),
+			})
 		}
 
 		var evs []evaluated
@@ -252,8 +321,16 @@ func (e *Explorer) runFrom(p *search.Problem, t *search.Trace, initial arch.Poin
 			}
 		})
 		if next != nil {
-			e.logf(o, "attempt %d: new solution (%s): obj=%.4g feasible=%v budget=%.2f point=%s\n",
-				attempt, why, nextCosts.Objective, nextCosts.Feasible, nextCosts.BudgetUtil, describePoint(p.Space, next))
+			if em.Enabled() {
+				desc := describePoint(p.Space, next)
+				em.Emit(obs.Event{
+					Kind: obs.KindIncumbentImproved, Restart: restart, Attempt: attempt,
+					Why: why, Objective: obs.Float(nextCosts.Objective), Feasible: nextCosts.Feasible,
+					BudgetUtil: obs.Float(nextCosts.BudgetUtil), Point: desc,
+					Text: fmt.Sprintf("attempt %d: new solution (%s): obj=%.4g feasible=%v budget=%.2f point=%s\n",
+						attempt, why, nextCosts.Objective, nextCosts.Feasible, nextCosts.BudgetUtil, desc),
+				})
+			}
 			cur, curCosts = next, nextCosts
 			curCosts.Raw = search.ResolveRaw(curCosts.Raw)
 			stale = 0
@@ -261,7 +338,12 @@ func (e *Explorer) runFrom(p *search.Problem, t *search.Trace, initial arch.Poin
 			blocked = map[dirKey]bool{}
 		} else {
 			stale++
-			e.logf(o, "attempt %d: no candidate improved the solution (%d stale)\n", attempt, stale)
+			if em.Enabled() {
+				em.Emit(obs.Event{
+					Kind: obs.KindStepStalled, Restart: restart, Attempt: attempt, Stale: stale,
+					Text: fmt.Sprintf("attempt %d: no candidate improved the solution (%d stale)\n", attempt, stale),
+				})
+			}
 			// Block the grow-directions that failed so the next
 			// attempt explores other parameters.
 			for _, ev := range evs {
@@ -281,23 +363,39 @@ func (e *Explorer) runFrom(p *search.Problem, t *search.Trace, initial arch.Poin
 			patience *= 4
 		}
 		if stale >= patience {
-			e.logf(o, "converged: %d attempts without improvement\n", stale)
+			if em.Enabled() {
+				em.Emit(obs.Event{
+					Kind: obs.KindConverged, Restart: restart, Attempt: attempt, Stale: stale,
+					Text: fmt.Sprintf("converged: %d attempts without improvement\n", stale),
+				})
+			}
 			return
 		}
 	}
 }
 
 // analyze performs the per-sub-function bottleneck analysis and §4.4
-// aggregation, returning the final predictions for this attempt.
-func (e *Explorer) analyze(o Options, costs search.Costs) ([]search.Prediction, string) {
-	var explain string
+// aggregation, returning the final predictions for this attempt along with
+// the rendered explanation (built only when em is enabled — it feeds the
+// note event and the text log, nothing else). Structured
+// bottleneck/constraint events are emitted as the analysis walks the
+// sub-functions; both mitigation paths share one emission helper, so the
+// objective and constraint explanations no longer have duplicated
+// formatting code.
+func (e *Explorer) analyze(o Options, em *obs.Emitter, restart, attempt int, costs search.Costs) ([]search.Prediction, string) {
+	var explain strings.Builder
 
 	// Unmet area/power constraints take priority: reach feasible
 	// subspaces first (§4.6 and footnote 4).
 	if !costs.MeetsAreaPower {
 		preds, ex := e.Model.MitigateConstraints(costs.Raw)
 		if len(preds) > 0 {
-			return e.aggregate(o, preds), "constraint mitigation:\n" + ex
+			if em.Enabled() {
+				explain.WriteString("constraint mitigation:\n")
+				explain.WriteString(ex)
+				emitFactors(em, obs.KindConstraintMitigation, restart, attempt, -1, preds)
+			}
+			return e.aggregate(o, preds), explain.String()
 		}
 	}
 
@@ -333,13 +431,41 @@ func (e *Explorer) analyze(o Options, costs search.Costs) ([]search.Prediction, 
 			break
 		}
 		ps, ex := e.Model.MitigateObjective(costs.Raw, i, o.MaxBottlenecksPerSub)
-		if ex != "" {
-			explain += fmt.Sprintf("sub-function %d (%.1f%% of cost):\n%s", i, frac*100, ex)
+		if em.Enabled() {
+			if ex != "" {
+				fmt.Fprintf(&explain, "sub-function %d (%.1f%% of cost):\n%s", i, frac*100, ex)
+			}
+			emitFactors(em, obs.KindBottleneckIdentified, restart, attempt, i, ps)
 		}
 		preds = append(preds, ps...)
 		taken++
 	}
-	return e.aggregate(o, preds), explain
+	return e.aggregate(o, preds), explain.String()
+}
+
+// emitFactors emits one structured event per distinct bottleneck factor (or
+// violated constraint) named in a prediction set — the shared provenance
+// path of the objective and constraint mitigation analyses. sub is the
+// sub-function index, or -1 for whole-solution constraint mitigation.
+func emitFactors(em *obs.Emitter, kind obs.Kind, restart, attempt, sub int, preds []search.Prediction) {
+	var seen map[string]bool
+	for _, pr := range preds {
+		if pr.Factor == "" || seen[pr.Factor] {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[string]bool, len(preds))
+		}
+		seen[pr.Factor] = true
+		ev := obs.Event{
+			Kind: kind, Restart: restart, Attempt: attempt,
+			Factor: pr.Factor, Contribution: obs.Float(pr.Contribution), Scaling: obs.Float(pr.Scaling),
+		}
+		if sub >= 0 {
+			ev.Sub = sub
+		}
+		em.Emit(ev)
+	}
 }
 
 // aggregate collapses multiple predicted values per parameter (§4.4i).
@@ -463,14 +589,14 @@ func (e *Explorer) acquire(p *search.Problem, cur arch.Point, preds []search.Pre
 // accelerator space shape (custom domains have arbitrary parameters).
 func describePoint(s *arch.Space, pt arch.Point) string {
 	pes := basePEs(s, pt)
-	out := ""
+	var out strings.Builder
 	for i, prm := range s.Params {
 		if i > 0 {
-			out += " "
+			out.WriteByte(' ')
 		}
-		out += fmt.Sprintf("%s=%d", prm.Name, s.PhysicalValue(i, pt[i], pes))
+		fmt.Fprintf(&out, "%s=%d", prm.Name, s.PhysicalValue(i, pt[i], pes))
 	}
-	return out
+	return out.String()
 }
 
 // basePEs returns the physical value of the space's "PEs" parameter at pt,
@@ -581,10 +707,4 @@ func (e *Explorer) update(o Options, curCosts search.Costs, evs []evaluated, blo
 		return nil, search.Costs{}, ""
 	}
 	return ev.pt, ev.costs, "infeasible, min constraints budget"
-}
-
-func (e *Explorer) logf(o Options, format string, args ...any) {
-	if o.Log != nil {
-		fmt.Fprintf(o.Log, format, args...)
-	}
 }

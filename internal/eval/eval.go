@@ -19,6 +19,7 @@ import (
 	"xdse/internal/arch"
 	"xdse/internal/energy"
 	"xdse/internal/mapping"
+	"xdse/internal/obs"
 	"xdse/internal/perf"
 	"xdse/internal/workload"
 )
@@ -252,24 +253,33 @@ type Evaluator struct {
 	lhead    int
 	warm     map[string]mapping.Mapping
 
-	evals      int
-	hits       int
-	dedups     int
-	recomputes int
-	evictions  int
-	panics     int
-	timeouts   int
-	faultSeq   int // next unique-evaluation ordinal (FaultPolicy currency)
-	lhits      int
-	lmisses    int
-	ldedups    int
-	levictions int
-	warmProbes int
-	warmFalls  int
-	costCalls  int64
-	lbPruned   int64
-	trials     int64
-	wall       time.Duration
+	faultSeq int // next unique-evaluation ordinal (FaultPolicy currency)
+
+	// Instrumentation lives in a private metrics registry (see Metrics);
+	// the fields below are the counters resolved once at construction so
+	// hot paths never touch the registry map. Counters are atomic — e.mu
+	// is not required to bump them — and Stats is a point-in-time view
+	// over the same registry, so existing reporting keeps working.
+	reg         *obs.Registry
+	cEvals      *obs.Counter
+	cHits       *obs.Counter
+	cDedups     *obs.Counter
+	cRecomputes *obs.Counter
+	cEvictions  *obs.Counter
+	cPanics     *obs.Counter
+	cTimeouts   *obs.Counter
+	cLHits      *obs.Counter
+	cLMisses    *obs.Counter
+	cLDedups    *obs.Counter
+	cLEvictions *obs.Counter
+	cWarmProbes *obs.Counter
+	cWarmFalls  *obs.Counter
+	cCostCalls  *obs.Counter
+	cLBPruned   *obs.Counter
+	cTrials     *obs.Counter
+	cWallNs     *obs.Counter
+	hDesign     *obs.Histogram
+	hLayer      *obs.Histogram
 }
 
 // flight is one in-progress evaluation other goroutines can wait on.
@@ -384,6 +394,7 @@ func New(cfg Config) *Evaluator {
 	case capn < 0:
 		capn = 0 // unbounded
 	}
+	reg := obs.NewRegistry()
 	return &Evaluator{
 		cfg:      cfg,
 		cacheCap: capn,
@@ -393,17 +404,42 @@ func New(cfg Config) *Evaluator {
 		lcache:   make(map[layerCacheKey]layerEntry),
 		lflights: make(map[layerCacheKey]*layerFlight),
 		warm:     make(map[string]mapping.Mapping),
+
+		reg:         reg,
+		cEvals:      reg.Counter("eval_design_evaluations_total"),
+		cHits:       reg.Counter("eval_design_cache_hits_total"),
+		cDedups:     reg.Counter("eval_inflight_dedups_total"),
+		cRecomputes: reg.Counter("eval_design_recomputes_total"),
+		cEvictions:  reg.Counter("eval_design_evictions_total"),
+		cPanics:     reg.Counter("eval_panics_recovered_total"),
+		cTimeouts:   reg.Counter("eval_timeouts_total"),
+		cLHits:      reg.Counter("eval_layer_cache_hits_total"),
+		cLMisses:    reg.Counter("eval_layer_searches_total"),
+		cLDedups:    reg.Counter("eval_layer_dedups_total"),
+		cLEvictions: reg.Counter("eval_layer_evictions_total"),
+		cWarmProbes: reg.Counter("eval_warm_probes_total"),
+		cWarmFalls:  reg.Counter("eval_warm_fallbacks_total"),
+		cCostCalls:  reg.Counter("eval_cost_calls_total"),
+		cLBPruned:   reg.Counter("eval_lb_pruned_total"),
+		cTrials:     reg.Counter("eval_map_trials_total"),
+		cWallNs:     reg.Counter("eval_wall_ns_total"),
+		hDesign:     reg.Histogram("eval_design_seconds", obs.DurationBuckets()),
+		hLayer:      reg.Histogram("eval_layer_search_seconds", obs.DurationBuckets()),
 	}
 }
+
+// Metrics returns the evaluator's private metrics registry: the counters
+// behind Stats plus the latency histograms (eval_design_seconds,
+// eval_layer_search_seconds, search_batch_seconds). Campaign drivers merge
+// it into a campaign-level registry after each run; tests read it directly.
+func (e *Evaluator) Metrics() *obs.Registry { return e.reg }
 
 // Config returns the evaluator configuration.
 func (e *Evaluator) Config() Config { return e.cfg }
 
 // Evaluations returns the number of unique design points evaluated so far.
 func (e *Evaluator) Evaluations() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.evals
+	return int(e.cEvals.Value())
 }
 
 // Prime marks design keys as already evaluated and charges them to the
@@ -420,48 +456,43 @@ func (e *Evaluator) Prime(keys []string) int {
 	for _, k := range keys {
 		if !e.seen[k] {
 			e.seen[k] = true
-			e.evals++
+			e.cEvals.Inc()
 			n++
 		}
 	}
 	return n
 }
 
-// Stats snapshots the instrumentation counters.
+// Stats snapshots the instrumentation counters — a typed view over the
+// metrics registry (see Metrics), kept so existing reporting and tests
+// need not know about the registry.
 func (e *Evaluator) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return Stats{
-		Evaluations:     e.evals,
-		CacheHits:       e.hits,
-		InflightDedups:  e.dedups,
-		Evictions:       e.evictions,
-		Recomputes:      e.recomputes,
-		LayerHits:       e.lhits,
-		LayerMisses:     e.lmisses,
-		LayerDedups:     e.ldedups,
-		LayerEvictions:  e.levictions,
-		WarmProbes:      e.warmProbes,
-		WarmFallbacks:   e.warmFalls,
-		CostCalls:       e.costCalls,
-		LBPruned:        e.lbPruned,
-		MapTrials:       e.trials,
-		EvalWall:        e.wall,
-		PanicsRecovered: e.panics,
-		EvalTimeouts:    e.timeouts,
+		Evaluations:     int(e.cEvals.Value()),
+		CacheHits:       int(e.cHits.Value()),
+		InflightDedups:  int(e.cDedups.Value()),
+		Evictions:       int(e.cEvictions.Value()),
+		Recomputes:      int(e.cRecomputes.Value()),
+		LayerHits:       int(e.cLHits.Value()),
+		LayerMisses:     int(e.cLMisses.Value()),
+		LayerDedups:     int(e.cLDedups.Value()),
+		LayerEvictions:  int(e.cLEvictions.Value()),
+		WarmProbes:      int(e.cWarmProbes.Value()),
+		WarmFallbacks:   int(e.cWarmFalls.Value()),
+		CostCalls:       e.cCostCalls.Value(),
+		LBPruned:        e.cLBPruned.Value(),
+		MapTrials:       e.cTrials.Value(),
+		EvalWall:        time.Duration(e.cWallNs.Value()),
+		PanicsRecovered: int(e.cPanics.Value()),
+		EvalTimeouts:    int(e.cTimeouts.Value()),
 	}
 }
 
-// ResetCount zeroes the instrumentation counters (the caches are retained).
+// ResetCount zeroes the instrumentation counters and histograms (the caches
+// are retained, and the fault-ordinal sequence keeps advancing so injected
+// faults stay pinned to unique evaluations across a reset).
 func (e *Evaluator) ResetCount() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.evals, e.hits, e.dedups, e.trials, e.wall = 0, 0, 0, 0, 0
-	e.recomputes, e.evictions = 0, 0
-	e.panics, e.timeouts = 0, 0
-	e.lhits, e.lmisses, e.ldedups, e.levictions = 0, 0, 0, 0
-	e.warmProbes, e.warmFalls = 0, 0
-	e.costCalls, e.lbPruned = 0, 0
+	e.reg.Reset()
 }
 
 // Evaluate returns the (memoized) evaluation of a design point. Concurrent
@@ -490,12 +521,12 @@ func (e *Evaluator) EvaluateCtx(ctx context.Context, pt arch.Point) *Result {
 	key := pt.Key()
 	e.mu.Lock()
 	if r, ok := e.cache[key]; ok {
-		e.hits++
+		e.cHits.Inc()
 		e.mu.Unlock()
 		return r
 	}
 	if f, ok := e.flights[key]; ok {
-		e.dedups++
+		e.cDedups.Inc()
 		e.mu.Unlock()
 		select {
 		case <-f.done:
@@ -522,6 +553,7 @@ func (e *Evaluator) EvaluateCtx(ctx context.Context, pt arch.Point) *Result {
 
 	start := time.Now()
 	r := e.protectedEvaluate(ctx, pt, ord)
+	elapsed := time.Since(start)
 
 	e.mu.Lock()
 	if r.Cancelled {
@@ -535,15 +567,16 @@ func (e *Evaluator) EvaluateCtx(ctx context.Context, pt arch.Point) *Result {
 	}
 	e.storeDesign(key, r)
 	if e.seen[key] {
-		e.recomputes++
+		e.cRecomputes.Inc()
 	} else {
 		e.seen[key] = true
-		e.evals++
+		e.cEvals.Inc()
 	}
-	e.trials += int64(r.MapEvaluations)
-	e.wall += time.Since(start)
 	delete(e.flights, key)
 	e.mu.Unlock()
+	e.cTrials.Add(int64(r.MapEvaluations))
+	e.cWallNs.Add(int64(elapsed))
+	e.hDesign.ObserveDuration(elapsed)
 
 	// Publish before waking waiters: the channel close orders f.r's write
 	// before every waiter's read.
@@ -582,9 +615,7 @@ func cancelledResult(pt arch.Point, err error) *Result {
 func (e *Evaluator) protectedEvaluate(ctx context.Context, pt arch.Point, ord int) (r *Result) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			e.mu.Lock()
-			e.panics++
-			e.mu.Unlock()
+			e.cPanics.Inc()
 			r = erroredResult(pt, fmt.Sprintf("panic during evaluation: %v", rec))
 		}
 	}()
@@ -612,9 +643,7 @@ func (e *Evaluator) protectedEvaluate(ctx context.Context, pt arch.Point, ord in
 	case rec := <-panicCh:
 		panic(rec)
 	case <-timer.C:
-		e.mu.Lock()
-		e.timeouts++
-		e.mu.Unlock()
+		e.cTimeouts.Inc()
 		return erroredResult(pt, fmt.Sprintf("evaluation exceeded watchdog timeout %v", e.cfg.EvalTimeout))
 	case <-ctx.Done():
 		return cancelledResult(pt, ctx.Err())
@@ -653,7 +682,7 @@ func (e *Evaluator) storeDesign(key string, r *Result) {
 		old := e.order[e.head]
 		e.head++
 		delete(e.cache, old)
-		e.evictions++
+		e.cEvictions.Inc()
 	}
 	// Compact the eviction queue once the dead prefix dominates.
 	if e.head > len(e.order)/2 && e.head > 64 {
@@ -802,11 +831,9 @@ func (e *Evaluator) evaluateLayer(d arch.Design, l workload.Layer, salt int64) L
 // search outcomes; only the cost-call counters differ.
 func (e *Evaluator) layerResult(d arch.Design, l workload.Layer, salt int64) layerEntry {
 	if e.cfg.DisableLayerCache {
-		ent := e.searchLayer(d, l, salt, nil)
-		e.mu.Lock()
-		e.costCalls += int64(ent.costCalls)
-		e.lbPruned += int64(ent.lbPruned)
-		e.mu.Unlock()
+		ent := e.timedSearchLayer(d, l, salt, nil)
+		e.cCostCalls.Add(int64(ent.costCalls))
+		e.cLBPruned.Add(int64(ent.lbPruned))
 		return ent
 	}
 	key := layerCacheKey{shape: l.ShapeKey(), sub: perf.MappingSubKey(d)}
@@ -817,12 +844,12 @@ func (e *Evaluator) layerResult(d arch.Design, l workload.Layer, salt int64) lay
 	}
 	e.mu.Lock()
 	if ent, ok := e.lcache[key]; ok {
-		e.lhits++
+		e.cLHits.Inc()
 		e.mu.Unlock()
 		return ent
 	}
 	if f, ok := e.lflights[key]; ok {
-		e.ldedups++
+		e.cLDedups.Inc()
 		e.mu.Unlock()
 		<-f.done
 		if f.panicked != nil {
@@ -832,13 +859,13 @@ func (e *Evaluator) layerResult(d arch.Design, l workload.Layer, salt int64) lay
 	}
 	f := &layerFlight{done: make(chan struct{})}
 	e.lflights[key] = f
-	e.lmisses++
+	e.cLMisses.Inc()
 	var incumbent *mapping.Mapping
 	if e.cfg.Mode == PrunedMappings && e.cfg.WarmStart == WarmStrict {
 		if m, ok := e.warm[key.shape]; ok {
 			mm := m
 			incumbent = &mm
-			e.warmProbes++
+			e.cWarmProbes.Inc()
 		}
 	}
 	e.mu.Unlock()
@@ -856,20 +883,20 @@ func (e *Evaluator) layerResult(d arch.Design, l workload.Layer, salt int64) lay
 			panic(rec)
 		}
 	}()
-	ent := e.searchLayer(d, l, salt, incumbent)
+	ent := e.timedSearchLayer(d, l, salt, incumbent)
 
 	e.mu.Lock()
 	e.storeLayer(key, ent)
 	if ent.found {
 		e.warm[key.shape] = ent.mapping
 	}
-	e.costCalls += int64(ent.costCalls)
-	e.lbPruned += int64(ent.lbPruned)
-	if ent.warmFallback {
-		e.warmFalls++
-	}
 	delete(e.lflights, key)
 	e.mu.Unlock()
+	e.cCostCalls.Add(int64(ent.costCalls))
+	e.cLBPruned.Add(int64(ent.lbPruned))
+	if ent.warmFallback {
+		e.cWarmFalls.Inc()
+	}
 
 	f.ent = ent
 	close(f.done)
@@ -887,12 +914,22 @@ func (e *Evaluator) storeLayer(key layerCacheKey, ent layerEntry) {
 		old := e.lorder[e.lhead]
 		e.lhead++
 		delete(e.lcache, old)
-		e.levictions++
+		e.cLEvictions.Inc()
 	}
 	if e.lhead > len(e.lorder)/2 && e.lhead > 64 {
 		e.lorder = append([]layerCacheKey(nil), e.lorder[e.lhead:]...)
 		e.lhead = 0
 	}
+}
+
+// timedSearchLayer is searchLayer with the mapping-search latency recorded
+// into the eval_layer_search_seconds histogram; cache hits and in-flight
+// joins never reach it, so the histogram measures real searches only.
+func (e *Evaluator) timedSearchLayer(d arch.Design, l workload.Layer, salt int64, incumbent *mapping.Mapping) layerEntry {
+	start := time.Now()
+	ent := e.searchLayer(d, l, salt, incumbent)
+	e.hLayer.ObserveDuration(time.Since(start))
+	return ent
 }
 
 // searchLayer runs the configured mapping search for one layer on one

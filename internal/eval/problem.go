@@ -7,6 +7,7 @@ import (
 
 	"xdse/internal/arch"
 	"xdse/internal/checkpoint"
+	"xdse/internal/obs"
 	"xdse/internal/search"
 )
 
@@ -32,7 +33,7 @@ func (e *Evaluator) ProblemCtx(ctx context.Context, budget int) *search.Problem 
 		Space:   e.cfg.Space,
 		Budget:  budget,
 		Workers: e.cfg.Workers,
-		Stats:   &search.BatchStats{},
+		Stats:   &search.BatchStats{Hist: e.reg.Histogram("search_batch_seconds", obs.DurationBuckets())},
 		Ctx:     ctx,
 		Evaluate: func(pt arch.Point) search.Costs {
 			return costsOf(e.EvaluateCtx(ctx, pt))

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"xdse/internal/obs"
 	"xdse/internal/workload"
 )
 
@@ -176,6 +177,34 @@ func ReportEvalStats(cfg Config, c *Campaign) {
 			fmt.Sprintf("%d", panics))
 	}
 	tb.write(w)
+
+	// Latency distributions from the per-run metrics registries, merged per
+	// technique: mapping-search time per layer, end-to-end time per unique
+	// design evaluation, and wall time per candidate batch.
+	fmt.Fprintf(w, "\n== Evaluation-layer latency (p50/p95/max, seconds) ==\n")
+	ht := newTable("Technique", "LayerSearch", "DesignEval", "Batch")
+	for _, tech := range techniqueOrder(c) {
+		agg := obs.NewRegistry()
+		for _, r := range c.Runs {
+			if r.Technique == tech {
+				agg.Merge(r.Metrics)
+			}
+		}
+		ht.add(tech,
+			fmtHist(agg.Histogram("eval_layer_search_seconds", nil)),
+			fmtHist(agg.Histogram("eval_design_seconds", nil)),
+			fmtHist(agg.Histogram("search_batch_seconds", nil)))
+	}
+	ht.write(w)
+}
+
+// fmtHist renders a latency histogram cell as p50/p95/max in seconds
+// ("-" when the histogram recorded nothing).
+func fmtHist(h *obs.Histogram) string {
+	if h.Count() == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3g/%.3g/%.3g", h.Quantile(0.50), h.Quantile(0.95), h.Max())
 }
 
 // Summary aggregates campaign-level headline numbers (the paper's abstract

@@ -21,6 +21,7 @@ import (
 	"xdse/internal/checkpoint"
 	"xdse/internal/dse"
 	"xdse/internal/eval"
+	"xdse/internal/obs"
 	"xdse/internal/opt"
 	"xdse/internal/search"
 	"xdse/internal/workload"
@@ -73,6 +74,15 @@ type Config struct {
 	// Faults, when non-nil, injects deterministic evaluation failures —
 	// the resilience-testing hook (see eval.FaultPolicy).
 	Faults *eval.FaultPolicy
+	// Trace, when non-nil, receives every run's structured explanation
+	// events, each labeled "<technique>_<model>" (see internal/obs). The
+	// sink must be safe for concurrent use when Parallel > 1. Events are
+	// derived from — never feed back into — the acquisition sequence, so
+	// attaching a sink cannot change campaign results.
+	Trace obs.Sink
+	// Metrics, when non-nil, accumulates every run's evaluator metrics
+	// (counters and latency histograms), merged across the campaign.
+	Metrics *obs.Registry
 }
 
 // Default returns the reduced-budget configuration.
@@ -195,6 +205,10 @@ type Run struct {
 	// Interrupted reports the run's context was cancelled before the
 	// exploration completed; the trace is a clean batch-boundary prefix.
 	Interrupted bool
+	// Metrics is the run's private metrics registry (the counters behind
+	// Stats plus latency histograms); RunCampaign merges every run's
+	// registry into Config.Metrics when one is attached.
+	Metrics *obs.Registry
 }
 
 // RunOne performs one exploration of a model with a technique. A budget of
@@ -244,6 +258,16 @@ func RunOne(ctx context.Context, cfg Config, tech Technique, model *workload.Mod
 	} else {
 		prob = ev.ProblemCtx(ctx, budget)
 	}
+	// Observability is strictly opt-in: the problem carries no event sink
+	// unless the campaign asked for a trace or a metrics registry, so the
+	// engine's explanation-rendering paths stay disabled (and free) in
+	// plain runs. The metrics sink folds event-derived counters (rule
+	// firings, bottleneck factors) into the run's own registry; the trace
+	// sink gets every event stamped with this run's label.
+	if cfg.Trace != nil || cfg.Metrics != nil {
+		label := fmt.Sprintf("%s_%s", sanitize(tech.Name), sanitize(model.Name))
+		prob.Events = obs.Multi(obs.WithRun(cfg.Trace, label), obs.NewMetricsSink(ev.Metrics()))
+	}
 	start := time.Now()
 	tr, panicErr := runOptimizer(o, prob, rand.New(rand.NewSource(cfg.Seed)))
 	run.Err = panicErr
@@ -256,6 +280,10 @@ func RunOne(ctx context.Context, cfg Config, tech Technique, model *workload.Mod
 	run.Elapsed = time.Since(start)
 	run.Stats = ev.Stats()
 	run.Batch = prob.Stats.Report()
+	run.Metrics = ev.Metrics()
+	if cfg.Metrics != nil {
+		cfg.Metrics.Merge(ev.Metrics())
+	}
 	return run
 }
 

@@ -1,0 +1,47 @@
+package obs
+
+// MetricsSink derives metrics from the event stream: per-kind event
+// counters, mitigation-rule firing counters, bottleneck-factor counters,
+// and incumbent/convergence counts. It is how "which rules fire how often"
+// reaches the Prometheus dump without the engine touching the registry
+// directly.
+type MetricsSink struct {
+	reg *Registry
+}
+
+// NewMetricsSink returns a sink that folds events into reg; a nil registry
+// yields a nil Sink interface (dropped by Multi, never a typed-nil trap).
+func NewMetricsSink(reg *Registry) Sink {
+	if reg == nil {
+		return nil
+	}
+	return &MetricsSink{reg: reg}
+}
+
+// Emit implements Sink: it increments the counters the event implies.
+func (s *MetricsSink) Emit(ev Event) {
+	s.reg.Counter(`obs_events_total{kind="` + string(ev.Kind) + `"}`).Inc()
+	switch ev.Kind {
+	case KindMitigationProposed:
+		if ev.Rule != "" {
+			s.reg.Counter(`dse_mitigation_rule_firings_total{rule="` + ev.Rule + `"}`).Inc()
+		}
+	case KindBottleneckIdentified:
+		if ev.Factor != "" {
+			s.reg.Counter(`dse_bottleneck_factor_total{factor="` + ev.Factor + `"}`).Inc()
+		}
+	case KindConstraintMitigation:
+		if ev.Factor != "" {
+			s.reg.Counter(`dse_constraint_mitigation_total{factor="` + ev.Factor + `"}`).Inc()
+		}
+	case KindBatchEvaluated:
+		s.reg.Counter("dse_batch_points_total").Add(int64(ev.Points))
+		s.reg.Counter("dse_batch_hits_total").Add(int64(ev.Hits))
+		s.reg.Counter("dse_batch_misses_total").Add(int64(ev.Misses))
+	case KindIncumbentImproved:
+		s.reg.Counter("dse_incumbent_improvements_total").Inc()
+		s.reg.Gauge("dse_incumbent_objective").Set(float64(ev.Objective))
+	case KindConverged:
+		s.reg.Counter("dse_convergences_total").Inc()
+	}
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// recordSink captures events, optionally logging each delivery into a shared
+// journal so fan-out ordering across sinks is observable.
+type recordSink struct {
+	name    string
+	events  []Event
+	journal *[]string
+}
+
+func (s *recordSink) Emit(ev Event) {
+	s.events = append(s.events, ev)
+	if s.journal != nil {
+		*s.journal = append(*s.journal, s.name)
+	}
+}
+
+func TestMultiFanOutOrdering(t *testing.T) {
+	var journal []string
+	a := &recordSink{name: "a", journal: &journal}
+	b := &recordSink{name: "b", journal: &journal}
+	m := Multi(nil, a, nil, b)
+	if m == nil {
+		t.Fatal("Multi dropped live sinks")
+	}
+	evs := []Event{
+		{Kind: KindStepStarted, Attempt: 1},
+		{Kind: KindBatchEvaluated, Attempt: 1, Points: 3},
+		{Kind: KindConverged, Attempt: 2},
+	}
+	for _, ev := range evs {
+		m.Emit(ev)
+	}
+	for _, s := range []*recordSink{a, b} {
+		if len(s.events) != len(evs) {
+			t.Fatalf("sink %s got %d events, want %d", s.name, len(s.events), len(evs))
+		}
+		for i := range evs {
+			if s.events[i] != evs[i] {
+				t.Errorf("sink %s event %d = %+v, want %+v", s.name, i, s.events[i], evs[i])
+			}
+		}
+	}
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if strings.Join(journal, ",") != strings.Join(want, ",") {
+		t.Errorf("fan-out order = %v, want %v (registration order per event)", journal, want)
+	}
+}
+
+func TestMultiCollapses(t *testing.T) {
+	if got := Multi(); got != nil {
+		t.Errorf("Multi() = %v, want nil", got)
+	}
+	if got := Multi(nil, nil); got != nil {
+		t.Errorf("Multi(nil, nil) = %v, want nil", got)
+	}
+	s := &recordSink{}
+	if got := Multi(nil, s); got != Sink(s) {
+		t.Errorf("Multi with one live sink should return it directly, got %T", got)
+	}
+}
+
+func TestWithRunStampsLabel(t *testing.T) {
+	s := &recordSink{}
+	ws := WithRun(s, "runA")
+	ws.Emit(Event{Kind: KindNote})
+	ws.Emit(Event{Kind: KindNote, Run: "already"})
+	if s.events[0].Run != "runA" {
+		t.Errorf("unlabeled event Run = %q, want runA", s.events[0].Run)
+	}
+	if s.events[1].Run != "already" {
+		t.Errorf("pre-labeled event Run = %q, want it untouched", s.events[1].Run)
+	}
+	if WithRun(nil, "x") != nil {
+		t.Error("WithRun(nil) should be nil")
+	}
+}
+
+func TestEmitterDisabled(t *testing.T) {
+	var em *Emitter
+	if em.Enabled() {
+		t.Error("nil emitter reports Enabled")
+	}
+	em.Emit(Event{Kind: KindNote}) // must not panic
+	if NewEmitter() != nil {
+		t.Error("NewEmitter() with no sinks should be the nil (disabled) emitter")
+	}
+	if NewEmitter(nil, nil) != nil {
+		t.Error("NewEmitter(nil, nil) should be the nil (disabled) emitter")
+	}
+	if !NewEmitter(NullSink{}).Enabled() {
+		t.Error("emitter over a live sink should be enabled")
+	}
+}
+
+// TestEmitAllocFree pins the zero-overhead contract: emitting through a
+// disabled emitter and through a NullSink must not allocate — the Event
+// travels by value end-to-end.
+func TestEmitAllocFree(t *testing.T) {
+	ev := Event{
+		Kind: KindBatchEvaluated, Run: "r", Attempt: 3,
+		Points: 8, Hits: 2, Misses: 6, WallNs: 12345,
+	}
+	var disabled *Emitter
+	if n := testing.AllocsPerRun(1000, func() { disabled.Emit(ev) }); n != 0 {
+		t.Errorf("disabled emitter: %v allocs/op, want 0", n)
+	}
+	null := NewEmitter(NullSink{})
+	if n := testing.AllocsPerRun(1000, func() { null.Emit(ev) }); n != 0 {
+		t.Errorf("null-sink emitter: %v allocs/op, want 0", n)
+	}
+}
+
+func TestEqualDeterministic(t *testing.T) {
+	a := Event{Kind: KindBatchEvaluated, Points: 4, WallNs: 100, Seq: 1}
+	b := Event{Kind: KindBatchEvaluated, Points: 4, WallNs: 999, Seq: 7}
+	if !a.EqualDeterministic(b) {
+		t.Error("events differing only in WallNs/Seq must compare equal")
+	}
+	c := b
+	c.Points = 5
+	if a.EqualDeterministic(c) {
+		t.Error("events differing in Points must not compare equal")
+	}
+}
+
+func TestTextSinkWritesTextVerbatim(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewTextSink(&buf)
+	s.Emit(Event{Kind: KindStepStarted}) // no Text: skipped
+	s.Emit(Event{Kind: KindNote, Text: "--- attempt 1 ---\ntree\n"})
+	s.Emit(Event{Kind: KindConverged, Text: "converged.\n"})
+	want := "--- attempt 1 ---\ntree\nconverged.\n"
+	if buf.String() != want {
+		t.Errorf("text sink wrote %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteReportTimeline(t *testing.T) {
+	events := []Event{
+		{Run: "r1", Kind: KindIncumbentImproved, Attempt: 0, Objective: 10, Feasible: false, BudgetUtil: 1.5},
+		{Run: "r1", Kind: KindStepStarted, Attempt: 1},
+		{Run: "r1", Kind: KindBottleneckIdentified, Attempt: 1, Sub: 0, Factor: "T_dma", Contribution: 0.6, Scaling: 2},
+		{Run: "r1", Kind: KindMitigationProposed, Attempt: 1, Param: "L2_KB", Value: 256, Rule: "spm-grow"},
+		{Run: "r1", Kind: KindBatchEvaluated, Attempt: 1, Points: 4, Hits: 1, Misses: 3, WallNs: 1000},
+		{Run: "r1", Kind: KindIncumbentImproved, Attempt: 1, Objective: 8, Feasible: true, BudgetUtil: 0.9},
+		{Run: "r1", Kind: KindStepStarted, Attempt: 2},
+		{Run: "r1", Kind: KindConstraintMitigation, Attempt: 2, Factor: "power", Scaling: 1.2},
+		{Run: "r1", Kind: KindMitigationProposed, Attempt: 2, Param: "PEs", Value: 128, Reduce: true, Rule: "shrink"},
+		{Run: "r1", Kind: KindBatchEvaluated, Attempt: 2, Points: 2, Hits: 0, Misses: 2, WallNs: 1000},
+		{Run: "r1", Kind: KindStepStalled, Attempt: 2, Stale: 1},
+		{Run: "r2", Kind: KindConverged, Attempt: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, events, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"== run r1 ==",
+		"step 0: -> initial: obj=10 feasible=false budget=1.50",
+		"step 1: bottleneck[T_dma 60% s=2.00] mitigate[L2_KB -> 256 (spm-grow)] batch 4 pts (1 hit/3 new,",
+		"-> improved: obj=8 feasible=true budget=0.90",
+		"step 2: constraint[power s=1.20] mitigate[PEs -v 128 (shrink)]",
+		"-> stalled (1)",
+		"== run r2 ==",
+		"step 1: -> converged",
+		"== summary ==",
+		"top bottlenecks: T_dma x1",
+		"top mitigation rules: shrink x1, spm-grow x1",
+		"constraint mitigations: power x1",
+		"batches: 2 (6 points, 1 memo hits)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteReport renders a trace (as read by ReadTrace) into a human-readable
+// campaign report: one per-attempt explanation timeline per run, followed by
+// a top-N summary of the bottleneck factors seen and the mitigation rules
+// fired. It answers "which bottleneck drove step k and what did it cost"
+// from the trace alone, without re-running the campaign.
+func WriteReport(w io.Writer, events []Event, topN int) error {
+	if topN <= 0 {
+		topN = 5
+	}
+	byRun := map[string][]Event{}
+	var runs []string
+	for _, ev := range events {
+		if _, seen := byRun[ev.Run]; !seen {
+			runs = append(runs, ev.Run)
+		}
+		byRun[ev.Run] = append(byRun[ev.Run], ev)
+	}
+	for _, run := range runs {
+		if err := writeRunTimeline(w, run, byRun[run]); err != nil {
+			return err
+		}
+	}
+	return writeTopSummary(w, events, topN)
+}
+
+// attemptLine accumulates one attempt's rendering state.
+type attemptLine struct {
+	bottlenecks []string
+	mitigations []string
+	constraint  []string
+	batch       string
+	outcome     string
+}
+
+// writeRunTimeline prints one run's per-attempt timeline.
+func writeRunTimeline(w io.Writer, run string, events []Event) error {
+	name := run
+	if name == "" {
+		name = "(unlabeled)"
+	}
+	if _, err := fmt.Fprintf(w, "== run %s ==\n", name); err != nil {
+		return err
+	}
+	att := attemptLine{}
+	flush := func(attempt int) error {
+		defer func() { att = attemptLine{} }()
+		if len(att.bottlenecks) == 0 && len(att.mitigations) == 0 &&
+			len(att.constraint) == 0 && att.batch == "" && att.outcome == "" {
+			return nil
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "  step %d:", attempt)
+		if len(att.constraint) > 0 {
+			fmt.Fprintf(&b, " constraint[%s]", strings.Join(att.constraint, ", "))
+		}
+		if len(att.bottlenecks) > 0 {
+			fmt.Fprintf(&b, " bottleneck[%s]", strings.Join(att.bottlenecks, ", "))
+		}
+		if len(att.mitigations) > 0 {
+			fmt.Fprintf(&b, " mitigate[%s]", strings.Join(att.mitigations, ", "))
+		}
+		if att.batch != "" {
+			fmt.Fprintf(&b, " %s", att.batch)
+		}
+		if att.outcome != "" {
+			fmt.Fprintf(&b, " -> %s", att.outcome)
+		}
+		b.WriteByte('\n')
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	cur := 0
+	for _, ev := range events {
+		if ev.Attempt != cur {
+			if err := flush(cur); err != nil {
+				return err
+			}
+			cur = ev.Attempt
+		}
+		switch ev.Kind {
+		case KindBottleneckIdentified:
+			att.bottlenecks = append(att.bottlenecks,
+				fmt.Sprintf("%s %.0f%% s=%.2f", ev.Factor, ev.Contribution*100, ev.Scaling))
+		case KindConstraintMitigation:
+			att.constraint = append(att.constraint,
+				fmt.Sprintf("%s s=%.2f", ev.Factor, ev.Scaling))
+		case KindMitigationProposed:
+			dir := "->"
+			if ev.Reduce {
+				dir = "-v"
+			}
+			att.mitigations = append(att.mitigations,
+				fmt.Sprintf("%s %s %d (%s)", ev.Param, dir, ev.Value, ev.Rule))
+		case KindBatchEvaluated:
+			att.batch = fmt.Sprintf("batch %d pts (%d hit/%d new, %s)",
+				ev.Points, ev.Hits, ev.Misses, time.Duration(ev.WallNs).Round(time.Microsecond))
+		case KindIncumbentImproved:
+			att.outcome = fmt.Sprintf("improved: obj=%.4g feasible=%v budget=%.2f",
+				ev.Objective, ev.Feasible, ev.BudgetUtil)
+			if ev.Attempt == 0 {
+				att.outcome = fmt.Sprintf("initial: obj=%.4g feasible=%v budget=%.2f",
+					ev.Objective, ev.Feasible, ev.BudgetUtil)
+			}
+		case KindStepStalled:
+			att.outcome = fmt.Sprintf("stalled (%d)", ev.Stale)
+		case KindConverged:
+			att.outcome = "converged"
+		}
+	}
+	return flush(cur)
+}
+
+// countTop renders the topN most frequent keys of counts as "key xN" items.
+func countTop(counts map[string]int, topN int) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if len(keys) > topN {
+		keys = keys[:topN]
+	}
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = fmt.Sprintf("%s x%d", k, counts[k])
+	}
+	return out
+}
+
+// writeTopSummary prints the trace-wide top-N bottleneck/mitigation tallies.
+func writeTopSummary(w io.Writer, events []Event, topN int) error {
+	factors := map[string]int{}
+	rules := map[string]int{}
+	constraints := map[string]int{}
+	batches, points, hits := 0, 0, 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindBottleneckIdentified:
+			factors[ev.Factor]++
+		case KindMitigationProposed:
+			if ev.Rule != "" {
+				rules[ev.Rule]++
+			}
+		case KindConstraintMitigation:
+			constraints[ev.Factor]++
+		case KindBatchEvaluated:
+			batches++
+			points += ev.Points
+			hits += ev.Hits
+		}
+	}
+	if _, err := fmt.Fprintf(w, "== summary ==\n"); err != nil {
+		return err
+	}
+	if len(factors) > 0 {
+		if _, err := fmt.Fprintf(w, "  top bottlenecks: %s\n", strings.Join(countTop(factors, topN), ", ")); err != nil {
+			return err
+		}
+	}
+	if len(rules) > 0 {
+		if _, err := fmt.Fprintf(w, "  top mitigation rules: %s\n", strings.Join(countTop(rules, topN), ", ")); err != nil {
+			return err
+		}
+	}
+	if len(constraints) > 0 {
+		if _, err := fmt.Fprintf(w, "  constraint mitigations: %s\n", strings.Join(countTop(constraints, topN), ", ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "  batches: %d (%d points, %d memo hits)\n", batches, points, hits)
+	return err
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"xdse/internal/arch"
+	"xdse/internal/obs"
 )
 
 // BatchStats instruments the batched evaluation layer with lightweight
@@ -20,6 +21,11 @@ type BatchStats struct {
 	wallNs    int64
 	panics    int64
 	cancelled int64
+
+	// Hist, when non-nil, additionally receives every batch's wall time
+	// as a latency observation (seconds). eval attaches the registry's
+	// search_batch_seconds histogram here.
+	Hist *obs.Histogram
 }
 
 // add accumulates one batch; a nil receiver (no stats attached) is a no-op.
@@ -30,6 +36,7 @@ func (s *BatchStats) add(points int, wall time.Duration) {
 	atomic.AddInt64(&s.batches, 1)
 	atomic.AddInt64(&s.points, int64(points))
 	atomic.AddInt64(&s.wallNs, int64(wall))
+	s.Hist.ObserveDuration(wall)
 }
 
 // recovered counts one worker panic converted into an errored evaluation;

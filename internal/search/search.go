@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"xdse/internal/arch"
+	"xdse/internal/obs"
 )
 
 // Costs is the outcome of evaluating one design point.
@@ -67,10 +68,25 @@ func ResolveRaw(raw any) any {
 // mitigation, shrink for constraint mitigation), and a human-readable
 // explanation of why.
 type Prediction struct {
-	Param  int
-	Value  int
+	// Param indexes the design-space parameter to change.
+	Param int
+	// Value is the predicted physical value for that parameter.
+	Value int
+	// Reduce marks a shrinking prediction (constraint mitigation).
 	Reduce bool
-	Why    string
+	// Why is the human-readable justification.
+	Why string
+	// Factor names the bottleneck factor (or violated constraint) that
+	// drove the prediction — provenance for the structured trace.
+	Factor string
+	// Contribution is the driving factor's fractional share of its
+	// sub-function's cost (0..1; zero when not attributed).
+	Contribution float64
+	// Scaling is the improvement factor the prediction aims for.
+	Scaling float64
+	// Rule identifies the mitigation subroutine that produced the
+	// prediction (e.g. "scale-pes", "dma-bandwidth").
+	Rule string
 }
 
 // Problem is a constrained minimization over a discrete space (§A.1).
@@ -105,6 +121,11 @@ type Problem struct {
 	// checks Cancelled at its batch boundaries and returns its partial
 	// trace. A nil Ctx means the run cannot be cancelled.
 	Ctx context.Context
+	// Events, when non-nil, receives the structured explanation events an
+	// optimizer emits while exploring (see internal/obs). Events are
+	// derived from — and never feed back into — the acquisition sequence,
+	// so attaching a sink cannot change a trace's Fingerprint.
+	Events obs.Sink
 }
 
 // Context returns the problem's cancellation context (context.Background
