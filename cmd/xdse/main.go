@@ -32,6 +32,10 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "report" {
 		os.Exit(runReport(os.Args[2:]))
 	}
+	// `xdse serve` runs the long-lived DSE job daemon (see internal/serve).
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(runServe(os.Args[2:]))
+	}
 	var (
 		expName  = flag.String("exp", "fig3", "experiment: fig3|fig4|fig9|fig10|fig11|fig12|table2|table3|table7|fig14|fig15|ablation|energy|multiworkload|joint|all")
 		full     = flag.Bool("full", false, "use the paper-scale budgets (2500 iterations, 10000 mapping trials)")

@@ -144,6 +144,14 @@ type Config struct {
 	// errors, delays) at chosen unique-evaluation ordinals — the
 	// fault-injection hook the resilience tests drive.
 	Faults *FaultPolicy
+	// Retry configures the transient-fault retry layer: attempts that fail
+	// with a ClassTransient error (a recovered panic, a watchdog timeout,
+	// an injected flaky fault) are retried with a capped, deterministic,
+	// jitter-free backoff instead of being memoized as infeasible. Only
+	// permanent failures — including transient ones that exhausted the
+	// attempt budget — are charged, memoized, and journaled. The zero
+	// value disables retries (one attempt; every failure is final).
+	Retry RetryPolicy
 }
 
 // LayerEval is one layer's evaluation on a design.
@@ -217,6 +225,14 @@ type Result struct {
 	// recovered panic, an injected fault, a malformed point, a watchdog
 	// timeout, or cancellation). Errored results are always infeasible.
 	Err string
+	// ErrClass classifies Err for the retry layer: ClassNone on success,
+	// otherwise ClassPermanent — every failure an Evaluate caller can
+	// observe has already survived (or was never eligible for) the retry
+	// loop, so ClassTransient never escapes except on Cancelled results.
+	ErrClass ErrClass
+	// Attempts is the number of evaluation attempts this result consumed
+	// (above 1 exactly when transient failures were retried).
+	Attempts int
 	// Cancelled reports the evaluation was abandoned because its context
 	// was cancelled. Cancelled results are never cached, never journaled,
 	// and never charged against the unique-design budget — re-evaluating
@@ -268,6 +284,8 @@ type Evaluator struct {
 	cEvictions  *obs.Counter
 	cPanics     *obs.Counter
 	cTimeouts   *obs.Counter
+	cTransient  *obs.Counter
+	cRetries    *obs.Counter
 	cLHits      *obs.Counter
 	cLMisses    *obs.Counter
 	cLDedups    *obs.Counter
@@ -374,6 +392,12 @@ type Stats struct {
 	// EvalTimeouts counts evaluations abandoned by the Config.EvalTimeout
 	// watchdog and memoized as infeasible-with-error.
 	EvalTimeouts int
+	// TransientFaults counts evaluation attempts that failed with a
+	// ClassTransient error, whether or not a retry attempt remained.
+	TransientFaults int
+	// Retries counts attempts re-run by the retry layer after a transient
+	// failure (always at most TransientFaults).
+	Retries int
 }
 
 // New returns an Evaluator over the given configuration.
@@ -413,6 +437,8 @@ func New(cfg Config) *Evaluator {
 		cEvictions:  reg.Counter("eval_design_evictions_total"),
 		cPanics:     reg.Counter("eval_panics_recovered_total"),
 		cTimeouts:   reg.Counter("eval_timeouts_total"),
+		cTransient:  reg.Counter("eval_transient_faults_total"),
+		cRetries:    reg.Counter("eval_retries_total"),
 		cLHits:      reg.Counter("eval_layer_cache_hits_total"),
 		cLMisses:    reg.Counter("eval_layer_searches_total"),
 		cLDedups:    reg.Counter("eval_layer_dedups_total"),
@@ -485,6 +511,8 @@ func (e *Evaluator) Stats() Stats {
 		EvalWall:        time.Duration(e.cWallNs.Value()),
 		PanicsRecovered: int(e.cPanics.Value()),
 		EvalTimeouts:    int(e.cTimeouts.Value()),
+		TransientFaults: int(e.cTransient.Value()),
+		Retries:         int(e.cRetries.Value()),
 	}
 }
 
@@ -507,10 +535,12 @@ func (e *Evaluator) Evaluate(pt arch.Point) *Result {
 // cached, never counted against the unique-design budget, and therefore
 // invisible to budget accounting, which is what makes a killed-and-resumed
 // run bit-identical to an uninterrupted one. Panics inside the evaluation
-// are contained (Stats.PanicsRecovered) and the design comes back
-// infeasible with the panic text in Err; the Config.EvalTimeout watchdog
-// likewise converts runaway evaluations into charged, memoized errored
-// results.
+// are contained (Stats.PanicsRecovered) and the Config.EvalTimeout watchdog
+// converts runaway attempts into errored results; both are classified
+// ClassTransient and re-attempted under Config.Retry, so only failures that
+// are permanent — by class or by exhausting the attempt budget — are ever
+// charged, memoized, or journaled. A transient fault healed by a retry is
+// completely invisible to the campaign's results.
 func (e *Evaluator) EvaluateCtx(ctx context.Context, pt arch.Point) *Result {
 	if ctx == nil {
 		ctx = context.Background()
@@ -552,7 +582,7 @@ func (e *Evaluator) EvaluateCtx(ctx context.Context, pt arch.Point) *Result {
 	}
 
 	start := time.Now()
-	r := e.protectedEvaluate(ctx, pt, ord)
+	r := e.retryingEvaluate(ctx, pt, ord)
 	elapsed := time.Since(start)
 
 	e.mu.Lock()
@@ -587,7 +617,8 @@ func (e *Evaluator) EvaluateCtx(ctx context.Context, pt arch.Point) *Result {
 
 // erroredResult builds the infeasible Result recorded for a design whose
 // evaluation failed outright: infinite objective, a large finite constraints
-// budget, and the failure reason in both Err and Violations.
+// budget, and the failure reason in both Err and Violations. The failure is
+// classified ClassPermanent; transient paths use transientResult.
 func erroredResult(pt arch.Point, reason string) *Result {
 	return &Result{
 		Point:      pt.Clone(),
@@ -597,30 +628,89 @@ func erroredResult(pt arch.Point, reason string) *Result {
 		BudgetUtil: maxConstraintUtil,
 		Violations: []string{reason},
 		Err:        reason,
+		ErrClass:   ClassPermanent,
 	}
 }
 
+// transientResult is erroredResult classified ClassTransient: the retry
+// layer re-attempts it instead of letting it reach the memo or journal.
+func transientResult(pt arch.Point, reason string) *Result {
+	r := erroredResult(pt, reason)
+	r.ErrClass = ClassTransient
+	return r
+}
+
 // cancelledResult builds the uncharged, uncached Result returned when an
-// evaluation is abandoned by context cancellation.
+// evaluation is abandoned by context cancellation. Cancellation is
+// classified transient — the work is simply redone after resume — but is
+// special-cased by the Cancelled flag everywhere, retries included.
 func cancelledResult(pt arch.Point, err error) *Result {
-	r := erroredResult(pt, "evaluation cancelled: "+err.Error())
+	r := transientResult(pt, "evaluation cancelled: "+err.Error())
 	r.Cancelled = true
 	return r
 }
 
-// protectedEvaluate runs one design evaluation inside the resilience
-// envelope: injected faults applied, panics recovered into errored results,
-// and — when Config.EvalTimeout is set — a watchdog that abandons runaway
-// evaluations. One bad design must never take down a campaign.
-func (e *Evaluator) protectedEvaluate(ctx context.Context, pt arch.Point, ord int) (r *Result) {
+// retryingEvaluate drives the transient-fault retry loop around
+// protectedEvaluate: a ClassTransient failure is re-attempted under the
+// configured RetryPolicy with a deterministic jitter-free backoff, and only
+// the final outcome — a success, a permanent failure, or a transient
+// failure that exhausted the attempt budget and is thereby reclassified
+// permanent — escapes to be charged, memoized, and journaled. Cancellation
+// aborts the loop (and any backoff sleep) immediately.
+func (e *Evaluator) retryingEvaluate(ctx context.Context, pt arch.Point, ord int) *Result {
+	maxAttempts := e.cfg.Retry.attempts()
+	for attempt := 0; ; attempt++ {
+		r := e.protectedEvaluate(ctx, pt, ord, attempt)
+		r.Attempts = attempt + 1
+		if r.Cancelled || r.Err == "" {
+			return r
+		}
+		if r.ErrClass != ClassTransient {
+			return r
+		}
+		e.cTransient.Inc()
+		if attempt+1 >= maxAttempts {
+			// Out of attempts: the transient failure is now permanent —
+			// the only shape in which a transient error may ever be
+			// charged, memoized, or journaled.
+			r.ErrClass = ClassPermanent
+			if attempt > 0 {
+				r.Err = fmt.Sprintf("%s (permanent after %d attempts)", r.Err, r.Attempts)
+			}
+			return r
+		}
+		e.cRetries.Inc()
+		if d := e.cfg.Retry.delayBefore(attempt + 1); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return cancelledResult(pt, ctx.Err())
+			}
+		}
+	}
+}
+
+// protectedEvaluate runs one design-evaluation attempt inside the
+// resilience envelope: injected faults applied, panics recovered into
+// transient errored results, and — when Config.EvalTimeout is set — a
+// watchdog that abandons runaway attempts. One bad design must never take
+// down a campaign; whether a failed attempt is final is the retry layer's
+// decision (see retryingEvaluate).
+func (e *Evaluator) protectedEvaluate(ctx context.Context, pt arch.Point, ord, attempt int) (r *Result) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			e.cPanics.Inc()
-			r = erroredResult(pt, fmt.Sprintf("panic during evaluation: %v", rec))
+			// A crash describes the attempt, not the design: classified
+			// transient so the retry layer may re-attempt it. Without
+			// retries it goes permanent immediately, preserving the
+			// pre-retry charged-and-memoized behavior.
+			r = transientResult(pt, fmt.Sprintf("panic during evaluation: %v", rec))
 		}
 	}()
 	if e.cfg.EvalTimeout <= 0 {
-		return e.runEvaluate(ctx, pt, ord)
+		return e.runEvaluate(ctx, pt, ord, attempt)
 	}
 	// Watchdog: run the evaluation on its own goroutine and race it
 	// against the deadline and the context. A panic on that goroutine is
@@ -633,7 +723,7 @@ func (e *Evaluator) protectedEvaluate(ctx context.Context, pt arch.Point, ord in
 				panicCh <- rec
 			}
 		}()
-		resCh <- e.runEvaluate(ctx, pt, ord)
+		resCh <- e.runEvaluate(ctx, pt, ord, attempt)
 	}()
 	timer := time.NewTimer(e.cfg.EvalTimeout)
 	defer timer.Stop()
@@ -644,28 +734,31 @@ func (e *Evaluator) protectedEvaluate(ctx context.Context, pt arch.Point, ord in
 		panic(rec)
 	case <-timer.C:
 		e.cTimeouts.Inc()
-		return erroredResult(pt, fmt.Sprintf("evaluation exceeded watchdog timeout %v", e.cfg.EvalTimeout))
+		return transientResult(pt, fmt.Sprintf("evaluation exceeded watchdog timeout %v", e.cfg.EvalTimeout))
 	case <-ctx.Done():
 		return cancelledResult(pt, ctx.Err())
 	}
 }
 
-// runEvaluate applies any injected faults for this unique-evaluation
-// ordinal, then evaluates the design.
-func (e *Evaluator) runEvaluate(ctx context.Context, pt arch.Point, ord int) *Result {
+// runEvaluate applies any injected faults for this (unique-evaluation
+// ordinal, attempt) site, then evaluates the design.
+func (e *Evaluator) runEvaluate(ctx context.Context, pt arch.Point, ord, attempt int) *Result {
 	if fp := e.cfg.Faults; fp != nil && ord >= 0 {
-		if d := fp.delayFor(ord); d > 0 {
+		if d := fp.delayFor(ord, attempt); d > 0 {
 			select {
 			case <-time.After(d):
 			case <-ctx.Done():
 				return cancelledResult(pt, ctx.Err())
 			}
 		}
-		if fp.panicAt(ord) {
+		if fp.panicAt(ord, attempt) {
 			panic(fmt.Sprintf("injected fault: panic at unique evaluation %d", ord))
 		}
-		if fp.errorAt(ord) {
+		if fp.errorAt(ord, attempt) {
 			return erroredResult(pt, fmt.Sprintf("injected fault: error at unique evaluation %d", ord))
+		}
+		if fp.transientAt(ord, attempt) {
+			return transientResult(pt, fmt.Sprintf("injected fault: transient error at unique evaluation %d attempt %d", ord, attempt))
 		}
 	}
 	return e.evaluate(ctx, pt)

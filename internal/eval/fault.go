@@ -4,33 +4,55 @@ import "time"
 
 // FaultPolicy deterministically injects failures into chosen evaluations so
 // tests can prove the resilience layer — panic containment, errored-design
-// accounting, watchdog timeouts, and kill-and-resume determinism — without
-// touching the models themselves.
+// accounting, watchdog timeouts, transient-fault retries, and
+// kill-and-resume determinism — without touching the models themselves.
 //
 // Faults are addressed by unique-evaluation ordinal: the 0-based order in
 // which never-before-seen design keys begin evaluating. Memoized revisits,
 // in-flight joins, recomputes of evicted designs, and checkpoint-primed keys
 // never consume an ordinal, so under Workers=1 the ordinal sequence is fully
-// deterministic. A fault therefore fires at most once per unique design: a
-// panicked or errored evaluation is charged and memoized, so the design is
-// never retried.
+// deterministic. Retried attempts of the same design (see RetryPolicy) share
+// one ordinal; injection sites are therefore addressed by (ordinal, attempt):
+//
+//   - The single-shot lists (PanicAt, ErrorAt, DelayAt) fire on the first
+//     attempt only. Without retries a fired fault is final — the errored
+//     design is charged and memoized, never retried. With retries enabled,
+//     a transient-classified single-shot fault (a panic, a watchdog
+//     timeout) heals on the second attempt.
+//   - The attempt-aware maps (FailFirstN, SlowFirstN) fire on every attempt
+//     below their threshold, so the retry/backoff paths are testable
+//     deterministically under Workers=1.
 type FaultPolicy struct {
-	// PanicAt lists unique-evaluation ordinals whose evaluation panics
+	// PanicAt lists unique-evaluation ordinals whose first attempt panics
 	// (exercising the containment and recovery paths).
 	PanicAt []int
-	// ErrorAt lists ordinals whose evaluation returns an injected errored
-	// result without running the models.
+	// ErrorAt lists ordinals whose first attempt returns an injected
+	// permanently-errored result without running the models. ErrorAt
+	// faults are classified ClassPermanent: they are never retried.
 	ErrorAt []int
-	// DelayAt lists ordinals whose evaluation sleeps for Delay before
+	// DelayAt lists ordinals whose first attempt sleeps for Delay before
 	// starting (exercising the Config.EvalTimeout watchdog; the sleep is
 	// cancellable by the evaluation context).
 	DelayAt []int
-	// Delay is the sleep applied at DelayAt ordinals.
+	// FailFirstN maps a unique-evaluation ordinal to the number of leading
+	// attempts that fail with an injected transient error; once that many
+	// attempts have failed, later attempts succeed. This is the
+	// deterministic test surface of the retry layer: with
+	// RetryPolicy.MaxAttempts above the threshold the fault heals and the
+	// design evaluates normally, below it the failure goes permanent.
+	FailFirstN map[int]int
+	// SlowFirstN maps ordinals to the number of leading attempts that
+	// sleep for Delay before evaluating. With Config.EvalTimeout below
+	// Delay, exactly those attempts become (transient) watchdog timeouts —
+	// the deterministic way to exercise the timeout-retry path.
+	SlowFirstN map[int]int
+	// Delay is the sleep applied at DelayAt and SlowFirstN sites.
 	Delay time.Duration
 	// OnEvaluation, when non-nil, is called synchronously at the start of
-	// every unique evaluation with its ordinal — the hook kill-and-resume
-	// tests use to cancel a campaign at an exact evaluation index. It runs
-	// outside the panic-containment envelope; it must not panic.
+	// every unique evaluation's first attempt with its ordinal — the hook
+	// kill-and-resume tests use to cancel a campaign at an exact
+	// evaluation index. It runs outside the panic-containment envelope;
+	// it must not panic.
 	OnEvaluation func(ord int)
 }
 
@@ -44,17 +66,33 @@ func contains(list []int, ord int) bool {
 	return false
 }
 
-// panicAt reports whether this ordinal's evaluation should panic.
-func (p *FaultPolicy) panicAt(ord int) bool { return p != nil && contains(p.PanicAt, ord) }
+// panicAt reports whether this attempt's evaluation should panic.
+func (p *FaultPolicy) panicAt(ord, attempt int) bool {
+	return p != nil && attempt == 0 && contains(p.PanicAt, ord)
+}
 
-// errorAt reports whether this ordinal's evaluation should fail with an
-// injected error.
-func (p *FaultPolicy) errorAt(ord int) bool { return p != nil && contains(p.ErrorAt, ord) }
+// errorAt reports whether this attempt's evaluation should fail with an
+// injected permanent error.
+func (p *FaultPolicy) errorAt(ord, attempt int) bool {
+	return p != nil && attempt == 0 && contains(p.ErrorAt, ord)
+}
 
-// delayFor returns the sleep to apply before this ordinal's evaluation
-// (zero for ordinals not in DelayAt).
-func (p *FaultPolicy) delayFor(ord int) time.Duration {
-	if p != nil && contains(p.DelayAt, ord) {
+// transientAt reports whether this attempt's evaluation should fail with an
+// injected transient error (the FailFirstN retry-layer surface).
+func (p *FaultPolicy) transientAt(ord, attempt int) bool {
+	return p != nil && attempt < p.FailFirstN[ord]
+}
+
+// delayFor returns the sleep to apply before this attempt's evaluation
+// (zero for sites not in DelayAt or below their SlowFirstN threshold).
+func (p *FaultPolicy) delayFor(ord, attempt int) time.Duration {
+	if p == nil {
+		return 0
+	}
+	if attempt == 0 && contains(p.DelayAt, ord) {
+		return p.Delay
+	}
+	if attempt < p.SlowFirstN[ord] {
 		return p.Delay
 	}
 	return 0

@@ -74,6 +74,9 @@ type Config struct {
 	// Faults, when non-nil, injects deterministic evaluation failures —
 	// the resilience-testing hook (see eval.FaultPolicy).
 	Faults *eval.FaultPolicy
+	// Retry configures each evaluator's transient-fault retry layer (see
+	// eval.RetryPolicy); the zero value disables retries.
+	Retry eval.RetryPolicy
 	// Trace, when non-nil, receives every run's structured explanation
 	// events, each labeled "<technique>_<model>" (see internal/obs). The
 	// sink must be safe for concurrent use when Parallel > 1. Events are
@@ -177,6 +180,17 @@ func AllTechniques() []Technique {
 	return append(FixDFTechniques(), CodesignTechniques()...)
 }
 
+// TechniqueByName resolves a technique from the combined roster by its
+// exact name — the job-spec currency of the serving layer (internal/serve).
+func TechniqueByName(name string) (Technique, bool) {
+	for _, t := range AllTechniques() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Technique{}, false
+}
+
 // Run is the outcome of one (technique, model) exploration.
 type Run struct {
 	Technique string
@@ -236,6 +250,7 @@ func RunOne(ctx context.Context, cfg Config, tech Technique, model *workload.Mod
 		Workers:     cfg.Workers,
 		EvalTimeout: cfg.EvalTimeout,
 		Faults:      cfg.Faults,
+		Retry:       cfg.Retry,
 	})
 	o := tech.Make(space, cons)
 	run := Run{Technique: tech.Name, Model: model.Name, Mode: tech.Mode}

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"xdse/internal/eval"
+	"xdse/internal/workload"
+)
+
+// TestTransientFaultDoesNotChangeIncumbent is the satellite regression for
+// the memo-poisoning bug: before the retry layer, an injected transient
+// evaluation error at ordinal k was permanently memoized as infeasible (and
+// replayed from checkpoints), silently changing the exploration's final
+// incumbent. With retries enabled the fault heals and the run — trace,
+// incumbent, and budget accounting — is bit-identical to a fault-free one.
+func TestTransientFaultDoesNotChangeIncumbent(t *testing.T) {
+	model := workload.ResNet18()
+	// The engine and one batch-streaming baseline, both fixed-dataflow so
+	// the ordinal sequence is cheap and deterministic under Workers=1.
+	techs := []Technique{resumeTechniques()[0], resumeTechniques()[3]}
+	for _, tech := range techs {
+		tech := tech
+		t.Run(tech.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := resumeConfig()
+			ref := RunOne(context.Background(), cfg, tech, model, 0)
+			if ref.Err != "" {
+				t.Fatalf("reference run failed: %v", ref.Err)
+			}
+			refFP := ref.Trace.Fingerprint()
+
+			for _, k := range []int{0, 2, 4} {
+				// The bug: without retries, a transient error at ordinal k
+				// poisons the memo and the trace visibly diverges.
+				bcfg := cfg
+				bcfg.Faults = &eval.FaultPolicy{FailFirstN: map[int]int{k: 1}}
+				buggy := RunOne(context.Background(), bcfg, tech, model, 0)
+				if got := buggy.Trace.Fingerprint(); got == refFP {
+					t.Fatalf("k=%d: fault with retries disabled did not perturb the trace — injection dead?", k)
+				}
+
+				// The fix: with retries, the same fault heals invisibly.
+				hcfg := bcfg
+				hcfg.Retry = eval.RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond}
+				healed := RunOne(context.Background(), hcfg, tech, model, 0)
+				if healed.Err != "" {
+					t.Fatalf("k=%d: healed run failed: %v", k, healed.Err)
+				}
+				if got := healed.Trace.Fingerprint(); got != refFP {
+					t.Errorf("k=%d: healed trace diverges from fault-free reference:\n%s",
+						k, healed.Trace.Diff(ref.Trace))
+				}
+				if healed.Stats.Retries == 0 {
+					t.Errorf("k=%d: healed run performed no retries — fault not exercised", k)
+				}
+				if healed.Evaluations != ref.Evaluations {
+					t.Errorf("k=%d: healed Evaluations = %d, reference %d",
+						k, healed.Evaluations, ref.Evaluations)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"xdse/internal/exp"
+	"xdse/internal/obs"
+	"xdse/internal/workload"
+)
+
+// JobSpec is the client-submitted description of one exploration job: a
+// (technique, model) pair from the experiment roster plus the knobs of
+// exp.Config that are safe to expose per job. Everything else — retry
+// policy, watchdog timeout, concurrency ceilings — is fixed service-side by
+// Options so one misbehaving client cannot degrade its neighbors.
+type JobSpec struct {
+	// Technique is an exact technique name from exp.AllTechniques
+	// (e.g. "ExplainableDSE-Codesign").
+	Technique string `json:"technique"`
+	// Model is a workload name resolvable by workload.ByName.
+	Model string `json:"model"`
+	// Budget is the unique-design evaluation budget (0 selects the
+	// technique's default static budget).
+	Budget int `json:"budget,omitempty"`
+	// MapTrials is the per-layer mapping-search budget (0 = default).
+	MapTrials int `json:"map_trials,omitempty"`
+	// Seed makes the exploration reproducible (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Workers sizes the job's batch-evaluation pool, clamped to
+	// Options.MaxJobWorkers. Results are bit-identical for any value; 1
+	// additionally makes fault-injection ordinals deterministic.
+	Workers int `json:"workers,omitempty"`
+	// DeadlineMs bounds the job's wall-clock run time in milliseconds
+	// (0 selects Options.DefaultDeadline). A job that exceeds it stops at
+	// the next batch boundary with status "deadline".
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+}
+
+// validate resolves the roster references a spec names and rejects
+// malformed knobs before the job is admitted.
+func (s JobSpec) validate() error {
+	if _, ok := exp.TechniqueByName(s.Technique); !ok {
+		return fmt.Errorf("unknown technique %q", s.Technique)
+	}
+	if workload.ByName(s.Model) == nil {
+		return fmt.Errorf("unknown model %q", s.Model)
+	}
+	if s.Budget < 0 || s.MapTrials < 0 || s.Workers < 0 || s.DeadlineMs < 0 {
+		return fmt.Errorf("budget, map_trials, workers, and deadline_ms must be non-negative")
+	}
+	return nil
+}
+
+// deadline resolves the job's effective deadline (0 = unbounded).
+func (s JobSpec) deadline(def time.Duration) time.Duration {
+	if s.DeadlineMs > 0 {
+		return time.Duration(s.DeadlineMs) * time.Millisecond
+	}
+	return def
+}
+
+// JobStatus is one job's lifecycle state. queued, running, and interrupted
+// are non-terminal: a daemon booting over its job directory re-enqueues
+// them (restart-safe resume). The rest are terminal and survive restarts as
+// history.
+type JobStatus string
+
+// The job lifecycle: queued → running → {done, failed, cancelled,
+// deadline}, with interrupted marking a run stopped by drain (or found
+// mid-run after a hard crash) that the next boot resumes.
+const (
+	StatusQueued      JobStatus = "queued"
+	StatusRunning     JobStatus = "running"
+	StatusDone        JobStatus = "done"
+	StatusFailed      JobStatus = "failed"
+	StatusCancelled   JobStatus = "cancelled"
+	StatusDeadline    JobStatus = "deadline"
+	StatusInterrupted JobStatus = "interrupted"
+)
+
+// terminal reports whether the status is final (never resumed on boot).
+func (s JobStatus) terminal() bool {
+	switch s {
+	case StatusDone, StatusFailed, StatusCancelled, StatusDeadline:
+		return true
+	}
+	return false
+}
+
+// JobResult is the outcome of a completed job — the scalar summary plus the
+// Trace.Fingerprint that proves resume determinism (a drained-and-resumed
+// job reports the same fingerprint an uninterrupted run would).
+type JobResult struct {
+	// Fingerprint digests the full acquisition trace (search.Trace).
+	Fingerprint string `json:"fingerprint"`
+	// BestKey is the best feasible design's point key ("" if none).
+	BestKey string `json:"best_key,omitempty"`
+	// BestObjective is the minimized objective (+Inf when infeasible).
+	BestObjective obs.Float `json:"best_objective"`
+	// Feasible reports whether any feasible design was found.
+	Feasible bool `json:"feasible"`
+	// Evaluations is the unique-design budget spent.
+	Evaluations int `json:"evaluations"`
+	// Steps is the recorded acquisition count (memoized repeats included).
+	Steps int `json:"steps"`
+	// Resumed is the number of journaled evaluations replayed into this
+	// run from an interrupted predecessor.
+	Resumed int `json:"resumed"`
+	// Retries counts transient-fault retry attempts the run performed.
+	Retries int `json:"retries"`
+	// ElapsedMs is the final run's wall time in milliseconds (resumed
+	// runs count only the resuming invocation).
+	ElapsedMs int64 `json:"elapsed_ms"`
+}
+
+// jobFile is the on-disk form of a job (job.json in the job's directory),
+// written atomically on every state transition so a crash never tears it.
+type jobFile struct {
+	ID     string     `json:"id"`
+	Spec   JobSpec    `json:"spec"`
+	Status JobStatus  `json:"status"`
+	Reason string     `json:"reason,omitempty"`
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// Job is one submitted exploration job. All mutable state is guarded by mu
+// and mirrored to job.json on every transition.
+type Job struct {
+	// ID is the daemon-assigned identifier ("job-000042").
+	ID string
+	// Spec is the validated client submission.
+	Spec JobSpec
+
+	dir   string
+	warnf func(format string, args ...any)
+
+	mu     sync.Mutex
+	status JobStatus
+	reason string
+	result *JobResult
+	cancel context.CancelCauseFunc // non-nil exactly while running
+}
+
+// jobFileName is the per-job metadata file inside the job directory.
+const jobFileName = "job.json"
+
+// snapshot returns the job's persisted view for HTTP responses.
+func (j *Job) snapshot() jobFile {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobFile{ID: j.ID, Spec: j.Spec, Status: j.status, Reason: j.reason, Result: j.result}
+}
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// persistLocked writes job.json atomically (write-temp + rename). Caller
+// holds j.mu. Persistence failures are warned, not fatal: the in-memory
+// state machine stays authoritative for the life of the process.
+func (j *Job) persistLocked() {
+	f := jobFile{ID: j.ID, Spec: j.Spec, Status: j.status, Reason: j.reason, Result: j.result}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		j.warnf("job %s: marshal: %v", j.ID, err)
+		return
+	}
+	tmp := filepath.Join(j.dir, jobFileName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		j.warnf("job %s: persist: %v", j.ID, err)
+		return
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, jobFileName)); err != nil {
+		j.warnf("job %s: persist: %v", j.ID, err)
+	}
+}
+
+// setStatus transitions the job and persists the new state.
+func (j *Job) setStatus(st JobStatus, reason string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status = st
+	j.reason = reason
+	j.persistLocked()
+}
+
+// start transitions queued → running and registers the run's cancel
+// function. It fails when the job was cancelled while queued.
+func (j *Job) start(cancel context.CancelCauseFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.reason = ""
+	j.cancel = cancel
+	j.persistLocked()
+	return true
+}
+
+// finish records the run's terminal (or interrupted) state and outcome.
+func (j *Job) finish(st JobStatus, reason string, res *JobResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status = st
+	j.reason = reason
+	j.result = res
+	j.cancel = nil
+	j.persistLocked()
+}
+
+// requestCancel cancels the job: a queued job goes terminal immediately (the
+// worker skips it on pop), a running one has its context cancelled and goes
+// terminal when the run stops at its next batch boundary. Returns false for
+// jobs already terminal.
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status {
+	case StatusQueued:
+		j.status = StatusCancelled
+		j.reason = "cancelled while queued"
+		j.persistLocked()
+		return true
+	case StatusRunning:
+		if j.cancel != nil {
+			j.cancel(errCancelled)
+		}
+		return true
+	}
+	return false
+}
+
+// loadJob reads a job back from its directory (boot rescan).
+func loadJob(dir string, warnf func(format string, args ...any)) (*Job, error) {
+	data, err := os.ReadFile(filepath.Join(dir, jobFileName))
+	if err != nil {
+		return nil, err
+	}
+	var f jobFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", jobFileName, err)
+	}
+	if f.ID == "" {
+		return nil, fmt.Errorf("parse %s: missing id", jobFileName)
+	}
+	return &Job{ID: f.ID, Spec: f.Spec, dir: dir, warnf: warnf,
+		status: f.Status, reason: f.Reason, result: f.Result}, nil
+}
