@@ -56,6 +56,12 @@ type Record struct {
 	CostCalls     int64 `json:"cost_calls"`
 	LBPruned      int64 `json:"lb_pruned"`
 	MapTrials     int64 `json:"map_trials"`
+
+	// Persistent-store behavior on the warm campaign (zero unless
+	// -cache-dir was given).
+	PersistHits   int `json:"persist_hits,omitempty"`
+	PersistMisses int `json:"persist_misses,omitempty"`
+	PersistWrites int `json:"persist_writes,omitempty"`
 }
 
 // benchSpace is the edge space plus one parameter the decoder ignores:
@@ -87,7 +93,7 @@ func benchPoints(s *arch.Space, n int) []arch.Point {
 	return pts
 }
 
-func evalConfig(s *arch.Space, cold bool) eval.Config {
+func evalConfig(s *arch.Space, cold bool, cacheDir string) eval.Config {
 	cfg := eval.Config{
 		Space:       s,
 		Models:      []*workload.Model{workload.ResNet18()},
@@ -96,6 +102,7 @@ func evalConfig(s *arch.Space, cold bool) eval.Config {
 		MapTrials:   200,
 		Seed:        1,
 		Workers:     1,
+		CacheDir:    cacheDir,
 	}
 	if cold {
 		cfg.DisableLayerCache = true
@@ -104,11 +111,11 @@ func evalConfig(s *arch.Space, cold bool) eval.Config {
 	return cfg
 }
 
-func benchEvaluateDesign(ctx context.Context, s *arch.Space, pts []arch.Point, cold bool) (testing.BenchmarkResult, eval.Stats) {
+func benchEvaluateDesign(ctx context.Context, s *arch.Space, pts []arch.Point, cold bool, cacheDir string) (testing.BenchmarkResult, eval.Stats) {
 	var stats eval.Stats
 	res := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			e := eval.New(evalConfig(s, cold))
+			e := eval.New(evalConfig(s, cold, cacheDir))
 			for _, pt := range pts {
 				// A cancelled evaluation returns immediately, so a SIGINT
 				// lands between designs instead of after the full campaign.
@@ -178,6 +185,7 @@ func exitIfInterrupted(ctx context.Context, outPath string) {
 func main() {
 	outPath := flag.String("out", "BENCH_eval.json", "trajectory file to append the record to")
 	points := flag.Int("points", 24, "campaign size (design points per benchmark op)")
+	cacheDir := flag.String("cache-dir", "", "attach the persistent evaluation cache (internal/evalcache) under this directory to the warm campaign")
 	flag.Parse()
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -186,9 +194,9 @@ func main() {
 	s := benchSpace()
 	pts := benchPoints(s, *points)
 
-	coldRes, _ := benchEvaluateDesign(ctx, s, pts, true)
+	coldRes, _ := benchEvaluateDesign(ctx, s, pts, true, "")
 	exitIfInterrupted(ctx, *outPath)
-	warmRes, warmStats := benchEvaluateDesign(ctx, s, pts, false)
+	warmRes, warmStats := benchEvaluateDesign(ctx, s, pts, false, *cacheDir)
 	exitIfInterrupted(ctx, *outPath)
 	enumCold := benchEnumerate(false)
 	exitIfInterrupted(ctx, *outPath)
@@ -213,6 +221,10 @@ func main() {
 		CostCalls:     warmStats.CostCalls,
 		LBPruned:      warmStats.LBPruned,
 		MapTrials:     warmStats.MapTrials,
+
+		PersistHits:   warmStats.PersistHits,
+		PersistMisses: warmStats.PersistMisses,
+		PersistWrites: warmStats.PersistWrites,
 	}
 	if rec.EvaluateDesignWarmNsOp > 0 {
 		rec.EvaluateDesignSpeedup = float64(rec.EvaluateDesignColdNsOp) / float64(rec.EvaluateDesignWarmNsOp)
@@ -244,5 +256,9 @@ func main() {
 		float64(rec.EnumerateColdNsOp)/1e3, float64(rec.EnumerateWarmNsOp)/1e3, rec.EnumerateSpeedup)
 	fmt.Printf("layer cache: %d hits / %d misses, %d warm probes (%d fallbacks), cost calls %d of %d trials (%d lb-pruned)\n",
 		rec.LayerHits, rec.LayerMisses, rec.WarmProbes, rec.WarmFallbacks, rec.CostCalls, rec.MapTrials, rec.LBPruned)
+	if *cacheDir != "" {
+		fmt.Printf("persistent cache: %d hits / %d misses, %d writes (%s)\n",
+			rec.PersistHits, rec.PersistMisses, rec.PersistWrites, *cacheDir)
+	}
 	fmt.Printf("appended record %d to %s\n", len(trajectory), *outPath)
 }

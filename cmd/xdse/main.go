@@ -55,6 +55,7 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 		memProf  = flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 		ckptDir  = flag.String("checkpoint", "", "checkpoint directory: journal every run's evaluations there so a killed campaign is resumable")
+		cacheDir = flag.String("cache-dir", "", "persistent evaluation-cache directory shared across runs: repeated layer searches answer from disk with bit-identical results")
 		resume   = flag.Bool("resume", false, "resume from the journals in -checkpoint instead of starting fresh")
 		traceOut = flag.String("trace-out", "", "write every run's structured explanation events to this JSONL file (read back with `xdse report`)")
 		metrsOut = flag.String("metrics-out", "", "write the campaign's merged metrics to this file in Prometheus text format")
@@ -140,6 +141,7 @@ func main() {
 	}
 	cfg.CheckpointDir = *ckptDir
 	cfg.Resume = *resume
+	cfg.CacheDir = *cacheDir
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "xdse: %v\n", err)

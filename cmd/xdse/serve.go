@@ -33,6 +33,7 @@ func runServe(args []string) int {
 		retryBackoff = fs.Duration("retry-backoff", 10*time.Millisecond, "base delay before a retry, doubling per attempt")
 		retryAfter   = fs.Duration("retry-after", 2*time.Second, "Retry-After hint attached to shed and draining responses")
 		drainTimeout = fs.Duration("drain-timeout", 2*time.Minute, "how long a shutdown signal waits for in-flight jobs to checkpoint")
+		cacheDir     = fs.String("cache-dir", "", "persistent evaluation-cache directory shared by every job (and by later daemon incarnations); empty = uncached")
 	)
 	fs.Parse(args)
 	if fs.NArg() != 0 {
@@ -49,6 +50,7 @@ func runServe(args []string) int {
 		RetryAfter:      *retryAfter,
 		EvalTimeout:     *evalTimeout,
 		Retry:           eval.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff},
+		CacheDir:        *cacheDir,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xdse serve: %v\n", err)

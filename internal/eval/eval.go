@@ -12,12 +12,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 	"time"
 
 	"xdse/internal/arch"
 	"xdse/internal/energy"
+	"xdse/internal/evalcache"
 	"xdse/internal/mapping"
 	"xdse/internal/obs"
 	"xdse/internal/perf"
@@ -39,9 +41,15 @@ const (
 	PrunedMappings
 )
 
-// String names the mapper mode.
+// String names the mapper mode. Out-of-range values — reachable through a
+// corrupted or hand-edited job spec rescanned at daemon boot — render as
+// "unknown(n)" instead of panicking.
 func (m MapperMode) String() string {
-	return [...]string{"fixed-dataflow", "random-mappings", "pruned-mappings"}[m]
+	names := [...]string{"fixed-dataflow", "random-mappings", "pruned-mappings"}
+	if m < 0 || int(m) >= len(names) {
+		return fmt.Sprintf("unknown(%d)", int(m))
+	}
+	return names[m]
 }
 
 // Objective selects the cost the DSE minimizes. The paper develops latency
@@ -58,9 +66,13 @@ const (
 	MinEnergy
 )
 
-// String names the objective.
+// String names the objective, rendering out-of-range values as "unknown(n)".
 func (o Objective) String() string {
-	return [...]string{"min-latency", "min-energy"}[o]
+	names := [...]string{"min-latency", "min-energy"}
+	if o < 0 || int(o) >= len(names) {
+		return fmt.Sprintf("unknown(%d)", int(o))
+	}
+	return names[o]
 }
 
 // Constraints are the inequality constraints of the exploration (Table 1).
@@ -93,9 +105,14 @@ const (
 	WarmOff
 )
 
-// String names the warm-start mode.
+// String names the warm-start mode, rendering out-of-range values as
+// "unknown(n)".
 func (w WarmStartMode) String() string {
-	return [...]string{"warm-strict", "warm-off"}[w]
+	names := [...]string{"warm-strict", "warm-off"}
+	if w < 0 || int(w) >= len(names) {
+		return fmt.Sprintf("unknown(%d)", int(w))
+	}
+	return names[w]
 }
 
 // DefaultCacheCap is the design-level memo entry bound used when
@@ -129,10 +146,24 @@ type Config struct {
 	WarmStart WarmStartMode
 	// CacheCap bounds the design-level memo entry count: 0 selects
 	// DefaultCacheCap, a negative value disables eviction entirely. The
-	// layer-grain cache is bounded at 8x this cap. Unique-design budget
-	// accounting is exact under eviction: re-evaluating an evicted design
-	// is counted as a recompute, never as a new unique evaluation.
+	// layer-grain cache and the per-shape warm-start index are each
+	// bounded at 8x this cap. Unique-design budget accounting is exact
+	// under eviction: re-evaluating an evicted design is counted as a
+	// recompute, never as a new unique evaluation.
 	CacheCap int
+	// CacheDir, when non-empty, opens the cross-run persistent evaluation
+	// cache (internal/evalcache) in that directory and slots it under the
+	// in-memory layer cache: layer searches answered neither by memory nor
+	// by an in-flight twin are looked up on disk before the cost model
+	// runs, and fresh search results are appended for future runs and
+	// other processes. Results are bit-identical with or without it — a
+	// persist hit replays the exact entry a cold search would compute. An
+	// unopenable directory degrades to no persistent cache with a warning.
+	CacheDir string
+	// PersistCache injects an already-open store instead of (or in
+	// addition to) CacheDir — the serve daemon shares one store across
+	// every job's evaluator this way. When set, CacheDir is ignored.
+	PersistCache *evalcache.Store
 	// EvalTimeout, when positive, arms a per-evaluation watchdog: a design
 	// whose evaluation (mapping search included) exceeds the deadline is
 	// charged and memoized as infeasible-with-error instead of hanging the
@@ -262,12 +293,23 @@ type Evaluator struct {
 	// Layer-grain mapping cache: completed searches keyed by (layer shape,
 	// mapping-relevant design sub-key), in-flight searches deduplicated
 	// singleflight-style, and a per-shape warm-start index of the best
-	// mapping last found for the shape under any sub-key.
+	// mapping last found for the shape under any sub-key. The warm index
+	// is FIFO-bounded like the layer cache (a long-running daemon streams
+	// arbitrary layer shapes through one process; an unbounded index is a
+	// slow leak).
 	lcache   map[layerCacheKey]layerEntry
 	lflights map[layerCacheKey]*layerFlight
 	lorder   []layerCacheKey
 	lhead    int
 	warm     map[string]mapping.Mapping
+	worder   []string
+	whead    int
+
+	// store is the second-level persistent cache (nil when disabled);
+	// ownStore reports it was opened by this evaluator from Config.CacheDir
+	// (its counters then live in this evaluator's registry).
+	store    *evalcache.Store
+	ownStore bool
 
 	faultSeq int // next unique-evaluation ordinal (FaultPolicy currency)
 
@@ -290,8 +332,12 @@ type Evaluator struct {
 	cLMisses    *obs.Counter
 	cLDedups    *obs.Counter
 	cLEvictions *obs.Counter
+	cPHits      *obs.Counter
+	cPMisses    *obs.Counter
+	cPWrites    *obs.Counter
 	cWarmProbes *obs.Counter
 	cWarmFalls  *obs.Counter
+	cWarmEvict  *obs.Counter
 	cCostCalls  *obs.Counter
 	cLBPruned   *obs.Counter
 	cTrials     *obs.Counter
@@ -364,6 +410,26 @@ type Stats struct {
 	LayerDedups int
 	// LayerEvictions counts entries dropped from the bounded layer cache.
 	LayerEvictions int
+	// PersistHits counts layer searches answered from the on-disk
+	// persistent cache (a second-level hit: missed in memory, found on
+	// disk, cost model never ran).
+	PersistHits int
+	// PersistMisses counts layer searches that probed the persistent cache
+	// and found nothing (always at most LayerMisses; zero when no cache
+	// directory is attached).
+	PersistMisses int
+	// PersistWrites counts fresh search results appended to the
+	// persistent cache for future runs.
+	PersistWrites int
+	// PersistCorrupt counts persistent-cache records dropped because their
+	// CRC or structure failed verification — each one degraded to a miss,
+	// never to a wrong result. Store-level: with a shared store (see
+	// Config.PersistCache) the count aggregates across every evaluator.
+	PersistCorrupt int
+	// PersistStale counts persistent-cache records retired because they
+	// were written under a different cost-model version (perf.ModelVersion).
+	// Store-level, like PersistCorrupt.
+	PersistStale int
 	// WarmProbes counts layer searches warm-started from a previous best
 	// mapping of the same shape under a different design sub-key.
 	WarmProbes int
@@ -371,6 +437,9 @@ type Stats struct {
 	// probe-pruned candidates to discharge the strict bit-identical
 	// contract (the probe did not strictly lose to the enumeration best).
 	WarmFallbacks int
+	// WarmEvictions counts entries dropped from the bounded warm-start
+	// index.
+	WarmEvictions int
 	// CostCalls is the total number of perf-model invocations made by
 	// mapping searches; with lower-bound pruning it trails MapTrials.
 	CostCalls int64
@@ -419,6 +488,18 @@ func New(cfg Config) *Evaluator {
 		capn = 0 // unbounded
 	}
 	reg := obs.NewRegistry()
+	store := cfg.PersistCache
+	ownStore := false
+	if store == nil && cfg.CacheDir != "" && !cfg.DisableLayerCache {
+		s, err := evalcache.Open(cfg.CacheDir, evalcache.Options{Registry: reg})
+		if err != nil {
+			// A broken cache directory costs performance, never a run:
+			// degrade to the in-memory caches alone.
+			fmt.Fprintf(os.Stderr, "eval: persistent cache %s unavailable, continuing without: %v\n", cfg.CacheDir, err)
+		} else {
+			store, ownStore = s, true
+		}
+	}
 	return &Evaluator{
 		cfg:      cfg,
 		cacheCap: capn,
@@ -428,6 +509,8 @@ func New(cfg Config) *Evaluator {
 		lcache:   make(map[layerCacheKey]layerEntry),
 		lflights: make(map[layerCacheKey]*layerFlight),
 		warm:     make(map[string]mapping.Mapping),
+		store:    store,
+		ownStore: ownStore,
 
 		reg:         reg,
 		cEvals:      reg.Counter("eval_design_evaluations_total"),
@@ -443,8 +526,12 @@ func New(cfg Config) *Evaluator {
 		cLMisses:    reg.Counter("eval_layer_searches_total"),
 		cLDedups:    reg.Counter("eval_layer_dedups_total"),
 		cLEvictions: reg.Counter("eval_layer_evictions_total"),
+		cPHits:      reg.Counter("eval_persist_hits_total"),
+		cPMisses:    reg.Counter("eval_persist_misses_total"),
+		cPWrites:    reg.Counter("eval_persist_writes_total"),
 		cWarmProbes: reg.Counter("eval_warm_probes_total"),
 		cWarmFalls:  reg.Counter("eval_warm_fallbacks_total"),
+		cWarmEvict:  reg.Counter("eval_warm_evictions_total"),
 		cCostCalls:  reg.Counter("eval_cost_calls_total"),
 		cLBPruned:   reg.Counter("eval_lb_pruned_total"),
 		cTrials:     reg.Counter("eval_map_trials_total"),
@@ -493,6 +580,14 @@ func (e *Evaluator) Prime(keys []string) int {
 // metrics registry (see Metrics), kept so existing reporting and tests
 // need not know about the registry.
 func (e *Evaluator) Stats() Stats {
+	var persistCorrupt, persistStale int
+	if e.store != nil {
+		// Store-level counters live in whatever registry the store was
+		// opened with (this evaluator's when it owns the store, the
+		// sharing owner's otherwise).
+		persistCorrupt = int(e.store.Metrics().Counter("evalcache_corrupt_records_total").Value())
+		persistStale = int(e.store.Metrics().Counter("evalcache_stale_records_total").Value())
+	}
 	return Stats{
 		Evaluations:     int(e.cEvals.Value()),
 		CacheHits:       int(e.cHits.Value()),
@@ -503,8 +598,14 @@ func (e *Evaluator) Stats() Stats {
 		LayerMisses:     int(e.cLMisses.Value()),
 		LayerDedups:     int(e.cLDedups.Value()),
 		LayerEvictions:  int(e.cLEvictions.Value()),
+		PersistHits:     int(e.cPHits.Value()),
+		PersistMisses:   int(e.cPMisses.Value()),
+		PersistWrites:   int(e.cPWrites.Value()),
+		PersistCorrupt:  persistCorrupt,
+		PersistStale:    persistStale,
 		WarmProbes:      int(e.cWarmProbes.Value()),
 		WarmFallbacks:   int(e.cWarmFalls.Value()),
+		WarmEvictions:   int(e.cWarmEvict.Value()),
 		CostCalls:       e.cCostCalls.Value(),
 		LBPruned:        e.cLBPruned.Value(),
 		MapTrials:       e.cTrials.Value(),
@@ -919,7 +1020,8 @@ func (e *Evaluator) evaluateLayer(d arch.Design, l workload.Layer, salt int64) L
 // layerResult returns the mapping-search outcome for layer l on design d,
 // answering from the layer-grain cache when the (shape, sub-key) pair has
 // been searched before, joining an identical in-flight search when one is
-// running, and otherwise running the search — warm-started from the shape's
+// running, then probing the persistent cross-run store (when attached), and
+// only then running the search — warm-started from the shape's
 // previously-best mapping when one is known. Every path returns bit-identical
 // search outcomes; only the cost-call counters differ.
 func (e *Evaluator) layerResult(d arch.Design, l workload.Layer, salt int64) layerEntry {
@@ -952,7 +1054,32 @@ func (e *Evaluator) layerResult(d arch.Design, l workload.Layer, salt int64) lay
 	}
 	f := &layerFlight{done: make(chan struct{})}
 	e.lflights[key] = f
+	e.mu.Unlock()
+
+	// Second-level probe: a search completed by a previous run — or by
+	// another job or process sharing the cache directory — answers from
+	// disk and never reaches the cost model. The singleflight above
+	// already collapses concurrent in-process probes of the same key.
+	if e.store != nil {
+		if pe, ok := e.store.Get(e.persistKey(key)); ok {
+			ent := fromPersist(pe)
+			e.mu.Lock()
+			e.storeLayer(key, ent)
+			if ent.found {
+				e.storeWarm(key.shape, ent.mapping)
+			}
+			delete(e.lflights, key)
+			e.mu.Unlock()
+			e.cPHits.Inc()
+			f.ent = ent
+			close(f.done)
+			return ent
+		}
+		e.cPMisses.Inc()
+	}
+
 	e.cLMisses.Inc()
+	e.mu.Lock()
 	var incumbent *mapping.Mapping
 	if e.cfg.Mode == PrunedMappings && e.cfg.WarmStart == WarmStrict {
 		if m, ok := e.warm[key.shape]; ok {
@@ -981,7 +1108,7 @@ func (e *Evaluator) layerResult(d arch.Design, l workload.Layer, salt int64) lay
 	e.mu.Lock()
 	e.storeLayer(key, ent)
 	if ent.found {
-		e.warm[key.shape] = ent.mapping
+		e.storeWarm(key.shape, ent.mapping)
 	}
 	delete(e.lflights, key)
 	e.mu.Unlock()
@@ -993,7 +1120,64 @@ func (e *Evaluator) layerResult(d arch.Design, l workload.Layer, salt int64) lay
 
 	f.ent = ent
 	close(f.done)
+	if e.store != nil {
+		// Persist after waking waiters: the fsync'd append rides on this
+		// goroutine, never on the joined ones.
+		e.store.Put(e.persistKey(key), toPersist(ent))
+		e.cPWrites.Inc()
+	}
 	return ent
+}
+
+// persistKey derives the content address of a layer search in the
+// cross-run store: the in-memory cache key plus everything that is implicit
+// within one evaluator but varies across runs — the mapper mode, the search
+// budget, and (in random mode) the fully-resolved rng seed. The cost-model
+// version is stamped per record by the store itself.
+func (e *Evaluator) persistKey(key layerCacheKey) evalcache.Key {
+	pk := evalcache.Key{Shape: key.shape, Sub: key.sub, Mode: e.cfg.Mode.String()}
+	switch e.cfg.Mode {
+	case RandomMappings:
+		// The random search draws from rand.NewSource(Seed*1_000_003+salt)
+		// (see searchLayer), so the persisted salt must be that resolved
+		// seed — two runs with different Config.Seed must not share
+		// random-mode entries.
+		pk.Trials = e.cfg.MapTrials
+		pk.Salt = e.cfg.Seed*1_000_003 + key.salt
+	case PrunedMappings:
+		pk.Trials = e.cfg.MapTrials
+	default:
+		// FixedDataflow derives one mapping analytically: no budget, no
+		// seed, so entries are shared across all configurations.
+	}
+	return pk
+}
+
+// toPersist and fromPersist convert between the in-memory layer entry and
+// its exported persistent twin. Every field round-trips bit-exactly — the
+// persist-hit path must be indistinguishable from a completed search.
+func toPersist(ent layerEntry) evalcache.Entry {
+	return evalcache.Entry{
+		Found:        ent.found,
+		Mapping:      ent.mapping,
+		Perf:         ent.perf,
+		Trials:       ent.trials,
+		CostCalls:    ent.costCalls,
+		LBPruned:     ent.lbPruned,
+		WarmFallback: ent.warmFallback,
+	}
+}
+
+func fromPersist(pe evalcache.Entry) layerEntry {
+	return layerEntry{
+		mapping:      pe.Mapping,
+		perf:         pe.Perf,
+		trials:       pe.Trials,
+		costCalls:    pe.CostCalls,
+		lbPruned:     pe.LBPruned,
+		warmFallback: pe.WarmFallback,
+		found:        pe.Found,
+	}
 }
 
 // storeLayer inserts a search outcome into the bounded layer cache (FIFO,
@@ -1012,6 +1196,27 @@ func (e *Evaluator) storeLayer(key layerCacheKey, ent layerEntry) {
 	if e.lhead > len(e.lorder)/2 && e.lhead > 64 {
 		e.lorder = append([]layerCacheKey(nil), e.lorder[e.lhead:]...)
 		e.lhead = 0
+	}
+}
+
+// storeWarm records a shape's latest best mapping in the warm-start index,
+// bounded FIFO by first insertion with the same cap as the layer cache so a
+// long-running daemon streaming distinct shapes cannot grow it without
+// limit. Caller holds e.mu.
+func (e *Evaluator) storeWarm(shape string, m mapping.Mapping) {
+	if _, ok := e.warm[shape]; !ok {
+		e.worder = append(e.worder, shape)
+	}
+	e.warm[shape] = m
+	for e.cacheCap > 0 && len(e.warm) > 8*e.cacheCap {
+		old := e.worder[e.whead]
+		e.whead++
+		delete(e.warm, old)
+		e.cWarmEvict.Inc()
+	}
+	if e.whead > len(e.worder)/2 && e.whead > 64 {
+		e.worder = append([]string(nil), e.worder[e.whead:]...)
+		e.whead = 0
 	}
 }
 

@@ -1,0 +1,240 @@
+package eval
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"xdse/internal/mapping"
+)
+
+// TestPersistCacheBitIdenticalAcrossRestart is the tentpole acceptance
+// criterion: a fresh evaluator over a populated cache directory — the
+// process-restart shape — must answer every repeated layer search from disk
+// with results bit-identical to the run that computed them, in all three
+// mapper modes.
+func TestPersistCacheBitIdenticalAcrossRestart(t *testing.T) {
+	s := spaceWithDummyParam(3)
+	pts := campaignPoints(s, 12)
+	for _, mode := range []MapperMode{FixedDataflow, RandomMappings, PrunedMappings} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := cacheTestConfig(s, mode)
+			cfg.CacheDir = dir
+
+			first := New(cfg)
+			var want []*Result
+			for _, pt := range pts {
+				want = append(want, first.Evaluate(pt))
+			}
+			if st := first.Stats(); st.PersistWrites == 0 {
+				t.Fatalf("cold run persisted nothing (stats %+v)", st)
+			}
+
+			// "Restart": a brand-new evaluator with empty in-memory caches,
+			// sharing only the directory.
+			second := New(cfg)
+			for i, pt := range pts {
+				got := second.Evaluate(pt)
+				if err := resultsEquivalent(want[i], got); err != nil {
+					t.Fatalf("point %v not bit-identical after restart: %v", pt.Key(), err)
+				}
+			}
+			st := second.Stats()
+			if st.PersistHits == 0 {
+				t.Fatal("warm restart produced no persistent-cache hits")
+			}
+			// The identical campaign was fully persisted, so no layer search
+			// may run again — far above the >=50% acceptance floor.
+			if st.LayerMisses != 0 {
+				t.Errorf("warm restart re-ran %d layer searches", st.LayerMisses)
+			}
+			if st.PersistHits < st.PersistMisses {
+				t.Errorf("persistent store answered %d of %d lookups, want >= half",
+					st.PersistHits, st.PersistHits+st.PersistMisses)
+			}
+		})
+	}
+}
+
+// TestPersistCacheCorruptionDegradesToMiss corrupts and truncates the cache
+// file between runs and checks the durability contract: damage may cost
+// recomputes, never wrongness.
+func TestPersistCacheCorruptionDegradesToMiss(t *testing.T) {
+	s := spaceWithDummyParam(3)
+	pts := campaignPoints(s, 9)
+	cold := cacheTestConfig(s, PrunedMappings)
+	cold.DisableLayerCache = true
+	cold.WarmStart = WarmOff
+	ec := New(cold)
+	var want []*Result
+	for _, pt := range pts {
+		want = append(want, ec.Evaluate(pt))
+	}
+
+	for _, damage := range []struct {
+		name string
+		do   func(t *testing.T, path string)
+	}{
+		{"corrupt-byte", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0xFF
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncate-tail", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)*2/3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(damage.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := cacheTestConfig(s, PrunedMappings)
+			cfg.CacheDir = dir
+			first := New(cfg)
+			for _, pt := range pts {
+				first.Evaluate(pt)
+			}
+			damage.do(t, filepath.Join(dir, "evalcache.jsonl"))
+
+			second := New(cfg)
+			for i, pt := range pts {
+				if err := resultsEquivalent(want[i], second.Evaluate(pt)); err != nil {
+					t.Fatalf("damaged cache changed results at %v: %v", pt.Key(), err)
+				}
+			}
+			st := second.Stats()
+			if st.PersistCorrupt == 0 {
+				t.Error("damage went uncounted (PersistCorrupt = 0)")
+			}
+		})
+	}
+}
+
+// TestPersistCacheSeedIsolation guards the random-mode key derivation: two
+// runs differing only in Config.Seed draw different mappings, so they must
+// not share persisted entries.
+func TestPersistCacheSeedIsolation(t *testing.T) {
+	s := spaceWithDummyParam(2)
+	pts := campaignPoints(s, 6)
+	dir := t.TempDir()
+
+	seedCfg := func(seed int64, cacheDir string) Config {
+		cfg := cacheTestConfig(s, RandomMappings)
+		cfg.Seed = seed
+		cfg.CacheDir = cacheDir
+		return cfg
+	}
+	// Populate the store under seed 1.
+	first := New(seedCfg(1, dir))
+	for _, pt := range pts {
+		first.Evaluate(pt)
+	}
+	// A seed-2 run over the same directory must reproduce the uncached
+	// seed-2 results, not replay seed-1 entries.
+	uncached := New(seedCfg(2, ""))
+	shared := New(seedCfg(2, dir))
+	for _, pt := range pts {
+		if err := resultsEquivalent(uncached.Evaluate(pt), shared.Evaluate(pt)); err != nil {
+			t.Fatalf("seed-2 run contaminated by seed-1 cache at %v: %v", pt.Key(), err)
+		}
+	}
+	if st := shared.Stats(); st.PersistHits != 0 {
+		t.Errorf("seed-2 run hit %d seed-1 entries", st.PersistHits)
+	}
+}
+
+// TestPersistCacheConcurrentEvaluators drives two evaluators with separate
+// stores over one directory concurrently — run under -race in CI. Results
+// must match a serial evaluator's exactly.
+func TestPersistCacheConcurrentEvaluators(t *testing.T) {
+	s := spaceWithDummyParam(2)
+	pts := campaignPoints(s, 8)
+	serial := New(cacheTestConfig(s, PrunedMappings))
+	var want []*Result
+	for _, pt := range pts {
+		want = append(want, serial.Evaluate(pt))
+	}
+
+	dir := t.TempDir()
+	cfg := cacheTestConfig(s, PrunedMappings)
+	cfg.CacheDir = dir
+	evs := []*Evaluator{New(cfg), New(cfg)}
+	errs := make([]error, len(evs))
+	var wg sync.WaitGroup
+	for gi, e := range evs {
+		wg.Add(1)
+		go func(gi int, e *Evaluator) {
+			defer wg.Done()
+			for i, pt := range pts {
+				if err := resultsEquivalent(want[i], e.Evaluate(pt)); err != nil {
+					errs[gi] = fmt.Errorf("evaluator %d, point %v: %w", gi, pt.Key(), err)
+					return
+				}
+			}
+		}(gi, e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWarmIndexBounded is the memory-leak regression test: the warm-start
+// index must stay within 8x the design-memo cap no matter how many distinct
+// shapes stream through a long-running evaluator.
+func TestWarmIndexBounded(t *testing.T) {
+	cfg := cacheTestConfig(spaceWithDummyParam(2), PrunedMappings)
+	cfg.CacheCap = 1 // warm bound: 8
+	e := New(cfg)
+	var m mapping.Mapping
+	for i := 0; i < 50; i++ {
+		e.mu.Lock()
+		e.storeWarm(fmt.Sprintf("shape-%d", i), m)
+		e.mu.Unlock()
+	}
+	e.mu.Lock()
+	n := len(e.warm)
+	e.mu.Unlock()
+	if n > 8 {
+		t.Errorf("warm index holds %d shapes, cap 8", n)
+	}
+	if st := e.Stats(); st.WarmEvictions != 42 {
+		t.Errorf("WarmEvictions = %d, want 42", st.WarmEvictions)
+	}
+}
+
+// TestEnumStringsOutOfRange: mode/objective/warm-start names must render, not
+// panic, for values outside the defined range (e.g. a corrupted job spec).
+func TestEnumStringsOutOfRange(t *testing.T) {
+	for _, tc := range []struct {
+		got, want string
+	}{
+		{MapperMode(99).String(), "unknown(99)"},
+		{MapperMode(-1).String(), "unknown(-1)"},
+		{Objective(42).String(), "unknown(42)"},
+		{WarmStartMode(-3).String(), "unknown(-3)"},
+		{MapperMode(2).String(), "pruned-mappings"},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("String() = %q, want %q", tc.got, tc.want)
+		}
+	}
+	if s := MapperMode(7).String(); !strings.Contains(s, "7") {
+		t.Errorf("out-of-range String() %q should embed the value", s)
+	}
+}

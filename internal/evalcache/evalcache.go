@@ -1,0 +1,622 @@
+// Package evalcache is the cross-run persistent half of the two-level
+// evaluation cache: a content-addressed, on-disk store of completed
+// layer-grain mapping-search results. The in-memory layer cache of
+// internal/eval answers repeats within one evaluator; this store answers
+// repeats across runs, jobs, and processes sharing a cache directory, so an
+// identical sub-evaluation submitted tomorrow — or by another daemon worker
+// — hits disk instead of the cost model.
+//
+// Content addressing: a record is keyed by everything the search result
+// depends on — the layer's canonical shape (workload.Layer.ShapeKey), the
+// design sub-key of exactly the parameters the perf model reads
+// (perf.MappingSubKey), the mapper mode and its trial budget, the
+// random-mode rng seed, and the cost-model version (perf.ModelVersion).
+// Records carrying a different model version are counted stale and retired
+// at load, so a cost-model change silently invalidates the store instead of
+// replaying outdated costs.
+//
+// Durability follows the checkpoint journal discipline: records are
+// CRC-guarded JSONL lines with floats in bit-exact hex form, appended under
+// an advisory cross-process file lock with a write-then-fsync cadence.
+// Loading tolerates torn tails and corrupt lines — a record that fails its
+// CRC degrades to a cache miss (counted, then physically compacted away),
+// never to a wrong result.
+package evalcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"xdse/internal/mapping"
+	"xdse/internal/obs"
+	"xdse/internal/perf"
+)
+
+// dataFile and lockFile name the two on-disk pieces of a cache directory.
+const (
+	dataFile = "evalcache.jsonl"
+	lockFile = "evalcache.lock"
+)
+
+// Key is the content address of one layer-grain search result. Two searches
+// with equal keys are bit-identical by construction (the searches are
+// deterministic), which is what makes serving one from disk sound.
+type Key struct {
+	// Shape is the layer's canonical shape key (workload.Layer.ShapeKey).
+	Shape string
+	// Sub is the mapping-relevant design sub-key (perf.MappingSubKey).
+	Sub string
+	// Mode is the mapper mode name (eval.MapperMode.String()); each mode
+	// runs a different search over the same (shape, sub) pair.
+	Mode string
+	// Trials is the per-layer search budget — it bounds the explored
+	// space, so results under different budgets are distinct entries.
+	Trials int
+	// Salt is the random-mode rng seed (the evaluator's seed folded with
+	// the layer index); zero in the deterministic modes.
+	Salt int64
+}
+
+// Entry is the shape-invariant outcome of one layer mapping search — the
+// persistent twin of internal/eval's layerEntry. Every field participates
+// in the bit-identical replay contract: a run answered from Entry values is
+// trace-fingerprint-identical to the run that computed them.
+type Entry struct {
+	Found        bool
+	Mapping      mapping.Mapping
+	Perf         perf.Breakdown
+	Trials       int
+	CostCalls    int
+	LBPruned     int
+	WarmFallback bool
+}
+
+// Options tunes a Store.
+type Options struct {
+	// Version stamps written records and retires read records that carry a
+	// different stamp. Empty selects perf.ModelVersion().
+	Version string
+	// MaxEntries bounds the in-memory index (FIFO); the file keeps evicted
+	// records and a later Open sees them again. 0 selects the default
+	// (1<<20), negative disables the bound. This is a leak guard for
+	// long-running daemons, not a working-set knob.
+	MaxEntries int
+	// Registry receives the store's counters (loads, corrupt, stale,
+	// writes, write errors, index evictions). Nil selects a private one.
+	Registry *obs.Registry
+	// Warnf receives non-fatal recovery warnings (corrupt lines dropped,
+	// append failures). The default discards them.
+	Warnf func(format string, args ...any)
+}
+
+func (o Options) maxEntries() int {
+	switch {
+	case o.MaxEntries == 0:
+		return 1 << 20
+	case o.MaxEntries < 0:
+		return 0 // unbounded
+	}
+	return o.MaxEntries
+}
+
+// Store is one open persistent cache over a directory. It is safe for
+// concurrent use within a process, and any number of Stores — in this
+// process or others — may share a directory: appends are serialized by an
+// advisory file lock, and readers treat every record as immutable.
+type Store struct {
+	dir      string
+	dataPath string
+	lockPath string
+	version  string
+	maxN     int
+	warnf    func(format string, args ...any)
+
+	reg        *obs.Registry
+	cLoaded    *obs.Counter
+	cCorrupt   *obs.Counter
+	cStale     *obs.Counter
+	cWrites    *obs.Counter
+	cWriteErrs *obs.Counter
+	cEvicted   *obs.Counter
+
+	mu    sync.Mutex
+	idx   map[Key]Entry
+	order []Key
+	head  int
+}
+
+// Open opens (creating if needed) the persistent cache in dir, loading every
+// intact, version-current record into the in-memory index. Corrupt lines and
+// stale-version records are counted, dropped, and — when any were found —
+// compacted out of the file under the cross-process lock, so damage decays
+// to misses exactly once instead of being re-scanned forever.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	version := opts.Version
+	if version == "" {
+		version = perf.ModelVersion()
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	warnf := opts.Warnf
+	if warnf == nil {
+		warnf = func(string, ...any) {}
+	}
+	s := &Store{
+		dir:      dir,
+		dataPath: filepath.Join(dir, dataFile),
+		lockPath: filepath.Join(dir, lockFile),
+		version:  version,
+		maxN:     opts.maxEntries(),
+		warnf:    warnf,
+
+		reg:        reg,
+		cLoaded:    reg.Counter("evalcache_records_loaded_total"),
+		cCorrupt:   reg.Counter("evalcache_corrupt_records_total"),
+		cStale:     reg.Counter("evalcache_stale_records_total"),
+		cWrites:    reg.Counter("evalcache_records_written_total"),
+		cWriteErrs: reg.Counter("evalcache_write_errors_total"),
+		cEvicted:   reg.Counter("evalcache_index_evictions_total"),
+
+		idx: make(map[Key]Entry),
+	}
+	unlock, err := lockedFile(s.lockPath)
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+	if err := s.loadLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// loadLocked reads the data file into the index and, when any corrupt or
+// stale lines were dropped, rewrites the file with only the surviving
+// records (write-temp + fsync + atomic rename). Caller holds the file lock.
+func (s *Store) loadLocked() error {
+	data, err := os.ReadFile(s.dataPath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	dropped := 0
+	rest := string(data)
+	lineNo := 0
+	for rest != "" {
+		lineNo++
+		text, tail, complete := strings.Cut(rest, "\n")
+		if !complete {
+			// Torn tail: the signature of a killed writer. Unlike the
+			// checkpoint journal there is no ordering to preserve, so
+			// only this line is lost.
+			s.warnf("evalcache: %s line %d: torn write (no newline), dropping", s.dataPath, lineNo)
+			s.cCorrupt.Inc()
+			dropped++
+			break
+		}
+		rest = tail
+		key, ent, version, err := decode(text)
+		if err != nil {
+			// Records are independent; a corrupt line costs exactly that
+			// line, and the scan continues at the next newline.
+			s.warnf("evalcache: %s line %d: %v — dropping", s.dataPath, lineNo, err)
+			s.cCorrupt.Inc()
+			dropped++
+			continue
+		}
+		if version != s.version {
+			s.cStale.Inc()
+			dropped++
+			continue
+		}
+		if _, ok := s.idx[key]; ok {
+			continue // duplicate append from a concurrent writer; first wins
+		}
+		s.insert(key, ent)
+		s.cLoaded.Inc()
+	}
+	if dropped > 0 {
+		if err := s.compactLocked(); err != nil {
+			// The damaged file still loads (damage reads as misses), so a
+			// failed compaction is a warning, not an open failure.
+			s.warnf("evalcache: compaction failed, keeping damaged file: %v", err)
+		}
+	}
+	return nil
+}
+
+// compactLocked rewrites the data file with exactly the live index. Caller
+// holds both s.mu (or has exclusive access) and the file lock.
+func (s *Store) compactLocked() error {
+	tmpPath := s.dataPath + ".tmp"
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return err
+	}
+	for i := s.head; i < len(s.order); i++ {
+		key := s.order[i]
+		data, err := encode(key, s.idx[key], s.version)
+		if err == nil {
+			_, err = tmp.Write(data)
+		}
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpPath, s.dataPath)
+}
+
+// Dir returns the cache directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Version returns the cost-model version this store reads and writes.
+func (s *Store) Version() string { return s.version }
+
+// Metrics returns the store's counter registry (see Options.Registry).
+func (s *Store) Metrics() *obs.Registry { return s.reg }
+
+// Len returns the number of records in the in-memory index.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idx)
+}
+
+// Get answers a lookup from the in-memory index. Records appended by other
+// processes after this store opened are not visible until a reopen — the
+// cost is a recompute plus a harmless duplicate append, never wrongness.
+func (s *Store) Get(key Key) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ent, ok := s.idx[key]
+	return ent, ok
+}
+
+// Put records one completed search: into the index immediately, and onto
+// disk as a CRC'd line appended under the cross-process file lock and
+// fsync'd before the lock is released. A key already present is a no-op (the
+// entry is identical by the determinism contract). Disk failures degrade the
+// store to memory-only for that record — counted and warned, never fatal.
+func (s *Store) Put(key Key, ent Entry) {
+	s.mu.Lock()
+	if _, ok := s.idx[key]; ok {
+		s.mu.Unlock()
+		return
+	}
+	s.insert(key, ent)
+	s.mu.Unlock()
+
+	data, err := encode(key, ent, s.version)
+	if err != nil {
+		s.cWriteErrs.Inc()
+		s.warnf("evalcache: encode: %v", err)
+		return
+	}
+	if err := s.appendLocked(data); err != nil {
+		s.cWriteErrs.Inc()
+		s.warnf("evalcache: append: %v", err)
+		return
+	}
+	s.cWrites.Inc()
+}
+
+// appendLocked writes one encoded record under the advisory file lock. The
+// data file is reopened per append so a compaction's atomic rename (by this
+// or any other process) is always observed — the lock orders the open, the
+// single write, and the fsync against every other writer's.
+func (s *Store) appendLocked(data []byte) error {
+	unlock, err := lockedFile(s.lockPath)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	f, err := os.OpenFile(s.dataPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// insert adds a key to the index and FIFO-evicts beyond the bound. Caller
+// holds s.mu (or has exclusive access during load).
+func (s *Store) insert(key Key, ent Entry) {
+	s.idx[key] = ent
+	s.order = append(s.order, key)
+	for s.maxN > 0 && len(s.idx) > s.maxN {
+		old := s.order[s.head]
+		s.head++
+		delete(s.idx, old)
+		s.cEvicted.Inc()
+	}
+	if s.head > len(s.order)/2 && s.head > 64 {
+		s.order = append([]Key(nil), s.order[s.head:]...)
+		s.head = 0
+	}
+}
+
+// wireRecord is the JSON form of one cache line. Floats travel as hex-float
+// strings (strconv 'x' format) so the round trip is bit-exact — the replay
+// contract is fingerprint identity, and a decimal round trip cannot
+// guarantee that.
+type wireRecord struct {
+	V      string    `json:"v"` // cost-model version stamp
+	Shape  string    `json:"shape"`
+	Sub    string    `json:"sub"`
+	Mode   string    `json:"mode"`
+	Budget int       `json:"budget"`
+	Salt   int64     `json:"salt,omitempty"`
+	Entry  wireEntry `json:"entry"`
+}
+
+type wireEntry struct {
+	Found        bool      `json:"found"`
+	F            [][]int   `json:"f,omitempty"` // tiling factors, [dim][level]
+	DRAMStat     int       `json:"dram_stat"`
+	NoCStat      int       `json:"noc_stat"`
+	Trials       int       `json:"trials"`
+	CostCalls    int       `json:"cost_calls"`
+	LBPruned     int       `json:"lb_pruned"`
+	WarmFallback bool      `json:"warm_fallback,omitempty"`
+	Perf         wireBreak `json:"perf"`
+}
+
+type wireBreak struct {
+	Valid         bool     `json:"valid"`
+	Incompat      string   `json:"incompat,omitempty"`
+	IncompatCount int      `json:"incompat_count,omitempty"`
+	TComp         string   `json:"t_comp"`
+	TNoC          []string `json:"t_noc"`
+	TDMA          string   `json:"t_dma"`
+	TDMAOp        []string `json:"t_dma_op"`
+	Cycles        string   `json:"cycles"`
+	PEsUsed       int      `json:"pes_used"`
+	DataOffchip   []string `json:"data_offchip"`
+	DataNoC       []string `json:"data_noc"`
+	NoCGroups     []int    `json:"noc_groups"`
+	NoCBytesPG    []string `json:"noc_bytes_per_group"`
+	VirtNeeded    []int    `json:"virt_needed"`
+	DataRF        []string `json:"data_rf"`
+	DataSPM       []string `json:"data_spm"`
+	ReuseRF       []string `json:"reuse_rf"`
+	ReuseSPM      []string `json:"reuse_spm"`
+	MACs          string   `json:"macs"`
+}
+
+// formatF and parseF are the bit-exact float codec (shared convention with
+// internal/checkpoint).
+func formatF(v float64) string         { return strconv.FormatFloat(v, 'x', -1, 64) }
+func parseF(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+func encodeFloats(vs []float64) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = formatF(v)
+	}
+	return out
+}
+
+func decodeFloats(ss []string, want int) ([]float64, error) {
+	if len(ss) != want {
+		return nil, fmt.Errorf("float array has %d elements, want %d", len(ss), want)
+	}
+	out := make([]float64, want)
+	for i, s := range ss {
+		v, err := parseF(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func decodeInts(vs []int, want int) ([]int, error) {
+	if len(vs) != want {
+		return nil, fmt.Errorf("int array has %d elements, want %d", len(vs), want)
+	}
+	return vs, nil
+}
+
+// nOps and nTensors are the fixed array widths of perf.Breakdown, pinned
+// here so a dimensionality change shows up as a decode failure (and a
+// ModelVersion change) rather than a silent reinterpretation.
+const (
+	nOps     = len(perf.Breakdown{}.TNoC)
+	nTensors = len(perf.Breakdown{}.DataRF)
+)
+
+// encode renders a record as one CRC'd JSONL line (newline included).
+func encode(key Key, ent Entry, version string) ([]byte, error) {
+	we := wireEntry{
+		Found:        ent.Found,
+		DRAMStat:     int(ent.Mapping.DRAMStationary),
+		NoCStat:      int(ent.Mapping.NoCStationary),
+		Trials:       ent.Trials,
+		CostCalls:    ent.CostCalls,
+		LBPruned:     ent.LBPruned,
+		WarmFallback: ent.WarmFallback,
+	}
+	we.F = make([][]int, mapping.NumDims)
+	for d := 0; d < int(mapping.NumDims); d++ {
+		we.F[d] = make([]int, mapping.NumLevels)
+		for l := 0; l < int(mapping.NumLevels); l++ {
+			we.F[d][l] = ent.Mapping.F[d][l]
+		}
+	}
+	b := ent.Perf
+	we.Perf = wireBreak{
+		Valid:         b.Valid,
+		Incompat:      b.Incompat,
+		IncompatCount: b.IncompatCount,
+		TComp:         formatF(b.TComp),
+		TNoC:          encodeFloats(b.TNoC[:]),
+		TDMA:          formatF(b.TDMA),
+		TDMAOp:        encodeFloats(b.TDMAOp[:]),
+		Cycles:        formatF(b.Cycles),
+		PEsUsed:       b.PEsUsed,
+		DataOffchip:   encodeFloats(b.DataOffchip[:]),
+		DataNoC:       encodeFloats(b.DataNoC[:]),
+		NoCGroups:     append([]int(nil), b.NoCGroups[:]...),
+		NoCBytesPG:    encodeFloats(b.NoCBytesPerGroup[:]),
+		VirtNeeded:    append([]int(nil), b.VirtNeeded[:]...),
+		DataRF:        encodeFloats(b.DataRF[:]),
+		DataSPM:       encodeFloats(b.DataSPM[:]),
+		ReuseRF:       encodeFloats(b.ReuseAvailRF[:]),
+		ReuseSPM:      encodeFloats(b.ReuseAvailSPM[:]),
+		MACs:          formatF(b.MACs),
+	}
+	data, err := json.Marshal(wireRecord{
+		V:      version,
+		Shape:  key.Shape,
+		Sub:    key.Sub,
+		Mode:   key.Mode,
+		Budget: key.Trials,
+		Salt:   key.Salt,
+		Entry:  we,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []byte(fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(data), data)), nil
+}
+
+// decode parses one line (without its newline), verifying the CRC before
+// trusting anything in the payload.
+func decode(text string) (Key, Entry, string, error) {
+	fail := func(err error) (Key, Entry, string, error) {
+		return Key{}, Entry{}, "", err
+	}
+	if len(text) < 9 || text[8] != ' ' {
+		return fail(fmt.Errorf("malformed line %q", truncateForErr(text)))
+	}
+	want, err := strconv.ParseUint(text[:8], 16, 32)
+	if err != nil {
+		return fail(fmt.Errorf("bad CRC field: %w", err))
+	}
+	payload := text[9:]
+	if got := crc32.ChecksumIEEE([]byte(payload)); got != uint32(want) {
+		return fail(fmt.Errorf("CRC mismatch (want %08x, got %08x)", want, got))
+	}
+	var w wireRecord
+	if err := json.Unmarshal([]byte(payload), &w); err != nil {
+		return fail(fmt.Errorf("bad JSON: %w", err))
+	}
+	key := Key{Shape: w.Shape, Sub: w.Sub, Mode: w.Mode, Trials: w.Budget, Salt: w.Salt}
+	ent := Entry{
+		Found:        w.Entry.Found,
+		Trials:       w.Entry.Trials,
+		CostCalls:    w.Entry.CostCalls,
+		LBPruned:     w.Entry.LBPruned,
+		WarmFallback: w.Entry.WarmFallback,
+	}
+	if len(w.Entry.F) != int(mapping.NumDims) {
+		return fail(fmt.Errorf("mapping has %d dims, want %d", len(w.Entry.F), mapping.NumDims))
+	}
+	for d := range w.Entry.F {
+		if len(w.Entry.F[d]) != int(mapping.NumLevels) {
+			return fail(fmt.Errorf("mapping dim %d has %d levels, want %d", d, len(w.Entry.F[d]), mapping.NumLevels))
+		}
+		for l := range w.Entry.F[d] {
+			ent.Mapping.F[d][l] = w.Entry.F[d][l]
+		}
+	}
+	if w.Entry.DRAMStat < 0 || w.Entry.DRAMStat >= int(mapping.NumTensors) ||
+		w.Entry.NoCStat < 0 || w.Entry.NoCStat >= int(mapping.NumTensors) {
+		return fail(fmt.Errorf("stationary tensor out of range"))
+	}
+	ent.Mapping.DRAMStationary = mapping.Tensor(w.Entry.DRAMStat)
+	ent.Mapping.NoCStationary = mapping.Tensor(w.Entry.NoCStat)
+
+	wb := w.Entry.Perf
+	b := &ent.Perf
+	b.Valid, b.Incompat, b.IncompatCount, b.PEsUsed = wb.Valid, wb.Incompat, wb.IncompatCount, wb.PEsUsed
+	if b.TComp, err = parseF(wb.TComp); err != nil {
+		return fail(err)
+	}
+	if b.TDMA, err = parseF(wb.TDMA); err != nil {
+		return fail(err)
+	}
+	if b.Cycles, err = parseF(wb.Cycles); err != nil {
+		return fail(err)
+	}
+	if b.MACs, err = parseF(wb.MACs); err != nil {
+		return fail(err)
+	}
+	for _, arr := range []struct {
+		dst []float64
+		src []string
+	}{
+		{b.TNoC[:], wb.TNoC}, {b.TDMAOp[:], wb.TDMAOp},
+		{b.DataOffchip[:], wb.DataOffchip}, {b.DataNoC[:], wb.DataNoC},
+		{b.NoCBytesPerGroup[:], wb.NoCBytesPG},
+	} {
+		vs, err := decodeFloats(arr.src, nOps)
+		if err != nil {
+			return fail(err)
+		}
+		copy(arr.dst, vs)
+	}
+	for _, arr := range []struct {
+		dst []float64
+		src []string
+	}{
+		{b.DataRF[:], wb.DataRF}, {b.DataSPM[:], wb.DataSPM},
+		{b.ReuseAvailRF[:], wb.ReuseRF}, {b.ReuseAvailSPM[:], wb.ReuseSPM},
+	} {
+		vs, err := decodeFloats(arr.src, nTensors)
+		if err != nil {
+			return fail(err)
+		}
+		copy(arr.dst, vs)
+	}
+	groups, err := decodeInts(wb.NoCGroups, nOps)
+	if err != nil {
+		return fail(err)
+	}
+	copy(b.NoCGroups[:], groups)
+	virt, err := decodeInts(wb.VirtNeeded, nOps)
+	if err != nil {
+		return fail(err)
+	}
+	copy(b.VirtNeeded[:], virt)
+	return key, ent, w.V, nil
+}
+
+// truncateForErr bounds corrupt-line excerpts embedded in error messages.
+func truncateForErr(s string) string {
+	if len(s) > 40 {
+		return s[:40] + "…"
+	}
+	return s
+}

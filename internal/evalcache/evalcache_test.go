@@ -1,0 +1,312 @@
+package evalcache
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"xdse/internal/mapping"
+	"xdse/internal/perf"
+)
+
+// testEntry builds an entry whose floats exercise the bit-exact codec:
+// non-terminating binary expansions, extremes, and subnormals.
+func testEntry(seed int) Entry {
+	ent := Entry{
+		Found:     true,
+		Trials:    100 + seed,
+		CostCalls: 40 + seed,
+		LBPruned:  7,
+	}
+	for d := 0; d < int(mapping.NumDims); d++ {
+		for l := 0; l < int(mapping.NumLevels); l++ {
+			ent.Mapping.F[d][l] = 1 + (d+l+seed)%5
+		}
+	}
+	ent.Mapping.DRAMStationary = mapping.Tensor(seed % int(mapping.NumTensors))
+	ent.Mapping.NoCStationary = mapping.Tensor((seed + 1) % int(mapping.NumTensors))
+
+	b := &ent.Perf
+	b.Valid = true
+	b.TComp = 1.0/3.0 + float64(seed)
+	b.TDMA = math.Pi * float64(seed+1)
+	b.Cycles = math.MaxFloat64 / 2
+	b.MACs = 5e-324 // smallest subnormal
+	b.PEsUsed = 64
+	for i := range b.TNoC {
+		b.TNoC[i] = 0.1 * float64(i+seed)
+		b.TDMAOp[i] = 0.7 / float64(i+1)
+		b.DataOffchip[i] = float64(i) + 1.0/7.0
+		b.DataNoC[i] = float64(i) * math.Sqrt2
+		b.NoCGroups[i] = i + seed
+		b.NoCBytesPerGroup[i] = 1024.5 * float64(i)
+		b.VirtNeeded[i] = i
+	}
+	for i := range b.DataRF {
+		b.DataRF[i] = 1e-9 * float64(i+1)
+		b.DataSPM[i] = 1e9 + float64(i)
+		b.ReuseAvailRF[i] = float64(i) / 3.0
+		b.ReuseAvailSPM[i] = float64(i) / 9.0
+	}
+	return ent
+}
+
+func testKey(i int) Key {
+	return Key{Shape: "1|3,3,64,64,56,56|1", Sub: "sub", Mode: "pruned-mappings", Trials: 500, Salt: int64(i)}
+}
+
+func TestRoundTripBitExact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: "v-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]Entry{}
+	for i := 0; i < 5; i++ {
+		want[i] = testEntry(i)
+		s.Put(testKey(i), want[i])
+	}
+	// A fresh store over the same directory must reproduce every field
+	// bit-for-bit from disk alone.
+	s2, err := Open(dir, Options{Version: "v-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 5 {
+		t.Fatalf("reopened store has %d records, want 5", s2.Len())
+	}
+	for i := 0; i < 5; i++ {
+		got, ok := s2.Get(testKey(i))
+		if !ok {
+			t.Fatalf("key %d missing after reopen", i)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("key %d: round trip not bit-exact:\n got  %+v\n want %+v", i, got, want[i])
+		}
+	}
+}
+
+func TestDuplicatePutIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: "v-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(testKey(0), testEntry(0))
+	s.Put(testKey(0), testEntry(0))
+	if got := s.Metrics().Counter("evalcache_records_written_total").Value(); got != 1 {
+		t.Errorf("writes = %d, want 1 (duplicate Put must not re-append)", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+// TestCorruptRecordIsMissNeverWrong flips bytes in one record and checks the
+// contract: that record degrades to a miss, every other record still loads,
+// and the damage is compacted away so the next open is clean.
+func TestCorruptRecordIsMissNeverWrong(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: "v-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		s.Put(testKey(i), testEntry(i))
+	}
+	path := filepath.Join(dir, dataFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	// Corrupt the middle record's payload (CRC now mismatches).
+	mid := []byte(lines[1])
+	mid[len(mid)/2] ^= 0xFF
+	lines[1] = string(mid)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{Version: "v-test"})
+	if err != nil {
+		t.Fatalf("open over corrupt file must succeed, got %v", err)
+	}
+	if got := s2.Metrics().Counter("evalcache_corrupt_records_total").Value(); got != 1 {
+		t.Errorf("corrupt counter = %d, want 1", got)
+	}
+	if _, ok := s2.Get(testKey(1)); ok {
+		t.Error("corrupted record served as a hit")
+	}
+	for _, i := range []int{0, 2} {
+		got, ok := s2.Get(testKey(i))
+		if !ok {
+			t.Fatalf("intact record %d lost", i)
+		}
+		if !reflect.DeepEqual(got, testEntry(i)) {
+			t.Errorf("intact record %d altered by recovery", i)
+		}
+	}
+	// Compaction rewrote the file: a third open sees no corruption.
+	s3, err := Open(dir, Options{Version: "v-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.Metrics().Counter("evalcache_corrupt_records_total").Value(); got != 0 {
+		t.Errorf("corruption not compacted away: counter = %d after reopen", got)
+	}
+	if s3.Len() != 2 {
+		t.Errorf("compacted store has %d records, want 2", s3.Len())
+	}
+}
+
+// TestTornTailLosesOnlyLastRecord simulates a writer killed mid-append.
+func TestTornTailLosesOnlyLastRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: "v-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		s.Put(testKey(i), testEntry(i))
+	}
+	path := filepath.Join(dir, dataFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{Version: "v-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("torn tail: %d records survive, want 2", s2.Len())
+	}
+	if _, ok := s2.Get(testKey(2)); ok {
+		t.Error("torn record served as a hit")
+	}
+}
+
+// TestStaleVersionRetired checks that records written under another
+// cost-model version read as misses and are physically retired.
+func TestStaleVersionRetired(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: "model-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(testKey(0), testEntry(0))
+
+	s2, err := Open(dir, Options{Version: "model-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 0 {
+		t.Fatalf("stale records loaded: Len = %d", s2.Len())
+	}
+	if got := s2.Metrics().Counter("evalcache_stale_records_total").Value(); got != 1 {
+		t.Errorf("stale counter = %d, want 1", got)
+	}
+	// The model-b open compacted the model-a record out of the file.
+	s3, err := Open(dir, Options{Version: "model-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Len() != 0 {
+		t.Errorf("retired record resurrected: Len = %d", s3.Len())
+	}
+}
+
+func TestDefaultVersionIsModelVersion(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != perf.ModelVersion() {
+		t.Errorf("default version = %q, want perf.ModelVersion() = %q", s.Version(), perf.ModelVersion())
+	}
+}
+
+// TestIndexBound checks the FIFO leak guard: the in-memory index stays within
+// MaxEntries while the file keeps everything for the next open.
+func TestIndexBound(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: "v-test", MaxEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Put(testKey(i), testEntry(i))
+	}
+	if s.Len() > 4 {
+		t.Errorf("bounded index holds %d entries, cap 4", s.Len())
+	}
+	if got := s.Metrics().Counter("evalcache_index_evictions_total").Value(); got != 6 {
+		t.Errorf("evictions = %d, want 6", got)
+	}
+	s2, err := Open(dir, Options{Version: "v-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 10 {
+		t.Errorf("reopen sees %d records, want all 10 (eviction is memory-only)", s2.Len())
+	}
+}
+
+// TestConcurrentStoresShareDirectory drives two Stores over one directory
+// from many goroutines — the cross-process contention shape, in-process so
+// the race detector can see it — then proves the resulting file is fully
+// intact: every record written by either store loads CRC-clean.
+func TestConcurrentStoresShareDirectory(t *testing.T) {
+	dir := t.TempDir()
+	sa, err := Open(dir, Options{Version: "v-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Open(dir, Options{Version: "v-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perStore = 20
+	var wg sync.WaitGroup
+	for g, s := range []*Store{sa, sb} {
+		wg.Add(1)
+		go func(g int, s *Store) {
+			defer wg.Done()
+			for i := 0; i < perStore; i++ {
+				s.Put(testKey(g*1000+i), testEntry(i))
+				s.Get(testKey(i))
+			}
+		}(g, s)
+	}
+	wg.Wait()
+
+	s2, err := Open(dir, Options{Version: "v-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Metrics().Counter("evalcache_corrupt_records_total").Value(); got != 0 {
+		t.Errorf("concurrent appends corrupted %d records", got)
+	}
+	if s2.Len() != 2*perStore {
+		t.Errorf("reopen sees %d records, want %d", s2.Len(), 2*perStore)
+	}
+	for g := 0; g < 2; g++ {
+		for i := 0; i < perStore; i++ {
+			got, ok := s2.Get(testKey(g*1000 + i))
+			if !ok {
+				t.Fatalf("record (%d,%d) lost under concurrency", g, i)
+			}
+			if !reflect.DeepEqual(got, testEntry(i)) {
+				t.Fatalf("record (%d,%d) altered under concurrency", g, i)
+			}
+		}
+	}
+}

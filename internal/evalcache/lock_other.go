@@ -1,0 +1,17 @@
+//go:build !unix
+
+package evalcache
+
+import "os"
+
+// lockedFile on platforms without flock(2) degrades to in-process-only
+// exclusion (the Store's mutex): concurrent writers in other processes may
+// interleave appends, which the per-record CRC detects and load degrades to
+// misses — slower, never wrong.
+func lockedFile(path string) (func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return func() { f.Close() }, nil
+}

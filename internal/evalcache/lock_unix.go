@@ -1,0 +1,28 @@
+//go:build unix
+
+package evalcache
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockedFile takes the advisory cross-process lock: an exclusive flock(2) on
+// a dedicated lock file (never the data file, whose inode changes under
+// compaction). It blocks until the lock is granted and returns the unlock
+// function. flock is per open-file-description, so two Stores in one process
+// contend exactly like two processes do.
+func lockedFile(path string) (func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN) //nolint:errcheck // close releases it regardless
+		f.Close()
+	}, nil
+}

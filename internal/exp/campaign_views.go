@@ -137,10 +137,10 @@ func ReportEvalStats(cfg Config, c *Campaign) {
 	w := cfg.out()
 	fmt.Fprintf(w, "\n== Evaluation-layer stats (summed over models) ==\n")
 	tb := newTable("Technique", "Evals", "CacheHits", "Evict", "InflightDedup",
-		"LayerHits", "WarmProbes", "MapTrials", "CostCalls", "EvalWall",
+		"LayerHits", "PersistHits", "WarmProbes", "MapTrials", "CostCalls", "EvalWall",
 		"Batches", "BatchPts", "Repeats", "Panics")
 	for _, tech := range techniqueOrder(c) {
-		var evals, hits, evict, dedups, lhits, probes, repeats, panics int
+		var evals, hits, evict, dedups, lhits, phits, probes, repeats, panics int
 		var trials, costCalls, batches, pts int64
 		var wall time.Duration
 		for _, r := range c.Runs {
@@ -152,6 +152,7 @@ func ReportEvalStats(cfg Config, c *Campaign) {
 			evict += r.Stats.Evictions
 			dedups += r.Stats.InflightDedups
 			lhits += r.Stats.LayerHits
+			phits += r.Stats.PersistHits
 			probes += r.Stats.WarmProbes
 			trials += r.Stats.MapTrials
 			costCalls += r.Stats.CostCalls
@@ -167,6 +168,7 @@ func ReportEvalStats(cfg Config, c *Campaign) {
 			fmt.Sprintf("%d", evict),
 			fmt.Sprintf("%d", dedups),
 			fmt.Sprintf("%d", lhits),
+			fmt.Sprintf("%d", phits),
 			fmt.Sprintf("%d", probes),
 			fmt.Sprintf("%d", trials),
 			fmt.Sprintf("%d", costCalls),

@@ -21,6 +21,7 @@ import (
 	"xdse/internal/checkpoint"
 	"xdse/internal/dse"
 	"xdse/internal/eval"
+	"xdse/internal/evalcache"
 	"xdse/internal/obs"
 	"xdse/internal/opt"
 	"xdse/internal/search"
@@ -86,6 +87,16 @@ type Config struct {
 	// Metrics, when non-nil, accumulates every run's evaluator metrics
 	// (counters and latency histograms), merged across the campaign.
 	Metrics *obs.Registry
+	// CacheDir, when non-empty, persists every layer-search outcome to the
+	// cross-run content-addressed store under this directory (see
+	// internal/evalcache): a second campaign sharing the directory answers
+	// repeated layer searches from disk with bit-identical traces.
+	// RunCampaign opens the store once and shares it across runs; a direct
+	// RunOne call opens its own.
+	CacheDir string
+	// Cache, when non-nil, is an already-open persistent store shared by
+	// every run (the serve daemon injects its own); CacheDir is ignored.
+	Cache *evalcache.Store
 }
 
 // Default returns the reduced-budget configuration.
@@ -241,16 +252,18 @@ func RunOne(ctx context.Context, cfg Config, tech Technique, model *workload.Mod
 	space := arch.EdgeSpace()
 	cons := eval.EdgeConstraints()
 	ev := eval.New(eval.Config{
-		Space:       space,
-		Models:      []*workload.Model{model},
-		Constraints: cons,
-		Mode:        tech.Mode,
-		MapTrials:   cfg.MapTrials,
-		Seed:        cfg.Seed,
-		Workers:     cfg.Workers,
-		EvalTimeout: cfg.EvalTimeout,
-		Faults:      cfg.Faults,
-		Retry:       cfg.Retry,
+		Space:        space,
+		Models:       []*workload.Model{model},
+		Constraints:  cons,
+		Mode:         tech.Mode,
+		MapTrials:    cfg.MapTrials,
+		Seed:         cfg.Seed,
+		Workers:      cfg.Workers,
+		EvalTimeout:  cfg.EvalTimeout,
+		Faults:       cfg.Faults,
+		Retry:        cfg.Retry,
+		CacheDir:     cfg.CacheDir,
+		PersistCache: cfg.Cache,
 	})
 	o := tech.Make(space, cons)
 	run := Run{Technique: tech.Name, Model: model.Name, Mode: tech.Mode}
@@ -358,6 +371,26 @@ func (c *Campaign) Get(tech, model string) *Run {
 func RunCampaign(ctx context.Context, cfg Config, techs []Technique, models []*workload.Model, budget int) *Campaign {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if cfg.Cache == nil && cfg.CacheDir != "" {
+		// Open the persistent store once and share it across every run, so
+		// repeated layer searches within the campaign hit its in-memory
+		// index and the journal is loaded a single time. Registering the
+		// campaign's metrics registry (when attached) surfaces the store's
+		// load/corruption counters alongside the evaluator counters. An
+		// unopenable store degrades to an uncached campaign, never a
+		// failure.
+		store, err := evalcache.Open(cfg.CacheDir, evalcache.Options{
+			Registry: cfg.Metrics,
+			Warnf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "exp: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "exp: persistent cache %s unavailable, running uncached: %v\n", cfg.CacheDir, err)
+		} else {
+			cfg.Cache = store
+		}
 	}
 	type job struct {
 		tech   Technique

@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xdse/internal/eval"
+	"xdse/internal/obs"
+	"xdse/internal/workload"
+)
+
+// persistTechs covers all three mapper modes with one cheap technique each.
+func persistTechs() []Technique {
+	var out []Technique
+	seen := map[eval.MapperMode]bool{}
+	for _, tech := range AllTechniques() {
+		if tech.Name == "RandomSearch-FixDF" || tech.Name == "RandomSearch-Codesign" ||
+			tech.Name == "ExplainableDSE-Codesign" {
+			if !seen[tech.Mode] {
+				seen[tech.Mode] = true
+				out = append(out, tech)
+			}
+		}
+	}
+	return out
+}
+
+// TestPersistentCacheFingerprintIdentical is the end-to-end acceptance
+// criterion: a second campaign sharing the cache directory must produce
+// trace fingerprints bit-identical to the first — the persist-hit path is
+// indistinguishable from a cold run — in all three mapper modes, while
+// answering at least half its layer searches from the store.
+func TestPersistentCacheFingerprintIdentical(t *testing.T) {
+	model := workload.ResNet18()
+	for _, tech := range persistTechs() {
+		t.Run(tech.Name, func(t *testing.T) {
+			dir := t.TempDir()
+			var buf bytes.Buffer
+			cfg := tinyConfig(&buf)
+			cfg.CacheDir = dir
+
+			cold := RunOne(context.Background(), cfg, tech, model, 0)
+			if cold.Err != "" {
+				t.Fatalf("cold run failed: %s", cold.Err)
+			}
+			if cold.Stats.PersistWrites == 0 {
+				t.Fatal("cold run persisted nothing")
+			}
+
+			warm := RunOne(context.Background(), cfg, tech, model, 0)
+			if warm.Trace.Fingerprint() != cold.Trace.Fingerprint() {
+				t.Fatalf("persist-hit run diverged from cold run:\ncold %s\nwarm %s",
+					cold.Trace.Fingerprint(), warm.Trace.Fingerprint())
+			}
+			st := warm.Stats
+			if st.PersistHits == 0 {
+				t.Fatal("warm run produced no persistent-cache hits")
+			}
+			if st.PersistHits < st.PersistMisses {
+				t.Errorf("store answered %d of %d lookups, want >= half",
+					st.PersistHits, st.PersistHits+st.PersistMisses)
+			}
+		})
+	}
+}
+
+// TestCampaignSharesOneStore checks that RunCampaign opens the store once,
+// repeated (technique, model) searches across runs hit it, and its counters
+// land in the campaign's metrics registry.
+func TestCampaignSharesOneStore(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.CacheDir = dir
+	cfg.Metrics = obs.NewRegistry()
+	techs := persistTechs()[:1]
+	models := []*workload.Model{workload.ResNet18()}
+
+	first := RunCampaign(context.Background(), cfg, techs, models, 0)
+	fp := first.Runs[0].Trace.Fingerprint()
+	if _, err := os.Stat(filepath.Join(dir, "evalcache.jsonl")); err != nil {
+		t.Fatalf("campaign wrote no cache file: %v", err)
+	}
+
+	cfg2 := tinyConfig(&buf)
+	cfg2.CacheDir = dir
+	cfg2.Metrics = obs.NewRegistry()
+	second := RunCampaign(context.Background(), cfg2, techs, models, 0)
+	if second.Runs[0].Trace.Fingerprint() != fp {
+		t.Fatal("second campaign's fingerprint differs from the first's")
+	}
+	if second.Runs[0].Stats.PersistHits == 0 {
+		t.Fatal("second campaign never hit the shared store")
+	}
+	if cfg2.Metrics.Counter("evalcache_records_loaded_total").Value() == 0 {
+		t.Error("store counters missing from the campaign metrics registry")
+	}
+}

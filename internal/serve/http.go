@@ -68,6 +68,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		// An oversized body is the client exceeding the request cap, not a
+		// malformed spec: 413 tells it to shrink the payload, not fix JSON.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge, "job spec exceeds %d-byte limit", mbe.Limit)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "parse job spec: %v", err)
 		return
 	}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"xdse/internal/eval"
+	"xdse/internal/evalcache"
 	"xdse/internal/exp"
 	"xdse/internal/obs"
 	"xdse/internal/workload"
@@ -80,6 +81,12 @@ type Options struct {
 	// policy — the chaos hook the resilience tests and the serve-smoke CI
 	// job drive. Production deployments leave it nil.
 	Faults func(id string, spec JobSpec) *eval.FaultPolicy
+	// CacheDir, when non-empty, opens the cross-run persistent evaluation
+	// store (internal/evalcache) there and shares it across every job: a
+	// resubmitted or related job answers repeated layer searches from disk
+	// with bit-identical results. An unopenable store is reported through
+	// Warnf and the daemon runs uncached.
+	CacheDir string
 	// Warnf receives non-fatal service warnings (default: stderr).
 	Warnf func(format string, args ...any)
 }
@@ -125,6 +132,8 @@ type Server struct {
 
 	drainCtx    context.Context // parent of every job context; cancelled by Drain
 	drainCancel context.CancelCauseFunc
+
+	cache *evalcache.Store // shared cross-run store (nil when CacheDir unset)
 
 	mu        sync.Mutex
 	jobs      map[string]*Job
@@ -178,6 +187,14 @@ func New(opts Options) (*Server, error) {
 		stop:  make(chan struct{}),
 	}
 	s.drainCtx, s.drainCancel = context.WithCancelCause(context.Background())
+	if opts.CacheDir != "" {
+		store, err := evalcache.Open(opts.CacheDir, evalcache.Options{Warnf: opts.Warnf})
+		if err != nil {
+			opts.Warnf("persistent cache %s unavailable, running uncached: %v", opts.CacheDir, err)
+		} else {
+			s.cache = store
+		}
+	}
 	if err := s.rescan(); err != nil {
 		return nil, err
 	}
@@ -445,6 +462,7 @@ func (s *Server) jobConfig(j *Job) exp.Config {
 	cfg.EvalTimeout = s.opts.EvalTimeout
 	cfg.Retry = s.opts.Retry
 	cfg.Metrics = s.jobsReg
+	cfg.Cache = s.cache
 	if s.opts.Faults != nil {
 		cfg.Faults = s.opts.Faults(j.ID, j.Spec)
 	}
@@ -541,5 +559,8 @@ func (s *Server) mergedMetrics() *obs.Registry {
 	m := obs.NewRegistry()
 	m.Merge(s.reg)
 	m.Merge(s.jobsReg)
+	if s.cache != nil {
+		m.Merge(s.cache.Metrics())
+	}
 	return m
 }
