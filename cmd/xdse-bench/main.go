@@ -39,14 +39,21 @@ type Record struct {
 	CPUs      int    `json:"cpus"`
 
 	// Full-design evaluation over the repeated-sub-key campaign.
-	EvaluateDesignColdNsOp int64   `json:"evaluate_design_cold_ns_op"`
-	EvaluateDesignWarmNsOp int64   `json:"evaluate_design_warm_ns_op"`
-	EvaluateDesignSpeedup  float64 `json:"evaluate_design_speedup"`
+	EvaluateDesignColdNsOp     int64   `json:"evaluate_design_cold_ns_op"`
+	EvaluateDesignWarmNsOp     int64   `json:"evaluate_design_warm_ns_op"`
+	EvaluateDesignSpeedup      float64 `json:"evaluate_design_speedup"`
+	EvaluateDesignWarmAllocsOp int64   `json:"evaluate_design_warm_allocs_op"`
 
 	// Single-layer pruned enumeration, cold vs lower-bound+incumbent.
-	EnumerateColdNsOp int64   `json:"enumerate_pruned_cold_ns_op"`
-	EnumerateWarmNsOp int64   `json:"enumerate_pruned_warm_ns_op"`
-	EnumerateSpeedup  float64 `json:"enumerate_pruned_speedup"`
+	EnumerateColdNsOp     int64   `json:"enumerate_pruned_cold_ns_op"`
+	EnumerateWarmNsOp     int64   `json:"enumerate_pruned_warm_ns_op"`
+	EnumerateSpeedup      float64 `json:"enumerate_pruned_speedup"`
+	EnumerateColdAllocsOp int64   `json:"enumerate_pruned_cold_allocs_op"`
+
+	// Tier-1 fast path: one EvaluateCycles call on a warm EvalContext (the
+	// enumeration inner loop's unit of work). AllocsOp must stay 0.
+	FastPathNsOp     int64 `json:"fastpath_ns_op"`
+	FastPathAllocsOp int64 `json:"fastpath_allocs_op"`
 
 	// Cache behavior on the warm campaign.
 	LayerHits     int   `json:"layer_hits"`
@@ -54,6 +61,7 @@ type Record struct {
 	WarmProbes    int   `json:"warm_probes"`
 	WarmFallbacks int   `json:"warm_fallbacks"`
 	CostCalls     int64 `json:"cost_calls"`
+	FullEvals     int64 `json:"full_evals"`
 	LBPruned      int64 `json:"lb_pruned"`
 	MapTrials     int64 `json:"map_trials"`
 
@@ -114,6 +122,7 @@ func evalConfig(s *arch.Space, cold bool, cacheDir string) eval.Config {
 func benchEvaluateDesign(ctx context.Context, s *arch.Space, pts []arch.Point, cold bool, cacheDir string) (testing.BenchmarkResult, eval.Stats) {
 	var stats eval.Stats
 	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			e := eval.New(evalConfig(s, cold, cacheDir))
 			for _, pt := range pts {
@@ -127,7 +136,9 @@ func benchEvaluateDesign(ctx context.Context, s *arch.Space, pts []arch.Point, c
 	return res, stats
 }
 
-func benchEnumerate(warm bool) testing.BenchmarkResult {
+// benchDesignLayer is the single (design, layer) pair of the enumeration and
+// fast-path micro-benchmarks.
+func benchDesignLayer() (arch.Design, workload.Layer) {
 	s := arch.EdgeSpace()
 	pt := s.Initial()
 	pt[arch.PPEs] = 2
@@ -136,28 +147,60 @@ func benchEnumerate(warm bool) testing.BenchmarkResult {
 	for op := 0; op < arch.NumOperands; op++ {
 		pt[arch.PVirt0+op] = 2
 	}
-	d := s.MustDecode(pt)
-	l := workload.ResNet18().Layers[1]
+	return s.MustDecode(pt), workload.ResNet18().Layers[1]
+}
+
+// benchFastPath times one Tier-1 EvaluateCycles call on a warm context —
+// the unit of work of the enumeration inner loop — rotating the stationary
+// orderings the way the enumerator does so the fill memo's hit path
+// dominates, as in production.
+func benchFastPath() testing.BenchmarkResult {
+	d, l := benchDesignLayer()
+	ctx := perf.NewContext(d, l)
+	res := mapping.EnumeratePruned(l, mapping.GenConfig{
+		PEs: d.PEs, L1Bytes: d.L1Bytes, L2Bytes: d.L2Bytes(), MinN: 10, MaxN: 200,
+	}, ctx.Cost())
+	m := res.Best
+	if !res.Found {
+		m = mapping.FixedOutputStationary(l, d.PEs, d.L1Bytes, d.L2Bytes())
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.DRAMStationary = mapping.Tensor(i % 3)
+			m.NoCStationary = mapping.Tensor((i / 3) % 3)
+			ctx.EvaluateCycles(&m)
+		}
+	})
+}
+
+func benchEnumerate(warm bool) testing.BenchmarkResult {
+	d, l := benchDesignLayer()
+	// One context per benchmark, as in production: internal/eval builds one
+	// EvalContext per layer search and reuses it across all trials.
+	ctx := perf.NewContext(d, l)
+	cost := ctx.Cost()
 	cfg := mapping.GenConfig{
 		PEs: d.PEs, L1Bytes: d.L1Bytes, L2Bytes: d.L2Bytes(),
-		MinN: 10, MaxN: 200, BaseValid: perf.ValidFn(d, l),
+		MinN: 10, MaxN: 200, BaseValid: ctx.Valid(),
 	}
 	var incumbent *mapping.Mapping
 	if warm {
-		coldRes := mapping.EnumeratePruned(l, cfg, perf.CostFn(d, l))
+		coldRes := mapping.EnumeratePruned(l, cfg, cost)
 		if coldRes.Found {
 			m := coldRes.Best
 			incumbent = &m
 		}
 	}
 	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			c := cfg
 			if warm {
 				c.CostLB = perf.CostLowerBoundFn(l)
 				c.Incumbent = incumbent
 			}
-			mapping.EnumeratePruned(l, c, perf.CostFn(d, l))
+			mapping.EnumeratePruned(l, c, cost)
 		}
 	})
 }
@@ -186,6 +229,8 @@ func main() {
 	outPath := flag.String("out", "BENCH_eval.json", "trajectory file to append the record to")
 	points := flag.Int("points", 24, "campaign size (design points per benchmark op)")
 	cacheDir := flag.String("cache-dir", "", "attach the persistent evaluation cache (internal/evalcache) under this directory to the warm campaign")
+	baseline := flag.String("baseline", "", "trajectory file to regression-check against (compares to its last record; non-zero exit on regression)")
+	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional warm-campaign slowdown vs the baseline record")
 	flag.Parse()
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -202,6 +247,8 @@ func main() {
 	exitIfInterrupted(ctx, *outPath)
 	enumWarm := benchEnumerate(true)
 	exitIfInterrupted(ctx, *outPath)
+	fastPath := benchFastPath()
+	exitIfInterrupted(ctx, *outPath)
 
 	rec := Record{
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
@@ -209,16 +256,21 @@ func main() {
 		GoVersion: runtime.Version(),
 		CPUs:      runtime.NumCPU(),
 
-		EvaluateDesignColdNsOp: coldRes.NsPerOp(),
-		EvaluateDesignWarmNsOp: warmRes.NsPerOp(),
-		EnumerateColdNsOp:      enumCold.NsPerOp(),
-		EnumerateWarmNsOp:      enumWarm.NsPerOp(),
+		EvaluateDesignColdNsOp:     coldRes.NsPerOp(),
+		EvaluateDesignWarmNsOp:     warmRes.NsPerOp(),
+		EvaluateDesignWarmAllocsOp: warmRes.AllocsPerOp(),
+		EnumerateColdNsOp:          enumCold.NsPerOp(),
+		EnumerateWarmNsOp:          enumWarm.NsPerOp(),
+		EnumerateColdAllocsOp:      enumCold.AllocsPerOp(),
+		FastPathNsOp:               fastPath.NsPerOp(),
+		FastPathAllocsOp:           fastPath.AllocsPerOp(),
 
 		LayerHits:     warmStats.LayerHits,
 		LayerMisses:   warmStats.LayerMisses,
 		WarmProbes:    warmStats.WarmProbes,
 		WarmFallbacks: warmStats.WarmFallbacks,
 		CostCalls:     warmStats.CostCalls,
+		FullEvals:     warmStats.FullEvals,
 		LBPruned:      warmStats.LBPruned,
 		MapTrials:     warmStats.MapTrials,
 
@@ -250,15 +302,59 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xdse-bench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("evaluate-design: cold %.1fms/op, warm %.1fms/op (%.2fx)\n",
-		float64(rec.EvaluateDesignColdNsOp)/1e6, float64(rec.EvaluateDesignWarmNsOp)/1e6, rec.EvaluateDesignSpeedup)
-	fmt.Printf("enumerate-pruned: cold %.1fus/op, warm %.1fus/op (%.2fx)\n",
-		float64(rec.EnumerateColdNsOp)/1e3, float64(rec.EnumerateWarmNsOp)/1e3, rec.EnumerateSpeedup)
-	fmt.Printf("layer cache: %d hits / %d misses, %d warm probes (%d fallbacks), cost calls %d of %d trials (%d lb-pruned)\n",
-		rec.LayerHits, rec.LayerMisses, rec.WarmProbes, rec.WarmFallbacks, rec.CostCalls, rec.MapTrials, rec.LBPruned)
+	fmt.Printf("evaluate-design: cold %.1fms/op, warm %.1fms/op (%.2fx), %d allocs/op warm\n",
+		float64(rec.EvaluateDesignColdNsOp)/1e6, float64(rec.EvaluateDesignWarmNsOp)/1e6,
+		rec.EvaluateDesignSpeedup, rec.EvaluateDesignWarmAllocsOp)
+	fmt.Printf("enumerate-pruned: cold %.1fus/op, warm %.1fus/op (%.2fx), %d allocs/op cold\n",
+		float64(rec.EnumerateColdNsOp)/1e3, float64(rec.EnumerateWarmNsOp)/1e3,
+		rec.EnumerateSpeedup, rec.EnumerateColdAllocsOp)
+	fmt.Printf("fast path: %dns/op, %d allocs/op\n", rec.FastPathNsOp, rec.FastPathAllocsOp)
+	fmt.Printf("layer cache: %d hits / %d misses, %d warm probes (%d fallbacks), cost calls %d of %d trials (%d lb-pruned), %d full evals\n",
+		rec.LayerHits, rec.LayerMisses, rec.WarmProbes, rec.WarmFallbacks, rec.CostCalls,
+		rec.MapTrials, rec.LBPruned, rec.FullEvals)
 	if *cacheDir != "" {
 		fmt.Printf("persistent cache: %d hits / %d misses, %d writes (%s)\n",
 			rec.PersistHits, rec.PersistMisses, rec.PersistWrites, *cacheDir)
 	}
 	fmt.Printf("appended record %d to %s\n", len(trajectory), *outPath)
+
+	if *baseline != "" {
+		if err := checkRegression(rec, *baseline, *maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "xdse-bench: REGRESSION: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("regression check vs %s passed (max allowed slowdown %.0f%%)\n", *baseline, *maxRegress*100)
+	}
+}
+
+// checkRegression gates the current record against the last record of the
+// committed baseline trajectory: the warm-campaign time may not slip more
+// than maxRegress past the baseline, and the enumeration inner loop must
+// stay allocation-free (any fast-path allocs/op is an immediate failure,
+// independent of timing noise).
+func checkRegression(rec Record, baselinePath string, maxRegress float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base []Record
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("baseline %s holds no records", baselinePath)
+	}
+	ref := base[len(base)-1]
+
+	if rec.FastPathAllocsOp != 0 {
+		return fmt.Errorf("fast path allocates %d times per call, want 0", rec.FastPathAllocsOp)
+	}
+	if ref.EvaluateDesignWarmNsOp > 0 {
+		limit := float64(ref.EvaluateDesignWarmNsOp) * (1 + maxRegress)
+		if float64(rec.EvaluateDesignWarmNsOp) > limit {
+			return fmt.Errorf("warm EvaluateDesign %.1fms/op exceeds baseline %.1fms/op by more than %.0f%%",
+				float64(rec.EvaluateDesignWarmNsOp)/1e6, float64(ref.EvaluateDesignWarmNsOp)/1e6, maxRegress*100)
+		}
+	}
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"xdse/internal/arch"
+	"xdse/internal/perf"
 	"xdse/internal/workload"
 )
 
@@ -63,15 +64,15 @@ func BenchmarkEvaluateLayer(b *testing.B) {
 		e := New(cfg)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			e.evaluateLayer(d, l, 1)
+			e.evaluateLayer(d, perf.MappingSubKey(d), l, 1)
 		}
 	})
 	b.Run("warm", func(b *testing.B) {
 		e := New(benchEvalConfig(s))
-		e.evaluateLayer(d, l, 1) // populate the cache
+		e.evaluateLayer(d, perf.MappingSubKey(d), l, 1) // populate the cache
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			e.evaluateLayer(d, l, 1)
+			e.evaluateLayer(d, perf.MappingSubKey(d), l, 1)
 		}
 	})
 }

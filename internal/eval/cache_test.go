@@ -331,3 +331,33 @@ func mappingFor(t *testing.T, d arch.Design, l workload.Layer) mapping.Mapping {
 	}
 	return res.Best
 }
+
+// TestTierSplitStats checks the two-tier accounting: a pruned-mode campaign
+// must report Tier-2 full evaluations (one per completed layer search) while
+// the overwhelming majority of perf-model work stays on the Tier-1 fast
+// path — FullEvals must be a small fraction of CostCalls.
+func TestTierSplitStats(t *testing.T) {
+	s := spaceWithDummyParam(2)
+	pts := campaignPoints(s, 6)
+	for _, mode := range []MapperMode{FixedDataflow, RandomMappings, PrunedMappings} {
+		e := New(cacheTestConfig(s, mode))
+		for _, pt := range pts {
+			e.Evaluate(pt)
+		}
+		st := e.Stats()
+		if st.FullEvals == 0 {
+			t.Errorf("%v: no Tier-2 full evaluations recorded", mode)
+		}
+		if mode == FixedDataflow {
+			continue // fixed dataflow makes no search cost calls
+		}
+		if st.CostCalls == 0 {
+			t.Errorf("%v: no Tier-1 cost calls recorded", mode)
+			continue
+		}
+		if st.FullEvals*10 > st.CostCalls {
+			t.Errorf("%v: FullEvals %d vs CostCalls %d — Tier 2 is not a small fraction of the work",
+				mode, st.FullEvals, st.CostCalls)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"xdse/internal/arch"
+	"xdse/internal/perf"
 	"xdse/internal/workload"
 )
 
@@ -96,7 +97,7 @@ func TestZeroFrequencyDesign(t *testing.T) {
 	e := newEval(FixedDataflow)
 	d := e.Config().Space.MustDecode(compatiblePoint(e.Config().Space))
 	d.FreqMHz = 0
-	me := e.evaluateModel(d, e.emodel.Estimate(d), workload.ResNet18())
+	me := e.evaluateModel(d, perf.MappingSubKey(d), e.emodel.Estimate(d), workload.ResNet18())
 	if !math.IsInf(me.LatencyMs, 1) {
 		t.Fatalf("latency at 0 MHz = %v, want +Inf", me.LatencyMs)
 	}

@@ -301,7 +301,7 @@ type Evaluator struct {
 	lflights map[layerCacheKey]*layerFlight
 	lorder   []layerCacheKey
 	lhead    int
-	warm     map[string]mapping.Mapping
+	warm     map[string]warmEntry
 	worder   []string
 	whead    int
 
@@ -339,6 +339,7 @@ type Evaluator struct {
 	cWarmFalls  *obs.Counter
 	cWarmEvict  *obs.Counter
 	cCostCalls  *obs.Counter
+	cFullEvals  *obs.Counter
 	cLBPruned   *obs.Counter
 	cTrials     *obs.Counter
 	cWallNs     *obs.Counter
@@ -374,6 +375,17 @@ type layerEntry struct {
 	lbPruned     int
 	warmFallback bool
 	found        bool
+}
+
+// warmEntry is one record of the per-shape warm-start index: the best
+// mapping last found for the shape under any design sub-key, plus its full
+// breakdown on that design. The breakdown seeds the incremental warm-start
+// probe (perf.EvalContext.DeltaEvaluate): probing the incumbent on a new
+// design then recomputes only the factors downstream of the changed design
+// parameters instead of the whole cost tree.
+type warmEntry struct {
+	mapping mapping.Mapping
+	perf    perf.Breakdown
 }
 
 // layerFlight is one in-progress layer search other goroutines can wait on.
@@ -442,7 +454,16 @@ type Stats struct {
 	WarmEvictions int
 	// CostCalls is the total number of perf-model invocations made by
 	// mapping searches; with lower-bound pruning it trails MapTrials.
+	// Every one of these goes through the Tier-1 fast path
+	// (perf.EvalContext.EvaluateCycles), which reports cycles and validity
+	// only.
 	CostCalls int64
+	// FullEvals is the number of Tier-2 full-breakdown evaluations
+	// (perf.EvalContext.Evaluate): one per winning mapping, plus the
+	// fixed-dataflow analytical mappings. The Tier-1/Tier-2 split
+	// FullEvals/CostCalls is the fraction of perf-model work that pays for
+	// the complete per-operand factor tree.
+	FullEvals int64
 	// LBPruned counts mapping candidates whose cost call was skipped
 	// because a certified lower bound proved they could not win.
 	LBPruned int64
@@ -508,7 +529,7 @@ func New(cfg Config) *Evaluator {
 		seen:     make(map[string]bool),
 		lcache:   make(map[layerCacheKey]layerEntry),
 		lflights: make(map[layerCacheKey]*layerFlight),
-		warm:     make(map[string]mapping.Mapping),
+		warm:     make(map[string]warmEntry),
 		store:    store,
 		ownStore: ownStore,
 
@@ -533,6 +554,7 @@ func New(cfg Config) *Evaluator {
 		cWarmFalls:  reg.Counter("eval_warm_fallbacks_total"),
 		cWarmEvict:  reg.Counter("eval_warm_evictions_total"),
 		cCostCalls:  reg.Counter("eval_cost_calls_total"),
+		cFullEvals:  reg.Counter("eval_full_evaluations_total"),
 		cLBPruned:   reg.Counter("eval_lb_pruned_total"),
 		cTrials:     reg.Counter("eval_map_trials_total"),
 		cWallNs:     reg.Counter("eval_wall_ns_total"),
@@ -607,6 +629,7 @@ func (e *Evaluator) Stats() Stats {
 		WarmFallbacks:   int(e.cWarmFalls.Value()),
 		WarmEvictions:   int(e.cWarmEvict.Value()),
 		CostCalls:       e.cCostCalls.Value(),
+		FullEvals:       e.cFullEvals.Value(),
 		LBPruned:        e.cLBPruned.Value(),
 		MapTrials:       e.cTrials.Value(),
 		EvalWall:        time.Duration(e.cWallNs.Value()),
@@ -899,6 +922,10 @@ func (e *Evaluator) evaluate(ctx context.Context, pt arch.Point) *Result {
 	r.AreaMM2 = r.Energy.AreaMM2
 	r.PowerW = r.Energy.MaxPowerW
 
+	// The design sub-key is identical for every layer of every model, so
+	// build it once per design here rather than once per layerResult call
+	// (it was ~10% of a fully-warm campaign when rebuilt per layer).
+	sub := perf.MappingSubKey(d)
 	for _, mdl := range e.cfg.Models {
 		// Cancellation is honored at model granularity: a partial
 		// evaluation is abandoned wholesale (never cached), so there is
@@ -906,7 +933,7 @@ func (e *Evaluator) evaluate(ctx context.Context, pt arch.Point) *Result {
 		if ctx.Err() != nil {
 			return cancelledResult(pt, ctx.Err())
 		}
-		me := e.evaluateModel(d, r.Energy, mdl)
+		me := e.evaluateModel(d, sub, r.Energy, mdl)
 		r.MapEvaluations += sumTrials(me)
 		r.Models = append(r.Models, me)
 		r.LatencyMs += me.LatencyMs
@@ -934,7 +961,7 @@ func sumTrials(me ModelEval) int {
 	return t
 }
 
-func (e *Evaluator) evaluateModel(d arch.Design, est energy.Estimate, mdl *workload.Model) ModelEval {
+func (e *Evaluator) evaluateModel(d arch.Design, sub string, est energy.Estimate, mdl *workload.Model) ModelEval {
 	me := ModelEval{Model: mdl, Layers: make([]LayerEval, len(mdl.Layers))}
 
 	// Acquire the worker semaphore before spawning so at most Workers
@@ -961,7 +988,7 @@ func (e *Evaluator) evaluateModel(d arch.Design, est energy.Estimate, mdl *workl
 					panics[i] = rec
 				}
 			}()
-			me.Layers[i] = e.evaluateLayer(d, mdl.Layers[i], int64(i))
+			me.Layers[i] = e.evaluateLayer(d, sub, mdl.Layers[i], int64(i))
 		}(i)
 	}
 	wg.Wait()
@@ -1005,9 +1032,9 @@ func (e *Evaluator) evaluateModel(d arch.Design, est energy.Estimate, mdl *workl
 	return me
 }
 
-func (e *Evaluator) evaluateLayer(d arch.Design, l workload.Layer, salt int64) LayerEval {
+func (e *Evaluator) evaluateLayer(d arch.Design, sub string, l workload.Layer, salt int64) LayerEval {
 	le := LayerEval{Layer: l}
-	ent := e.layerResult(d, l, salt)
+	ent := e.layerResult(d, sub, l, salt)
 	le.Mapping, le.Perf, le.MapTrials = ent.mapping, ent.perf, ent.trials
 	mult := l.Mult
 	if mult < 1 {
@@ -1024,14 +1051,14 @@ func (e *Evaluator) evaluateLayer(d arch.Design, l workload.Layer, salt int64) L
 // only then running the search — warm-started from the shape's
 // previously-best mapping when one is known. Every path returns bit-identical
 // search outcomes; only the cost-call counters differ.
-func (e *Evaluator) layerResult(d arch.Design, l workload.Layer, salt int64) layerEntry {
+func (e *Evaluator) layerResult(d arch.Design, sub string, l workload.Layer, salt int64) layerEntry {
 	if e.cfg.DisableLayerCache {
 		ent := e.timedSearchLayer(d, l, salt, nil)
 		e.cCostCalls.Add(int64(ent.costCalls))
 		e.cLBPruned.Add(int64(ent.lbPruned))
 		return ent
 	}
-	key := layerCacheKey{shape: l.ShapeKey(), sub: perf.MappingSubKey(d)}
+	key := layerCacheKey{shape: l.ShapeKey(), sub: sub}
 	if e.cfg.Mode == RandomMappings {
 		// The random search's rng is seeded from the layer index, so
 		// equal shapes at different indices draw different mappings.
@@ -1066,7 +1093,7 @@ func (e *Evaluator) layerResult(d arch.Design, l workload.Layer, salt int64) lay
 			e.mu.Lock()
 			e.storeLayer(key, ent)
 			if ent.found {
-				e.storeWarm(key.shape, ent.mapping)
+				e.storeWarm(key.shape, warmEntry{mapping: ent.mapping, perf: ent.perf})
 			}
 			delete(e.lflights, key)
 			e.mu.Unlock()
@@ -1080,11 +1107,10 @@ func (e *Evaluator) layerResult(d arch.Design, l workload.Layer, salt int64) lay
 
 	e.cLMisses.Inc()
 	e.mu.Lock()
-	var incumbent *mapping.Mapping
+	var incumbent *warmEntry
 	if e.cfg.Mode == PrunedMappings && e.cfg.WarmStart == WarmStrict {
-		if m, ok := e.warm[key.shape]; ok {
-			mm := m
-			incumbent = &mm
+		if we, ok := e.warm[key.shape]; ok {
+			incumbent = &we
 			e.cWarmProbes.Inc()
 		}
 	}
@@ -1108,7 +1134,7 @@ func (e *Evaluator) layerResult(d arch.Design, l workload.Layer, salt int64) lay
 	e.mu.Lock()
 	e.storeLayer(key, ent)
 	if ent.found {
-		e.storeWarm(key.shape, ent.mapping)
+		e.storeWarm(key.shape, warmEntry{mapping: ent.mapping, perf: ent.perf})
 	}
 	delete(e.lflights, key)
 	e.mu.Unlock()
@@ -1199,15 +1225,16 @@ func (e *Evaluator) storeLayer(key layerCacheKey, ent layerEntry) {
 	}
 }
 
-// storeWarm records a shape's latest best mapping in the warm-start index,
-// bounded FIFO by first insertion with the same cap as the layer cache so a
+// storeWarm records a shape's latest best mapping (and its breakdown, the
+// seed of the incremental warm-start probe) in the warm-start index, bounded
+// FIFO by first insertion with the same cap as the layer cache so a
 // long-running daemon streaming distinct shapes cannot grow it without
 // limit. Caller holds e.mu.
-func (e *Evaluator) storeWarm(shape string, m mapping.Mapping) {
+func (e *Evaluator) storeWarm(shape string, we warmEntry) {
 	if _, ok := e.warm[shape]; !ok {
 		e.worder = append(e.worder, shape)
 	}
-	e.warm[shape] = m
+	e.warm[shape] = we
 	for e.cacheCap > 0 && len(e.warm) > 8*e.cacheCap {
 		old := e.worder[e.whead]
 		e.whead++
@@ -1223,7 +1250,7 @@ func (e *Evaluator) storeWarm(shape string, m mapping.Mapping) {
 // timedSearchLayer is searchLayer with the mapping-search latency recorded
 // into the eval_layer_search_seconds histogram; cache hits and in-flight
 // joins never reach it, so the histogram measures real searches only.
-func (e *Evaluator) timedSearchLayer(d arch.Design, l workload.Layer, salt int64, incumbent *mapping.Mapping) layerEntry {
+func (e *Evaluator) timedSearchLayer(d arch.Design, l workload.Layer, salt int64, incumbent *warmEntry) layerEntry {
 	start := time.Now()
 	ent := e.searchLayer(d, l, salt, incumbent)
 	e.hLayer.ObserveDuration(time.Since(start))
@@ -1231,20 +1258,27 @@ func (e *Evaluator) timedSearchLayer(d arch.Design, l workload.Layer, salt int64
 }
 
 // searchLayer runs the configured mapping search for one layer on one
-// design. In PrunedMappings mode under WarmStrict the enumeration carries a
-// certified cost lower bound (and the warm-start incumbent when given);
-// WarmOff reproduces the fully-cold search.
-func (e *Evaluator) searchLayer(d arch.Design, l workload.Layer, salt int64, incumbent *mapping.Mapping) layerEntry {
+// design. It builds one perf.EvalContext for the (design, layer) pair: the
+// search inner loop runs on the context's Tier-1 fast path (cycles and
+// validity only, no allocation), and only the winning mapping pays for the
+// Tier-2 full breakdown. In PrunedMappings mode under WarmStrict the
+// enumeration carries a certified cost lower bound (and the warm-start
+// incumbent when given), with the incumbent probe answered incrementally
+// from its previous breakdown when one is on record; WarmOff reproduces the
+// fully-cold search.
+func (e *Evaluator) searchLayer(d arch.Design, l workload.Layer, salt int64, incumbent *warmEntry) layerEntry {
 	var ent layerEntry
+	ctx := perf.NewContext(d, l)
 	switch e.cfg.Mode {
 	case FixedDataflow:
 		ent.mapping = mapping.FixedOutputStationary(l, d.PEs, d.L1Bytes, d.L2Bytes())
-		ent.perf = perf.Evaluate(d, l, ent.mapping)
+		ent.perf = ctx.Evaluate(ent.mapping)
+		e.cFullEvals.Inc()
 		ent.trials, ent.costCalls, ent.found = 1, 1, true
 	case RandomMappings:
 		rng := rand.New(rand.NewSource(e.cfg.Seed*1_000_003 + salt))
-		res := mapping.RandomSearch(l, e.cfg.MapTrials, rng, perf.CostFn(d, l))
-		ent = e.fromSearch(d, l, res, "no valid mapping found by random search")
+		res := mapping.RandomSearch(l, e.cfg.MapTrials, rng, ctx.Cost())
+		ent = e.fromSearch(ctx, res, "no valid mapping found by random search")
 	case PrunedMappings:
 		cfg := mapping.GenConfig{
 			PEs:       d.PEs,
@@ -1252,21 +1286,37 @@ func (e *Evaluator) searchLayer(d arch.Design, l workload.Layer, salt int64, inc
 			L2Bytes:   d.L2Bytes(),
 			MinN:      10,
 			MaxN:      e.cfg.MapTrials,
-			BaseValid: perf.ValidFn(d, l),
+			BaseValid: ctx.Valid(),
 		}
 		if e.cfg.WarmStart == WarmStrict {
 			cfg.CostLB = perf.CostLowerBoundFn(l)
-			cfg.Incumbent = incumbent
+			if incumbent != nil {
+				m := incumbent.mapping
+				cfg.Incumbent = &m
+				if prev := incumbent.perf; prev.MACs > 0 {
+					// The incumbent's breakdown on its previous design
+					// answers the probe incrementally: DeltaEvaluate
+					// recomputes only the factors downstream of the
+					// design parameters that changed, bit-identical to
+					// a full evaluation (the strict contract's
+					// requirement on ProbeCost).
+					cfg.ProbeCost = func(pm *mapping.Mapping) (float64, bool) {
+						b := ctx.DeltaEvaluate(&prev, *pm)
+						return b.Cycles, b.Valid
+					}
+				}
+			}
 		}
-		res := mapping.EnumeratePruned(l, cfg, perf.CostFn(d, l))
-		ent = e.fromSearch(d, l, res, "no valid mapping in pruned space")
+		res := mapping.EnumeratePruned(l, cfg, ctx.Cost())
+		ent = e.fromSearch(ctx, res, "no valid mapping in pruned space")
 	}
 	return ent
 }
 
 // fromSearch converts a mapping-search result into a cacheable layer entry,
-// evaluating the winning mapping's full breakdown.
-func (e *Evaluator) fromSearch(d arch.Design, l workload.Layer, res mapping.Result, failMsg string) layerEntry {
+// evaluating the winning mapping's full Tier-2 breakdown on the search's
+// context.
+func (e *Evaluator) fromSearch(ctx *perf.EvalContext, res mapping.Result, failMsg string) layerEntry {
 	ent := layerEntry{
 		trials:       res.Evaluated,
 		costCalls:    res.CostCalls,
@@ -1276,7 +1326,8 @@ func (e *Evaluator) fromSearch(d arch.Design, l workload.Layer, res mapping.Resu
 	}
 	if res.Found {
 		ent.mapping = res.Best
-		ent.perf = perf.Evaluate(d, l, ent.mapping)
+		ent.perf = ctx.Evaluate(ent.mapping)
+		e.cFullEvals.Inc()
 	} else {
 		ent.perf.Incompat = failMsg
 	}

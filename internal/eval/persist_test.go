@@ -7,8 +7,6 @@ import (
 	"strings"
 	"sync"
 	"testing"
-
-	"xdse/internal/mapping"
 )
 
 // TestPersistCacheBitIdenticalAcrossRestart is the tentpole acceptance
@@ -201,10 +199,10 @@ func TestWarmIndexBounded(t *testing.T) {
 	cfg := cacheTestConfig(spaceWithDummyParam(2), PrunedMappings)
 	cfg.CacheCap = 1 // warm bound: 8
 	e := New(cfg)
-	var m mapping.Mapping
+	var we warmEntry
 	for i := 0; i < 50; i++ {
 		e.mu.Lock()
-		e.storeWarm(fmt.Sprintf("shape-%d", i), m)
+		e.storeWarm(fmt.Sprintf("shape-%d", i), we)
 		e.mu.Unlock()
 	}
 	e.mu.Lock()

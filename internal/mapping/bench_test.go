@@ -20,7 +20,7 @@ func benchCost(l workload.Layer) (Cost, func(int) float64) {
 	for d := Dim(0); d < NumDims; d++ {
 		macs *= float64(dims[d])
 	}
-	cost := func(m Mapping) (float64, bool) {
+	cost := func(m *Mapping) (float64, bool) {
 		t := macs / float64(m.SpatialPEs())
 		return t + 0.01*t*float64(m.LevelProduct(LvlDRAM)), true
 	}

@@ -19,7 +19,7 @@ import (
 const invalidMappingScore = 1e12
 
 func mappingScore(cost Cost, m Mapping) float64 {
-	if c, ok := cost(m); ok {
+	if c, ok := cost(&m); ok {
 		return c
 	}
 	return invalidMappingScore

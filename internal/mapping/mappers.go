@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"xdse/internal/workload"
 )
@@ -13,7 +14,12 @@ import (
 // time-sharing compatible). Mappers are decoupled from the cost model
 // through this callback, mirroring how the paper's mappers call into the
 // dMazeRunner cost model.
-type Cost func(m Mapping) (cycles float64, ok bool)
+//
+// The mapping is passed by pointer because this is the search inner loop
+// (hundreds of thousands of calls per layer search, and Mapping is a
+// 208-byte struct). The pointee is owned by the caller: the callback must
+// not mutate it and must not retain the pointer past the call.
+type Cost func(m *Mapping) (cycles float64, ok bool)
 
 // Result is the outcome of a mapping search.
 type Result struct {
@@ -45,10 +51,14 @@ type Result struct {
 func RandomSearch(l workload.Layer, trials int, rng *rand.Rand, cost Cost) Result {
 	dims := Dims(l)
 	res := Result{Cycles: math.Inf(1)}
+	// One scratch mapping outside the loop: its address goes through the
+	// indirect cost call, so a per-iteration local would heap-escape every
+	// trial.
+	var m Mapping
 	for i := 0; i < trials; i++ {
-		m := Random(dims, rng)
+		m = Random(dims, rng)
 		res.Evaluated++
-		if c, ok := cost(m); ok && c < res.Cycles {
+		if c, ok := cost(&m); ok && c < res.Cycles {
 			res.Best, res.Cycles, res.Found = m, c, true
 		}
 	}
@@ -89,28 +99,53 @@ func pickSpread(vs []int, max int) []int {
 // spreadKey indexes the memoized pickSpread-over-divisors lists.
 type spreadKey struct{ n, max int }
 
-// spreadCache memoizes spreadDivisors: the enumeration asks for the same
+// spreadShard is one shard of the spreadDivisors memo. Reads go through an
+// atomically-published immutable map (no lock, no RLock cacheline write —
+// the RWMutex reader count was measurable in the enumeration inner loop);
+// writers clone-and-swap under the mutex.
+type spreadShard struct {
+	mu sync.Mutex
+	m  atomic.Pointer[map[spreadKey][]int]
+}
+
+// spreadCache memoizes spreadDivisors, sharded by key so parallel
+// enumerations (search.EvaluateBatch workers) do not serialize on a single
+// global lock in their innermost loop: the enumeration asks for the same
 // (dimension size, fan-out) pairs on every candidate, so the per-call map
 // and slice allocations of the original hot loop collapse to lookups.
-var (
-	spreadMu    sync.RWMutex
-	spreadCache = map[spreadKey][]int{}
-)
+var spreadCache = func() *[memoShards]spreadShard {
+	var s [memoShards]spreadShard
+	for i := range s {
+		m := map[spreadKey][]int{}
+		s[i].m.Store(&m)
+	}
+	return &s
+}()
 
 // spreadDivisors returns pickSpread(Divisors(n), max), memoized. The
 // returned slice is shared between callers and must be treated as read-only.
 func spreadDivisors(n, max int) []int {
 	k := spreadKey{n, max}
-	spreadMu.RLock()
-	vs, ok := spreadCache[k]
-	spreadMu.RUnlock()
-	if ok {
+	sh := &spreadCache[(uint(n)*31+uint(max))%memoShards]
+	if vs, ok := (*sh.m.Load())[k]; ok {
 		return vs
 	}
-	vs = pickSpread(Divisors(n), max)
-	spreadMu.Lock()
-	spreadCache[k] = vs
-	spreadMu.Unlock()
+	vs := pickSpread(Divisors(n), max)
+	sh.mu.Lock()
+	cur := *sh.m.Load()
+	if have, ok := cur[k]; ok {
+		// A concurrent miss published first; return its slice so every
+		// caller shares one canonical value.
+		sh.mu.Unlock()
+		return have
+	}
+	next := make(map[spreadKey][]int, len(cur)+1)
+	for ck, cv := range cur {
+		next[ck] = cv
+	}
+	next[k] = vs
+	sh.m.Store(&next)
+	sh.mu.Unlock()
 	return vs
 }
 
@@ -152,6 +187,13 @@ type GenConfig struct {
 	// mapping and cycles are always bit-identical to a cold run.
 	// Incumbent is only consulted when CostLB is also set.
 	Incumbent *Mapping
+	// ProbeCost, when set, answers the single Incumbent probe in place of
+	// the search's cost callback — e.g. an incremental re-evaluation
+	// seeded from the incumbent's breakdown on a previous design
+	// (perf.EvalContext.DeltaEvaluate). It MUST be cycle-exact with the
+	// cost callback on the incumbent, or the strict bit-identical warm
+	// start contract breaks. The probe still counts toward CostCalls.
+	ProbeCost Cost
 }
 
 // defaultOrderings enumerates the 3x3 stationary-tensor choices.
@@ -205,6 +247,11 @@ type enumerator struct {
 	// bufs are the fit-filter scratch buffers of emitTemporal, one per
 	// temporal nesting level (each holds at most 3 surviving factors).
 	bufs [6][4]int
+	// trial is the working mapping try hands to the cost callback. It
+	// lives on the enumerator (heap-allocated once per search) so taking
+	// its address for the indirect cost call does not force a fresh heap
+	// escape per fill.
+	trial Mapping
 }
 
 // setBase records the spatial base's PE occupancy, fixing the lower bound
@@ -219,8 +266,12 @@ func (e *enumerator) setBase(pes int) {
 // try considers one temporal fill under every ordering. It returns false
 // when the band's candidate budget is exhausted.
 func (e *enumerator) try(m Mapping) bool {
+	// One working copy per fill, held in the enumerator's scratch slot;
+	// only the two stationary fields vary per ordering (the 208-byte
+	// factor matrix is shared by all nine).
+	e.trial = m
+	mm := &e.trial
 	for _, ord := range e.orderings {
-		mm := m
 		mm.DRAMStationary = ord.DRAMStationary
 		mm.NoCStationary = ord.NoCStationary
 		e.n++
@@ -236,7 +287,7 @@ func (e *enumerator) try(m Mapping) bool {
 				// remembered for the strict fallback.
 				e.pruned++
 				if e.curLB < e.bestCycles {
-					e.skipped = append(e.skipped, skippedCand{e.n, mm})
+					e.skipped = append(e.skipped, skippedCand{e.n, *mm})
 				}
 				if e.n >= e.limit {
 					return false
@@ -246,7 +297,7 @@ func (e *enumerator) try(m Mapping) bool {
 		}
 		e.costCalls++
 		if c, ok := e.cost(mm); ok && c < e.bestCycles {
-			e.best, e.bestCycles, e.found, e.bestN = mm, c, true, e.n
+			e.best, e.bestCycles, e.found, e.bestN = *mm, c, true, e.n
 		}
 		if e.n >= e.limit {
 			return false
@@ -287,8 +338,12 @@ func EnumeratePruned(l workload.Layer, cfg GenConfig, cost Cost) Result {
 		bestCycles: math.Inf(1),
 	}
 	if cfg.Incumbent != nil && e.hasLB {
+		probe := cost
+		if cfg.ProbeCost != nil {
+			probe = cfg.ProbeCost
+		}
 		e.costCalls++
-		if c, ok := cost(*cfg.Incumbent); ok {
+		if c, ok := probe(cfg.Incumbent); ok {
 			e.probe = c
 		}
 	}
@@ -331,7 +386,8 @@ func EnumeratePruned(l workload.Layer, cfg GenConfig, cost Cost) Result {
 		bestN := e.bestN
 		for _, s := range e.skipped {
 			res.CostCalls++
-			c, ok := cost(s.m)
+			e.trial = s.m
+			c, ok := cost(&e.trial)
 			if !ok {
 				continue
 			}
@@ -398,15 +454,15 @@ func (e *enumerator) enumerateAt(l workload.Layer, dims [NumDims]int, cfg GenCon
 // fitOptions filters candidate factors of dimension d at level lv to those
 // whose resulting tile fits the corresponding buffer, appending survivors to
 // dst (a scratch buffer owned by the enumerator).
-func fitOptions(l workload.Layer, m Mapping, d Dim, lv Level, factors []int, capacity int, tileBytes func(workload.Layer, Mapping) int64, dst []int) []int {
+func fitOptions(l workload.Layer, m Mapping, d Dim, lv Level, factors []int, capacity int, tileBytes func(workload.Layer, *Mapping) int64, dst []int) []int {
 	if capacity <= 0 {
 		return factors
 	}
 	out := dst
+	trial := m
 	for _, f := range factors {
-		trial := m
 		trial.F[d][lv] = f
-		if tileBytes(l, trial) <= int64(capacity) {
+		if tileBytes(l, &trial) <= int64(capacity) {
 			out = append(out, f)
 		}
 	}
@@ -423,7 +479,7 @@ func (e *enumerator) emitTemporal(l workload.Layer, base Mapping, dims [NumDims]
 	taps := base
 	taps.F[DimR][LvlRF], taps.F[DimR][LvlDRAM] = dims[DimR]/base.F[DimR][LvlSpatial], 1
 	taps.F[DimS][LvlRF], taps.F[DimS][LvlDRAM] = dims[DimS]/base.F[DimS][LvlSpatial], 1
-	if cfg.L1Bytes <= 0 || RFTileBytes(l, taps) <= int64(cfg.L1Bytes) {
+	if cfg.L1Bytes <= 0 || RFTileBytes(l, &taps) <= int64(cfg.L1Bytes) {
 		base = taps
 	}
 
@@ -493,7 +549,7 @@ func FixedOutputStationary(l workload.Layer, pes, l1Bytes, l2Bytes int) Mapping 
 	// fits reports whether the trial's RF and L2 tiles are within the
 	// buffer capacities (the minimal all-ones mapping always is on any
 	// non-degenerate design, so the greedy growth below is safe).
-	fits := func(trial Mapping) bool {
+	fits := func(trial *Mapping) bool {
 		return RFTileBytes(l, trial) <= int64(l1Bytes) &&
 			L2TileBytes(l, trial) <= int64(l2Bytes)
 	}
@@ -509,7 +565,7 @@ func FixedOutputStationary(l workload.Layer, pes, l1Bytes, l2Bytes int) Mapping 
 			}
 			trial := m
 			trial.F[d][lv] *= f
-			if fits(trial) {
+			if fits(&trial) {
 				m = trial
 				return
 			}

@@ -1,8 +1,10 @@
 package mapping
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -53,10 +55,10 @@ func TestFixedOutputStationaryFits(t *testing.T) {
 				if !covers(mp, Dims(l)) {
 					t.Fatalf("%s/%s: mapping does not cover dims", m.Name, l.Name)
 				}
-				if got := RFTileBytes(l, mp); got > int64(c.l1) {
+				if got := RFTileBytes(l, &mp); got > int64(c.l1) {
 					t.Fatalf("%s/%s: RF tile %dB > %dB", m.Name, l.Name, got, c.l1)
 				}
-				if got := L2TileBytes(l, mp); got > int64(c.l2) {
+				if got := L2TileBytes(l, &mp); got > int64(c.l2) {
 					t.Fatalf("%s/%s: L2 tile %dB > %dB", m.Name, l.Name, got, c.l2)
 				}
 				if mp.SpatialPEs() > c.pes {
@@ -78,8 +80,8 @@ func TestFixedOutputStationaryIsOutputStationary(t *testing.T) {
 // favors more spatial parallelism.
 func fitCost(l workload.Layer, pes, l1, l2 int) Cost {
 	dims := Dims(l)
-	return func(m Mapping) (float64, bool) {
-		if !covers(m, dims) || m.SpatialPEs() > pes {
+	return func(m *Mapping) (float64, bool) {
+		if !covers(*m, dims) || m.SpatialPEs() > pes {
 			return 0, false
 		}
 		if RFTileBytes(l, m) > int64(l1) || L2TileBytes(l, m) > int64(l2) {
@@ -133,7 +135,7 @@ func TestEnumeratePrunedPrefersUtilization(t *testing.T) {
 func TestEnumeratePrunedBaseValidSkipsEverything(t *testing.T) {
 	l := testLayer()
 	calls := 0
-	cost := func(Mapping) (float64, bool) { calls++; return 1, true }
+	cost := func(*Mapping) (float64, bool) { calls++; return 1, true }
 	res := EnumeratePruned(l, GenConfig{PEs: 64, MaxN: 100, BaseValid: func(Mapping) bool { return false }}, cost)
 	if res.Found || calls != 0 {
 		t.Fatalf("BaseValid=false must suppress all evaluations (calls=%d)", calls)
@@ -200,8 +202,8 @@ func TestEnumeratePrunedEmitsOnlyCoveringMappings(t *testing.T) {
 	l := testLayer()
 	dims := Dims(l)
 	bad := 0
-	cost := func(m Mapping) (float64, bool) {
-		if !covers(m, dims) {
+	cost := func(m *Mapping) (float64, bool) {
+		if !covers(*m, dims) {
 			bad++
 		}
 		return 1, true
@@ -217,7 +219,7 @@ func TestEnumeratePrunedEmitsOnlyCoveringMappings(t *testing.T) {
 func TestEnumeratePrunedRespectsPEBudget(t *testing.T) {
 	l := testLayer()
 	over := 0
-	cost := func(m Mapping) (float64, bool) {
+	cost := func(m *Mapping) (float64, bool) {
 		if m.SpatialPEs() > 128 {
 			over++
 		}
@@ -226,5 +228,107 @@ func TestEnumeratePrunedRespectsPEBudget(t *testing.T) {
 	EnumeratePruned(l, GenConfig{PEs: 128, MaxN: 600}, cost)
 	if over != 0 {
 		t.Fatalf("%d emitted mappings exceed the PE budget", over)
+	}
+}
+
+// TestProbeCostAnswersIncumbentProbe: when GenConfig.ProbeCost is set, the
+// single warm-start probe must go through it (and only it) — the cost
+// callback never sees the incumbent probe — and a cycle-exact probe must
+// leave the whole Result bit-identical to a run probing through cost.
+func TestProbeCostAnswersIncumbentProbe(t *testing.T) {
+	l := benchLayer()
+	cost, lb := benchCost(l)
+	cold := EnumeratePruned(l, benchGenCfg(), cost)
+	if !cold.Found {
+		t.Fatal("no mapping found")
+	}
+	inc := cold.Best
+
+	warmCfg := benchGenCfg()
+	warmCfg.CostLB = lb
+	warmCfg.Incumbent = &inc
+	plain := EnumeratePruned(l, warmCfg, cost)
+
+	probeCalls := 0
+	spyCfg := benchGenCfg()
+	spyCfg.CostLB = lb
+	spyCfg.Incumbent = &inc
+	spyCfg.ProbeCost = func(m *Mapping) (float64, bool) {
+		probeCalls++
+		if *m != inc {
+			t.Fatalf("ProbeCost called with %v, want the incumbent %v", *m, inc)
+		}
+		return cost(m)
+	}
+	spied := EnumeratePruned(l, spyCfg, cost)
+
+	if probeCalls != 1 {
+		t.Fatalf("ProbeCost called %d times, want exactly 1", probeCalls)
+	}
+	if spied != plain {
+		t.Fatalf("ProbeCost run diverged from plain warm run:\n%+v\n%+v", spied, plain)
+	}
+	if spied.Best != cold.Best || spied.Cycles != cold.Cycles || spied.Evaluated != cold.Evaluated {
+		t.Fatalf("ProbeCost run diverged from cold run: %+v vs %+v", spied, cold)
+	}
+}
+
+// TestSpreadDivisorsParallelConsistent hammers the sharded spreadDivisors
+// and Divisors memos from many goroutines (run under -race in CI) and
+// validates every answer against an unmemoized reference, including
+// pathological n <= 0 keys that must not break the shard indexing.
+func TestSpreadDivisorsParallelConsistent(t *testing.T) {
+	type query struct{ n, max int }
+	var queries []query
+	for _, n := range []int{-7, 0, 1, 2, 12, 60, 64, 96, 112, 210, 1008, 4096, 6174} {
+		// Production fan-outs are 2, 3, and 6 (pickSpread requires max >= 2).
+		for _, max := range []int{2, 3, 6, 50} {
+			queries = append(queries, query{n, max})
+		}
+	}
+	ref := make(map[query][]int, len(queries))
+	for _, q := range queries {
+		n := q.n
+		if n < 1 {
+			n = 1
+		}
+		var ds []int
+		for i := 1; i <= n; i++ {
+			if n%i == 0 {
+				ds = append(ds, i)
+			}
+		}
+		ref[q] = pickSpread(ds, q.max)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < len(errs); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 200; rep++ {
+				for _, q := range queries {
+					got := spreadDivisors(q.n, q.max)
+					want := ref[q]
+					if len(got) != len(want) {
+						errs[g] = fmt.Errorf("spreadDivisors(%d,%d) = %v, want %v", q.n, q.max, got, want)
+						return
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							errs[g] = fmt.Errorf("spreadDivisors(%d,%d)[%d] = %d, want %d", q.n, q.max, i, got[i], want[i])
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"xdse/internal/workload"
 )
@@ -82,7 +83,7 @@ type Mapping struct {
 
 // Factor returns the tiling factor of d at level l, treating zero as 1 so a
 // zero-valued Mapping is the trivial all-ones mapping.
-func (m Mapping) Factor(d Dim, l Level) int {
+func (m *Mapping) Factor(d Dim, l Level) int {
 	if f := m.F[d][l]; f > 0 {
 		return f
 	}
@@ -91,7 +92,7 @@ func (m Mapping) Factor(d Dim, l Level) int {
 
 // TileThrough returns the tile extent of dimension d including all levels up
 // to and including l.
-func (m Mapping) TileThrough(d Dim, l Level) int {
+func (m *Mapping) TileThrough(d Dim, l Level) int {
 	t := 1
 	for lv := LvlSpatial; lv <= l; lv++ {
 		t *= m.Factor(d, lv)
@@ -100,7 +101,7 @@ func (m Mapping) TileThrough(d Dim, l Level) int {
 }
 
 // SpatialPEs returns the number of PEs the mapping occupies.
-func (m Mapping) SpatialPEs() int {
+func (m *Mapping) SpatialPEs() int {
 	p := 1
 	for d := Dim(0); d < NumDims; d++ {
 		p *= m.Factor(d, LvlSpatial)
@@ -109,7 +110,7 @@ func (m Mapping) SpatialPEs() int {
 }
 
 // LevelProduct returns the product of all factors at level l.
-func (m Mapping) LevelProduct(l Level) int {
+func (m *Mapping) LevelProduct(l Level) int {
 	p := 1
 	for d := Dim(0); d < NumDims; d++ {
 		p *= m.Factor(d, l)
@@ -214,14 +215,33 @@ func Dims(l workload.Layer) [NumDims]int {
 	return [NumDims]int{pad(k), pad(c), pad(y), pad(x), pad(r), pad(s)}
 }
 
-// divisorCache memoizes Divisors per dimension size. Layer dimensions are
-// smooth-padded to a small set of values, so enumeration hot loops ask for
-// the same divisor lists millions of times across a DSE campaign; memoizing
-// removes the dominant allocation of the mapping search.
-var (
-	divisorMu    sync.RWMutex
-	divisorCache = map[int][]int{}
-)
+// memoShards is the lock-shard count of the divisor and spread memos. The
+// memos sit in the innermost enumeration loops, and under
+// search.EvaluateBatch parallelism every worker used to contend on one
+// global lock; sharding by key spreads that contention so the (after
+// warm-up, read-only) lookups scale with the worker count.
+const memoShards = 16
+
+// divisorShard is one shard of the Divisors memo. Reads go through an
+// atomically-published immutable map; writers clone-and-swap under the
+// mutex (see spreadShard for why).
+type divisorShard struct {
+	mu sync.Mutex
+	m  atomic.Pointer[map[int][]int]
+}
+
+// divisorCache memoizes Divisors per dimension size, sharded by size. Layer
+// dimensions are smooth-padded to a small set of values, so enumeration hot
+// loops ask for the same divisor lists millions of times across a DSE
+// campaign; memoizing removes the dominant allocation of the mapping search.
+var divisorCache = func() *[memoShards]divisorShard {
+	var s [memoShards]divisorShard
+	for i := range s {
+		m := map[int][]int{}
+		s[i].m.Store(&m)
+	}
+	return &s
+}()
 
 // Divisors returns the sorted divisors of n. The returned slice is memoized
 // and shared between callers: it must be treated as read-only.
@@ -229,12 +249,11 @@ func Divisors(n int) []int {
 	if n < 1 {
 		n = 1
 	}
-	divisorMu.RLock()
-	ds, ok := divisorCache[n]
-	divisorMu.RUnlock()
-	if ok {
+	sh := &divisorCache[n%memoShards]
+	if ds, ok := (*sh.m.Load())[n]; ok {
 		return ds
 	}
+	var ds []int
 	for i := 1; i*i <= n; i++ {
 		if n%i == 0 {
 			ds = append(ds, i)
@@ -244,9 +263,19 @@ func Divisors(n int) []int {
 		}
 	}
 	sort.Ints(ds)
-	divisorMu.Lock()
-	divisorCache[n] = ds
-	divisorMu.Unlock()
+	sh.mu.Lock()
+	cur := *sh.m.Load()
+	if have, ok := cur[n]; ok {
+		sh.mu.Unlock()
+		return have
+	}
+	next := make(map[int][]int, len(cur)+1)
+	for ck, cv := range cur {
+		next[ck] = cv
+	}
+	next[n] = ds
+	sh.m.Store(&next)
+	sh.mu.Unlock()
 	return ds
 }
 

@@ -1,0 +1,186 @@
+package perf
+
+import (
+	"math/rand"
+	"testing"
+
+	"xdse/internal/mapping"
+)
+
+// TestEvaluateCyclesZeroAllocs pins the Tier-1 hot path to zero heap
+// allocations — both on the memoized ordering-sweep path (nine calls per
+// fill) and on the memo-miss path (a fresh fill every call). The enumeration
+// inner loop makes ~43k of these calls per layer search; one allocation per
+// call would reintroduce the GC pressure the context exists to remove.
+func TestEvaluateCyclesZeroAllocs(t *testing.T) {
+	l := testLayer()
+	d := testDesign()
+	ctx := NewContext(d, l)
+	dims := mapping.Dims(l)
+	rng := rand.New(rand.NewSource(31))
+
+	fillA := mapping.Random(dims, rng)
+	fillB := fillA
+	fillB.F[mapping.DimK][mapping.LvlRF], fillB.F[mapping.DimK][mapping.LvlDRAM] =
+		fillB.F[mapping.DimK][mapping.LvlDRAM], fillB.F[mapping.DimK][mapping.LvlRF]
+
+	ord := 0
+	if allocs := testing.AllocsPerRun(200, func() {
+		m := fillA
+		m.DRAMStationary = mapping.Tensor(ord % 3)
+		m.NoCStationary = mapping.Tensor((ord / 3) % 3)
+		ord++
+		ctx.EvaluateCycles(&m)
+	}); allocs != 0 {
+		t.Errorf("memoized ordering sweep allocates %.1f per call, want 0", allocs)
+	}
+
+	flip := false
+	if allocs := testing.AllocsPerRun(200, func() {
+		m := fillA
+		if flip {
+			m = fillB
+		}
+		flip = !flip
+		ctx.EvaluateCycles(&m)
+	}); allocs != 0 {
+		t.Errorf("fill-memo miss path allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestRebindMatchesNewContext: a rebound context must be indistinguishable
+// from a context built from scratch for the new design, and rebinding must
+// leave the receiver untouched.
+func TestRebindMatchesNewContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for _, l := range propertyLayers() {
+		dims := mapping.Dims(l)
+		for i := 0; i < 20; i++ {
+			d1, d2 := randDesign(rng), randDesign(rng)
+			ctx1 := NewContext(d1, l)
+			m0 := mapping.Random(dims, rng)
+			ctx1.EvaluateCycles(&m0) // populate the fill memo before rebinding
+
+			reb := ctx1.Rebind(d2)
+			fresh := NewContext(d2, l)
+			for trial := 0; trial < 20; trial++ {
+				m := mapping.Random(dims, rng)
+				gc, gok := reb.EvaluateCycles(&m)
+				wc, wok := fresh.EvaluateCycles(&m)
+				if gc != wc || gok != wok {
+					t.Fatalf("%s: rebound fast path (%v,%v) != fresh (%v,%v) for %v",
+						l.Name, gc, gok, wc, wok, m)
+				}
+				if gb, wb := reb.Evaluate(m), fresh.Evaluate(m); gb != wb {
+					t.Fatalf("%s: rebound Evaluate diverged from fresh context", l.Name)
+				}
+			}
+			if ctx1.Design() != d1 {
+				t.Fatalf("%s: Rebind mutated the receiver's design", l.Name)
+			}
+			gc, gok := ctx1.EvaluateCycles(&m0)
+			w := Evaluate(d1, l, m0)
+			if gok != w.Valid || (gok && gc != w.Cycles) {
+				t.Fatalf("%s: receiver's memo corrupted by Rebind", l.Name)
+			}
+		}
+	}
+}
+
+// TestEnumerateTrajectoryMatchesSlowPath runs the production pruned search
+// with the Tier-1 fast-path cost against a reference cost that calls the
+// full Tier-2 evaluation on every candidate, in all three production
+// configurations — cold, warm-started, and warm-started with the
+// DeltaEvaluate probe — and demands the complete Result (best mapping,
+// cycles, trial counts, cost-call counts, pruning counts) be identical.
+func TestEnumerateTrajectoryMatchesSlowPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	warmChecked := 0
+	for _, l := range propertyLayers() {
+		for i := 0; i < 6; i++ {
+			d := randDesign(rng)
+			slowCost := func(m *mapping.Mapping) (float64, bool) {
+				b := Evaluate(d, l, *m)
+				return b.Cycles, b.Valid
+			}
+			newCfg := func() mapping.GenConfig {
+				return mapping.GenConfig{PEs: d.PEs, L1Bytes: d.L1Bytes, L2Bytes: d.L2Bytes(), MaxN: 600}
+			}
+
+			// Cold: no pruning, every candidate costed.
+			cold := mapping.EnumeratePruned(l, newCfg(), NewContext(d, l).Cost())
+			coldRef := mapping.EnumeratePruned(l, newCfg(), slowCost)
+			if cold != coldRef {
+				t.Fatalf("%s: cold fast-path result %+v != slow-path %+v", l.Name, cold, coldRef)
+			}
+			if !cold.Found {
+				continue
+			}
+
+			// Warm: lower-bound pruning seeded by an incumbent probe.
+			inc := cold.Best
+			warmCfg := newCfg()
+			warmCfg.CostLB = CostLowerBoundFn(l)
+			warmCfg.Incumbent = &inc
+			warm := mapping.EnumeratePruned(l, warmCfg, NewContext(d, l).Cost())
+			refCfg := newCfg()
+			refCfg.CostLB = CostLowerBoundFn(l)
+			refCfg.Incumbent = &inc
+			warmRef := mapping.EnumeratePruned(l, refCfg, slowCost)
+			if warm != warmRef {
+				t.Fatalf("%s: warm fast-path result %+v != slow-path %+v", l.Name, warm, warmRef)
+			}
+			if warm.Best != cold.Best || warm.Cycles != cold.Cycles || warm.Evaluated != cold.Evaluated {
+				t.Fatalf("%s: warm result diverged from cold (%+v vs %+v)", l.Name, warm, cold)
+			}
+
+			// Warm + delta probe: the incumbent's breakdown from a previous
+			// design answers the probe through DeltaEvaluate, exactly as
+			// internal/eval wires it. The whole Result must still match.
+			prevDesign := randDesign(rng)
+			prev := NewContext(prevDesign, l).Evaluate(inc)
+			ctx := NewContext(d, l)
+			deltaCfg := newCfg()
+			deltaCfg.CostLB = CostLowerBoundFn(l)
+			deltaCfg.Incumbent = &inc
+			deltaCfg.ProbeCost = func(m *mapping.Mapping) (float64, bool) {
+				b := ctx.DeltaEvaluate(&prev, *m)
+				return b.Cycles, b.Valid
+			}
+			delta := mapping.EnumeratePruned(l, deltaCfg, ctx.Cost())
+			if delta != warm {
+				t.Fatalf("%s: delta-probe result %+v != plain warm %+v", l.Name, delta, warm)
+			}
+			warmChecked++
+		}
+	}
+	if warmChecked < 10 {
+		t.Fatalf("only %d warm trajectories compared", warmChecked)
+	}
+}
+
+// TestEnumerateSearchAllocsRealCost pins the allocation count of a full
+// pruned enumeration driven by the real Tier-1 cost (the mapping-package
+// regression test uses a synthetic cost). After the divisor/spread memos are
+// warm, a search over hundreds of candidates must amortize to a handful of
+// allocations — any per-candidate allocation in EvaluateCycles blows the
+// bound immediately.
+func TestEnumerateSearchAllocsRealCost(t *testing.T) {
+	l := testLayer()
+	d := testDesign()
+	cfg := mapping.GenConfig{PEs: d.PEs, L1Bytes: d.L1Bytes, L2Bytes: d.L2Bytes(), MaxN: 600}
+	ctx := NewContext(d, l)
+	cost := ctx.Cost()
+	warm := mapping.EnumeratePruned(l, cfg, cost) // warm the divisor/spread memos
+	if !warm.Found {
+		t.Fatal("no mapping found")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		c := cfg
+		c.CostLB = CostLowerBoundFn(l)
+		mapping.EnumeratePruned(l, c, cost)
+	})
+	if allocs > 16 {
+		t.Fatalf("real-cost enumeration allocates %.0f times per search; Tier-1 hot path has regressed", allocs)
+	}
+}

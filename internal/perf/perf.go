@@ -9,9 +9,7 @@
 package perf
 
 import (
-	"fmt"
-	"math"
-	"strings"
+	"strconv"
 
 	"xdse/internal/arch"
 	"xdse/internal/mapping"
@@ -82,197 +80,12 @@ func OperandTensor(op arch.Operand) mapping.Tensor {
 }
 
 // Evaluate computes the breakdown of executing one occurrence of layer l on
-// design d under mapping m.
+// design d under mapping m. It is the Tier-2 full evaluation; callers that
+// evaluate many mappings of one (design, layer) pair should build an
+// EvalContext once and use its EvaluateCycles fast path (Tier 1) in the
+// inner loop instead.
 func Evaluate(d arch.Design, l workload.Layer, m mapping.Mapping) Breakdown {
-	var b Breakdown
-	dims := mapping.Dims(l)
-
-	// Structural validity: factors must cover padded dims exactly.
-	for dim := mapping.Dim(0); dim < mapping.NumDims; dim++ {
-		prod := 1
-		for lv := mapping.Level(0); lv < mapping.NumLevels; lv++ {
-			prod *= m.Factor(dim, lv)
-		}
-		if prod != dims[dim] {
-			b.Incompat = "tiling does not cover loop extent"
-			b.IncompatCount = 1
-			return b
-		}
-	}
-	b.PEsUsed = m.SpatialPEs()
-	if b.PEsUsed > d.PEs {
-		b.Incompat = "spatial tiling exceeds PE count"
-		b.IncompatCount = 1
-		return b
-	}
-	if rf := mapping.RFTileBytes(l, m); rf > int64(d.L1Bytes) {
-		b.Incompat = "RF tile exceeds L1 capacity"
-		b.IncompatCount = 1
-		return b
-	}
-	if l2 := mapping.L2TileBytes(l, m); l2 > int64(d.L2Bytes()) {
-		b.Incompat = "L2 tile exceeds scratchpad capacity"
-		b.IncompatCount = 1
-		return b
-	}
-
-	// Computation time: padded MACs over occupied PEs.
-	macs := 1.0
-	for dim := mapping.Dim(0); dim < mapping.NumDims; dim++ {
-		macs *= float64(dims[dim])
-	}
-	b.MACs = macs
-	b.TComp = macs / float64(b.PEsUsed)
-
-	// Refetch factors per tensor at the two memory boundaries.
-	kind := l.Kind
-	prodIrrelevant := func(t mapping.Tensor, lv mapping.Level) float64 {
-		p := 1.0
-		for dim := mapping.Dim(0); dim < mapping.NumDims; dim++ {
-			if !mapping.Indexes(kind, t, dim) {
-				p *= float64(m.Factor(dim, lv))
-			}
-		}
-		return p
-	}
-	psumProd := func(lv mapping.Level) float64 {
-		p := 1.0
-		for _, dim := range mapping.ReductionDims(kind) {
-			p *= float64(m.Factor(dim, lv))
-		}
-		return p
-	}
-	refetchDRAM := func(t mapping.Tensor) float64 {
-		if t == mapping.TO {
-			if m.DRAMStationary == mapping.TO {
-				return 1
-			}
-			return psumProd(mapping.LvlDRAM)
-		}
-		if t == m.DRAMStationary {
-			return 1
-		}
-		return prodIrrelevant(t, mapping.LvlDRAM)
-	}
-	refetchNoC := func(t mapping.Tensor) float64 {
-		if t == mapping.TO {
-			if m.NoCStationary == mapping.TO {
-				return 1
-			}
-			return psumProd(mapping.LvlL2)
-		}
-		if t == m.NoCStationary {
-			return 1
-		}
-		return prodIrrelevant(t, mapping.LvlL2)
-	}
-
-	size := func(t mapping.Tensor) float64 {
-		return float64(mapping.PaddedTensorElems(l, dims, t)) * workload.BytesPerElem
-	}
-
-	// Off-chip traffic (bytes) per operand.
-	psumDRAM := refetchDRAM(mapping.TO)
-	b.DataOffchip[arch.OpW] = size(mapping.TW) * refetchDRAM(mapping.TW)
-	b.DataOffchip[arch.OpI] = size(mapping.TI) * refetchDRAM(mapping.TI)
-	b.DataOffchip[arch.OpOWr] = size(mapping.TO) * psumDRAM
-	b.DataOffchip[arch.OpORd] = size(mapping.TO) * (psumDRAM - 1)
-
-	// NoC traffic (bytes) per operand.
-	psumNoC := psumDRAM * refetchNoC(mapping.TO)
-	b.DataNoC[arch.OpW] = size(mapping.TW) * refetchDRAM(mapping.TW) * refetchNoC(mapping.TW)
-	b.DataNoC[arch.OpI] = size(mapping.TI) * refetchDRAM(mapping.TI) * refetchNoC(mapping.TI)
-	b.DataNoC[arch.OpOWr] = size(mapping.TO) * psumNoC
-	b.DataNoC[arch.OpORd] = size(mapping.TO) * (psumNoC - 1)
-
-	// NoC geometry and per-operand communication time.
-	for _, op := range arch.Operands {
-		t := OperandTensor(op)
-		groups := 1
-		for dim := mapping.Dim(0); dim < mapping.NumDims; dim++ {
-			if mapping.Indexes(kind, t, dim) {
-				groups *= m.Factor(dim, mapping.LvlSpatial)
-			}
-		}
-		b.NoCGroups[op] = groups
-		bpg := float64(mapping.RFTileElems(l, m, t)) * workload.BytesPerElem
-		b.NoCBytesPerGroup[op] = bpg
-
-		links := d.PhysLinks[op]
-		if links > groups {
-			links = groups
-		}
-		shares := (groups + d.PhysLinks[op] - 1) / d.PhysLinks[op]
-		if shares < 1 {
-			shares = 1
-		}
-		b.VirtNeeded[op] = shares
-		if shares > d.VirtLinks[op] {
-			// Record every short NoC rather than bailing at the
-			// first, so mitigation can target all of them and
-			// partial fixes count as constraint-budget progress.
-			if b.Incompat != "" {
-				b.Incompat += "; "
-			}
-			b.Incompat += "spatial parallelism needs more time-shared unicast than " + op.String() + " NoC supports"
-			b.IncompatCount++
-		}
-
-		if b.DataNoC[op] <= 0 {
-			continue
-		}
-		loads := b.DataNoC[op] / (float64(groups) * bpg)
-		perGroupCycles := math.Ceil(bpg * 8 / float64(d.NoCWidthBits))
-		b.TNoC[op] = loads * float64(shares) * perGroupCycles
-	}
-
-	// DMA time: additive over operands, with per-burst setup overhead for
-	// non-contiguous accesses.
-	bpc := d.BytesPerCycle()
-	burstBytes := func(t mapping.Tensor) float64 {
-		th := func(dim mapping.Dim) float64 { return float64(m.TileThrough(dim, mapping.LvlL2)) }
-		switch t {
-		case mapping.TW:
-			return th(mapping.DimC) * th(mapping.DimS) * workload.BytesPerElem
-		case mapping.TI:
-			x := (th(mapping.DimX)-1)*float64(l.Stride) + th(mapping.DimS)
-			return x * workload.BytesPerElem
-		default:
-			return th(mapping.DimX) * workload.BytesPerElem
-		}
-	}
-	for _, op := range arch.Operands {
-		bytes := b.DataOffchip[op]
-		if bytes <= 0 {
-			continue
-		}
-		burst := burstBytes(OperandTensor(op))
-		if burst < workload.BytesPerElem {
-			burst = workload.BytesPerElem
-		}
-		b.TDMAOp[op] = bytes/bpc + bytes/burst*dmaBurstSetupCycles
-		b.TDMA += b.TDMAOp[op]
-	}
-
-	// Buffer allocations and remaining reuse.
-	for t := mapping.Tensor(0); t < mapping.NumTensors; t++ {
-		b.DataRF[t] = float64(mapping.RFTileElems(l, m, t)) * workload.BytesPerElem
-		b.DataSPM[t] = float64(mapping.L2TileElems(l, m, t)) * workload.BytesPerElem
-		b.ReuseAvailRF[t] = refetchNoC(t)
-		b.ReuseAvailSPM[t] = refetchDRAM(t)
-	}
-
-	b.Cycles = b.TComp
-	for _, op := range arch.Operands {
-		if b.TNoC[op] > b.Cycles {
-			b.Cycles = b.TNoC[op]
-		}
-	}
-	if b.TDMA > b.Cycles {
-		b.Cycles = b.TDMA
-	}
-	b.Valid = b.IncompatCount == 0
-	return b
+	return NewContext(d, l).Evaluate(m)
 }
 
 // MaxTNoC returns the slowest operand NoC and its time.
@@ -308,12 +121,34 @@ func MappingSubKey(d arch.Design) string {
 	if g := gcd(num, den); g > 1 {
 		num, den = num/g, den/g
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "pe%d,l1:%d,l2:%d,noc%d,bpc%d/%d", d.PEs, d.L1Bytes, d.L2Bytes(), d.NoCWidthBits, num, den)
+	// Built with strconv appends rather than fmt (this runs once per layer
+	// search and showed up at ~10% of a warm campaign under fmt). The byte
+	// layout is identical to the original
+	// "pe%d,l1:%d,l2:%d,noc%d,bpc%d/%d" + ",%v:%dx%d" format — persisted
+	// cache records key on this string, so the layout must not change
+	// without retiring them (see ModelVersion).
+	b := make([]byte, 0, 96)
+	b = append(b, "pe"...)
+	b = strconv.AppendInt(b, int64(d.PEs), 10)
+	b = append(b, ",l1:"...)
+	b = strconv.AppendInt(b, int64(d.L1Bytes), 10)
+	b = append(b, ",l2:"...)
+	b = strconv.AppendInt(b, int64(d.L2Bytes()), 10)
+	b = append(b, ",noc"...)
+	b = strconv.AppendInt(b, int64(d.NoCWidthBits), 10)
+	b = append(b, ",bpc"...)
+	b = strconv.AppendInt(b, int64(num), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(den), 10)
 	for _, op := range arch.Operands {
-		fmt.Fprintf(&b, ",%v:%dx%d", op, d.PhysLinks[op], d.VirtLinks[op])
+		b = append(b, ',')
+		b = append(b, op.String()...)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(d.PhysLinks[op]), 10)
+		b = append(b, 'x')
+		b = strconv.AppendInt(b, int64(d.VirtLinks[op]), 10)
 	}
-	return b.String()
+	return string(b)
 }
 
 func gcd(a, b int) int {
@@ -345,19 +180,19 @@ func CostLowerBoundFn(l workload.Layer) func(spatialPEs int) float64 {
 	}
 }
 
-// CostFn adapts Evaluate into the mapping.Cost callback for design d and
-// layer l.
+// CostFn adapts the evaluation into the mapping.Cost callback for design d
+// and layer l, backed by a fresh EvalContext's Tier-1 fast path. For a
+// valid mapping the cycles are bit-identical to Evaluate(d, l, m).Cycles;
+// an invalid mapping reports (0, false) without a latency. The returned
+// closure owns a mutable fill memo and is not safe for concurrent use —
+// call CostFn once per goroutine.
 func CostFn(d arch.Design, l workload.Layer) mapping.Cost {
-	return func(m mapping.Mapping) (float64, bool) {
-		b := Evaluate(d, l, m)
-		return b.Cycles, b.Valid
-	}
+	return NewContext(d, l).Cost()
 }
 
-// ValidFn adapts Evaluate into a validity-only predicate, used by the
-// pruned enumerator to reject whole spatial bases in one probe.
+// ValidFn adapts the evaluation into a validity-only predicate, used by the
+// pruned enumerator to reject whole spatial bases in one probe. Like
+// CostFn, the returned closure is not safe for concurrent use.
 func ValidFn(d arch.Design, l workload.Layer) func(mapping.Mapping) bool {
-	return func(m mapping.Mapping) bool {
-		return Evaluate(d, l, m).Valid
-	}
+	return NewContext(d, l).Valid()
 }

@@ -280,7 +280,7 @@ func TestCostFnMatchesEvaluate(t *testing.T) {
 	l := testLayer()
 	d := testDesign()
 	m := sequentialMapping(l)
-	c, ok := CostFn(d, l)(m)
+	c, ok := CostFn(d, l)(&m)
 	b := Evaluate(d, l, m)
 	if ok != b.Valid || c != b.Cycles {
 		t.Fatal("CostFn disagrees with Evaluate")

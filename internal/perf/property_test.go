@@ -71,6 +71,141 @@ func TestResourceGrowthNeverHurtsProperty(t *testing.T) {
 	}
 }
 
+// randDesign draws a design across the whole modeling envelope — tiny PEs to
+// large arrays, starved to roomy buffers, narrow to wide NoCs — so the
+// differential tests cover both validity regimes, not just designs that
+// accept most mappings.
+func randDesign(rng *rand.Rand) arch.Design {
+	d := arch.Design{
+		PEs:          1 << (4 + rng.Intn(6)),
+		L1Bytes:      64 << rng.Intn(6),
+		L2KB:         64 << rng.Intn(5),
+		OffchipMBps:  []int{1024, 4096, 8192, 25600}[rng.Intn(4)],
+		NoCWidthBits: 16 * (1 + rng.Intn(8)),
+		FreqMHz:      []int{200, 500, 1000}[rng.Intn(3)],
+	}
+	for op := range d.PhysLinks {
+		d.PhysLinks[op] = 1 << rng.Intn(7)
+		d.VirtLinks[op] = []int{1, 8, 64, 512}[rng.Intn(4)]
+	}
+	return d
+}
+
+// propertyLayers are the operator shapes the differential properties sweep:
+// all three kinds, including a strided conv (halo tiles) and a strided
+// depthwise (channel-tied inputs).
+func propertyLayers() []workload.Layer {
+	return []workload.Layer{
+		{Kind: workload.Conv, Name: "c3", K: 64, C: 32, Y: 14, X: 14, R: 3, S: 3, Stride: 1, Mult: 1},
+		{Kind: workload.Conv, Name: "c7s2", K: 64, C: 3, Y: 112, X: 112, R: 7, S: 7, Stride: 2, Mult: 1},
+		{Kind: workload.Gemm, Name: "g", K: 768, C: 768, Y: 1, X: 384, R: 1, S: 1, Stride: 1, Mult: 1},
+		{Kind: workload.DWConv, Name: "dw", K: 96, C: 1, Y: 28, X: 28, R: 3, S: 3, Stride: 1, Mult: 1},
+		{Kind: workload.DWConv, Name: "dws2", K: 144, C: 1, Y: 28, X: 28, R: 3, S: 3, Stride: 2, Mult: 1},
+	}
+}
+
+// TestFastPathMatchesEvaluateProperty is the two-tier cycle-exactness
+// contract: over randomized designs x layers x mappings, the Tier-1
+// EvaluateCycles must agree with the Tier-2 full Breakdown on validity
+// always, and bit-exactly (==, no epsilon) on cycles whenever valid. Each
+// fill is swept through all nine stationary orderings on one shared context
+// so the fill memo's hit path is exercised as hard as the enumerator does,
+// and corrupted fills check the invalid side of the memo.
+func TestFastPathMatchesEvaluateProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, l := range propertyLayers() {
+		dims := mapping.Dims(l)
+		valid, invalid := 0, 0
+		for di := 0; di < 12; di++ {
+			d := randDesign(rng)
+			ctx := NewContext(d, l)
+			for trial := 0; trial < 60; trial++ {
+				var m mapping.Mapping
+				switch {
+				case trial == 0:
+					// Always-valid anchor: every design accepts the
+					// all-sequential mapping, so both sides of the
+					// comparison are exercised even on starved designs.
+					m = sequentialMapping(l)
+				case trial%5 == 4:
+					// Structurally invalid mutant: break loop coverage.
+					m = mapping.Random(dims, rng)
+					m.F[mapping.Dim(rng.Intn(int(mapping.NumDims)))][mapping.LvlDRAM] += 1 + rng.Intn(3)
+				default:
+					m = mapping.Random(dims, rng)
+				}
+				for ds := mapping.Tensor(0); ds < mapping.NumTensors; ds++ {
+					for ns := mapping.Tensor(0); ns < mapping.NumTensors; ns++ {
+						m.DRAMStationary, m.NoCStationary = ds, ns
+						got, ok := ctx.EvaluateCycles(&m)
+						want := Evaluate(d, l, m)
+						if ok != want.Valid {
+							t.Fatalf("%s: fast path ok=%v, Evaluate valid=%v (%q) for %v on %+v",
+								l.Name, ok, want.Valid, want.Incompat, m, d)
+						}
+						if !ok {
+							invalid++
+							continue
+						}
+						valid++
+						if got != want.Cycles {
+							t.Fatalf("%s: fast path %v != Evaluate %v (diff %g) for %v on %+v",
+								l.Name, got, want.Cycles, got-want.Cycles, m, d)
+						}
+					}
+				}
+			}
+		}
+		if valid < 100 || invalid < 100 {
+			t.Fatalf("%s: unbalanced sample (%d valid, %d invalid)", l.Name, valid, invalid)
+		}
+	}
+}
+
+// TestDeltaEvaluateMatchesEvaluateProperty: re-evaluating a known mapping on
+// a mutated design through the dirty-subtree path must reproduce the full
+// evaluation bit-for-bit — including the early-return shapes when the new
+// design rejects the mapping, and the fallback when prev carries no subtrees.
+func TestDeltaEvaluateMatchesEvaluateProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, l := range propertyLayers() {
+		dims := mapping.Dims(l)
+		carried := 0
+		for pair := 0; pair < 40; pair++ {
+			d1, d2 := randDesign(rng), randDesign(rng)
+			ctx1 := NewContext(d1, l)
+			ctx2 := ctx1.Rebind(d2)
+			for trial := 0; trial < 25; trial++ {
+				var m mapping.Mapping
+				switch {
+				case trial == 0:
+					m = sequentialMapping(l) // always carries subtrees
+				case trial%7 == 6:
+					m = mapping.Random(dims, rng)
+					m.F[mapping.Dim(rng.Intn(int(mapping.NumDims)))][mapping.LvlRF] += 1
+				default:
+					m = mapping.Random(dims, rng)
+				}
+				prev := ctx1.Evaluate(m)
+				want := ctx2.Evaluate(m)
+				if got := ctx2.DeltaEvaluate(&prev, m); got != want {
+					t.Fatalf("%s: DeltaEvaluate diverged from Evaluate\n got: %+v\nwant: %+v\nprev: %+v",
+						l.Name, got, want, prev)
+				}
+				if got := ctx2.DeltaEvaluate(nil, m); got != want {
+					t.Fatalf("%s: nil-prev DeltaEvaluate diverged from Evaluate", l.Name)
+				}
+				if prev.MACs > 0 {
+					carried++
+				}
+			}
+		}
+		if carried < 40 {
+			t.Fatalf("%s: only %d delta evaluations carried subtrees", l.Name, carried)
+		}
+	}
+}
+
 // TestTrafficNonNegativeProperty: no operand ever reports negative traffic
 // or time under random mappings.
 func TestTrafficNonNegativeProperty(t *testing.T) {
