@@ -22,6 +22,7 @@ import (
 	"xdse/internal/dse"
 	"xdse/internal/eval"
 	"xdse/internal/exp"
+	"xdse/internal/fleet"
 	"xdse/internal/obs"
 	"xdse/internal/workload"
 )
@@ -35,6 +36,11 @@ func main() {
 	// `xdse serve` runs the long-lived DSE job daemon (see internal/serve).
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		os.Exit(runServe(os.Args[2:]))
+	}
+	// `xdse cache-gc` retires cold records from a persistent evaluation
+	// cache by last-access age (see internal/evalcache).
+	if len(os.Args) > 1 && os.Args[1] == "cache-gc" {
+		os.Exit(runCacheGC(os.Args[2:]))
 	}
 	var (
 		expName  = flag.String("exp", "fig3", "experiment: fig3|fig4|fig9|fig10|fig11|fig12|table2|table3|table7|fig14|fig15|ablation|energy|multiworkload|joint|all")
@@ -59,6 +65,8 @@ func main() {
 		resume   = flag.Bool("resume", false, "resume from the journals in -checkpoint instead of starting fresh")
 		traceOut = flag.String("trace-out", "", "write every run's structured explanation events to this JSONL file (read back with `xdse report`)")
 		metrsOut = flag.String("metrics-out", "", "write the campaign's merged metrics to this file in Prometheus text format")
+		fleetWrk = flag.String("fleet-workers", "", "comma-separated `xdse serve` worker addresses (host:port,...): shard evaluation batches across them; results stay bit-identical to a local run under any worker failure")
+		fleetHI  = flag.Duration("fleet-health-interval", 0, "fleet worker health-probe cadence (0 = 1s default)")
 	)
 	flag.Parse()
 
@@ -150,6 +158,31 @@ func main() {
 		cfg.CSVDir = *csvDir
 	}
 
+	// Distributed execution: shard evaluation batches across a worker fleet.
+	// The coordinator is a pure cache warmer (see internal/fleet), so every
+	// experiment below produces bit-identical results with or without it.
+	var fleetCoord *fleet.Coordinator
+	if *fleetWrk != "" {
+		var addrs []string
+		for _, a := range strings.Split(*fleetWrk, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		c, err := fleet.New(addrs, fleet.Options{
+			HealthInterval: *fleetHI,
+			Warnf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "xdse: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xdse: %v\n", err)
+			os.Exit(2)
+		}
+		fleetCoord = c
+		cfg.Fleet = c
+	}
+
 	// Observability outputs. finishObs is idempotent and must run on every
 	// exit path that produced events — including the interrupted one, which
 	// exits through os.Exit and therefore skips deferred closers.
@@ -175,6 +208,22 @@ func main() {
 		if traceSink != nil {
 			if err := traceSink.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "xdse: trace: %v\n", err)
+			}
+		}
+		if fleetCoord != nil {
+			fleetCoord.Close()
+			// Permanent faults (4xx, model-version skew) are part of the
+			// campaign report: they were not retried, by design.
+			if faults := fleetCoord.Faults(); len(faults) > 0 {
+				fmt.Fprintf(os.Stderr, "xdse: fleet recorded %d permanent fault(s):\n", len(faults))
+				for _, f := range faults {
+					fmt.Fprintf(os.Stderr, "xdse:   - %s\n", f)
+				}
+			}
+			if cfg.Metrics != nil {
+				// Merged exactly once, here, so multi-campaign invocations
+				// (-exp all) never double-count the fleet instruments.
+				cfg.Metrics.Merge(fleetCoord.Metrics())
 			}
 		}
 		if cfg.Metrics != nil {

@@ -34,6 +34,7 @@ func runServe(args []string) int {
 		retryAfter   = fs.Duration("retry-after", 2*time.Second, "Retry-After hint attached to shed and draining responses")
 		drainTimeout = fs.Duration("drain-timeout", 2*time.Minute, "how long a shutdown signal waits for in-flight jobs to checkpoint")
 		cacheDir     = fs.String("cache-dir", "", "persistent evaluation-cache directory shared by every job (and by later daemon incarnations); empty = uncached")
+		evalConc     = fs.Int("eval-concurrent", 2, "fleet shards served concurrently (POST /eval); excess requests are shed with 429 + Retry-After")
 	)
 	fs.Parse(args)
 	if fs.NArg() != 0 {
@@ -51,6 +52,7 @@ func runServe(args []string) int {
 		EvalTimeout:     *evalTimeout,
 		Retry:           eval.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff},
 		CacheDir:        *cacheDir,
+		EvalConcurrent:  *evalConc,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xdse serve: %v\n", err)

@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"xdse/internal/arch"
+	"xdse/internal/evalcache"
+	"xdse/internal/perf"
+	"xdse/internal/workload"
+)
+
+// ParseMapperMode resolves a MapperMode from its String() name — the inverse
+// the fleet protocol needs to reconstruct an evaluator configuration from a
+// wire request. Unknown names report ok=false rather than defaulting, so a
+// coordinator/worker mode skew is a rejected request, never a silently
+// different search.
+func ParseMapperMode(s string) (MapperMode, bool) {
+	for _, m := range []MapperMode{FixedDataflow, RandomMappings, PrunedMappings} {
+		if m.String() == s {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// Memoized reports whether pt's evaluation is currently answerable from the
+// design memo without any computation. The distributed coordinator uses it
+// to skip remote prefetch for points an optimizer is merely revisiting.
+func (e *Evaluator) Memoized(pt arch.Point) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.cache[pt.Key()]
+	return ok
+}
+
+// RecordsFor returns the content-addressed layer-search records this
+// evaluator currently holds for design point pt — one per unique
+// (layer shape, sub-key[, salt]) across the configured models, keyed exactly
+// as the persistent store would key them. This is the worker half of the
+// fleet protocol: after evaluating pt, a worker exports the layer records so
+// the coordinator can install them and replay the design evaluation locally,
+// bit-identically, from cache hits alone. Entries not (or no longer) in the
+// layer cache are simply absent — the coordinator recomputes those layers
+// itself, so a partial export degrades to extra local work, never wrongness.
+func (e *Evaluator) RecordsFor(pt arch.Point) []evalcache.Record {
+	if e.cfg.DisableLayerCache {
+		return nil
+	}
+	d, err := e.cfg.Space.Decode(pt)
+	if err != nil {
+		return nil
+	}
+	sub := perf.MappingSubKey(d)
+	var out []evalcache.Record
+	seen := make(map[layerCacheKey]bool)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, mdl := range e.cfg.Models {
+		for i := range mdl.Layers {
+			key := e.layerKeyFor(mdl.Layers[i], sub, int64(i))
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			ent, ok := e.lcache[key]
+			if !ok {
+				continue
+			}
+			out = append(out, evalcache.Record{Key: e.persistKey(key), Entry: toPersist(ent)})
+		}
+	}
+	return out
+}
+
+// InstallRecords seeds the evaluator's layer-grain cache (and the attached
+// persistent store, when one exists) with content-addressed records computed
+// elsewhere — the coordinator half of the fleet protocol. Each record's key
+// is inverted to this evaluator's in-memory cache key and then re-derived
+// through persistKey; a record that does not round-trip (different mode,
+// trial budget, or random-mode seed) is skipped, so a mis-addressed or
+// stale-configuration record can never answer a local search. Installed
+// entries are exactly what a local search would have produced (the
+// content-address contract), so subsequent evaluations answering from them
+// are bit-identical to evaluations that never saw the records. Returns the
+// number of records newly installed.
+func (e *Evaluator) InstallRecords(recs []evalcache.Record) int {
+	if e.cfg.DisableLayerCache {
+		return 0
+	}
+	n := 0
+	for _, rec := range recs {
+		key := layerCacheKey{shape: rec.Key.Shape, sub: rec.Key.Sub}
+		if e.cfg.Mode == RandomMappings {
+			// persistKey resolves salt as Seed*1_000_003 + layer index;
+			// invert it so the in-memory key carries the layer index again.
+			// The decomposition is unique only while the index stays below
+			// the multiplier, so an out-of-range result means the record
+			// was keyed under a different seed — reject it (the plain
+			// round-trip below cannot see a seed delta: the salt absorbs it).
+			key.salt = rec.Key.Salt - e.cfg.Seed*1_000_003
+			if key.salt < 0 || key.salt >= 1_000_003 {
+				continue
+			}
+		}
+		if e.persistKey(key) != rec.Key {
+			continue
+		}
+		ent := fromPersist(rec.Entry)
+		e.mu.Lock()
+		if _, ok := e.lcache[key]; ok {
+			e.mu.Unlock()
+			continue
+		}
+		e.storeLayer(key, ent)
+		if ent.found {
+			e.storeWarm(key.shape, warmEntry{mapping: ent.mapping, perf: ent.perf})
+		}
+		e.mu.Unlock()
+		if e.store != nil {
+			e.store.Put(rec.Key, rec.Entry)
+		}
+		n++
+	}
+	return n
+}
+
+// layerKeyFor builds the in-memory layer-cache key for one layer of a model
+// on a design with sub-key sub, mirroring layerResult's derivation (the salt
+// participates in RandomMappings mode only). Caller need not hold e.mu.
+func (e *Evaluator) layerKeyFor(l workload.Layer, sub string, salt int64) layerCacheKey {
+	key := layerCacheKey{shape: l.ShapeKey(), sub: sub}
+	if e.cfg.Mode == RandomMappings {
+		key.salt = salt
+	}
+	return key
+}

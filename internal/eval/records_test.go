@@ -1,0 +1,138 @@
+package eval
+
+import (
+	"testing"
+
+	"xdse/internal/evalcache"
+)
+
+func TestParseMapperMode(t *testing.T) {
+	for _, mode := range []MapperMode{FixedDataflow, RandomMappings, PrunedMappings} {
+		got, ok := ParseMapperMode(mode.String())
+		if !ok || got != mode {
+			t.Fatalf("ParseMapperMode(%q) = %v, %v", mode.String(), got, ok)
+		}
+	}
+	if _, ok := ParseMapperMode("no-such-mode"); ok {
+		t.Fatal("ParseMapperMode accepted an unknown name")
+	}
+}
+
+func TestMemoized(t *testing.T) {
+	s := spaceWithDummyParam(3)
+	ev := New(cacheTestConfig(s, PrunedMappings))
+	pt := campaignPoints(s, 1)[0]
+	if ev.Memoized(pt) {
+		t.Fatal("fresh evaluator claims a memoized point")
+	}
+	ev.Evaluate(pt)
+	if !ev.Memoized(pt) {
+		t.Fatal("evaluated point not memoized")
+	}
+}
+
+// TestRecordsRoundTripBitIdentical is the fleet transport contract: records
+// exported from the evaluator that computed a point, installed into a
+// completely fresh evaluator, must make that evaluator's own evaluation
+// bit-identical without re-running any layer search — in all three mapper
+// modes, across the wire codec.
+func TestRecordsRoundTripBitIdentical(t *testing.T) {
+	s := spaceWithDummyParam(3)
+	pts := campaignPoints(s, 6)
+	for _, mode := range []MapperMode{FixedDataflow, RandomMappings, PrunedMappings} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := cacheTestConfig(s, mode)
+			worker := New(cfg)
+			var want []*Result
+			var wire []string
+			for _, pt := range pts {
+				want = append(want, worker.Evaluate(pt))
+				for _, rec := range worker.RecordsFor(pt) {
+					data, err := evalcache.EncodeRecord(rec, "v-test")
+					if err != nil {
+						t.Fatal(err)
+					}
+					wire = append(wire, string(data))
+				}
+			}
+			if len(wire) == 0 {
+				t.Fatal("worker exported no records")
+			}
+
+			coord := New(cfg)
+			var recs []evalcache.Record
+			for _, line := range wire {
+				rec, ver, err := evalcache.DecodeRecord(line)
+				if err != nil || ver != "v-test" {
+					t.Fatalf("decode %q: %v (version %q)", line, err, ver)
+				}
+				recs = append(recs, rec)
+			}
+			installed := coord.InstallRecords(recs)
+			if installed == 0 {
+				t.Fatal("coordinator installed no records")
+			}
+			// Duplicate installs must be no-ops, not double merges.
+			if again := coord.InstallRecords(recs); again != 0 {
+				t.Fatalf("re-install installed %d records, want 0", again)
+			}
+			for i, pt := range pts {
+				got := coord.Evaluate(pt)
+				if err := resultsEquivalent(want[i], got); err != nil {
+					t.Fatalf("point %v differs after record install: %v", pt.Key(), err)
+				}
+			}
+			if st := coord.Stats(); st.LayerMisses != 0 {
+				t.Errorf("prefilled evaluator re-ran %d layer searches", st.LayerMisses)
+			}
+		})
+	}
+}
+
+// TestInstallRecordsRejectsMismatched proves a record addressed to a
+// different configuration can never answer a local search: wrong mode,
+// wrong trial budget, and (in random mode) wrong seed all fail the
+// persistKey round-trip and are skipped.
+func TestInstallRecordsRejectsMismatched(t *testing.T) {
+	s := spaceWithDummyParam(3)
+	pt := campaignPoints(s, 1)[0]
+	cfg := cacheTestConfig(s, PrunedMappings)
+	worker := New(cfg)
+	worker.Evaluate(pt)
+	recs := worker.RecordsFor(pt)
+	if len(recs) == 0 {
+		t.Fatal("no records exported")
+	}
+
+	t.Run("wrong-trials", func(t *testing.T) {
+		other := cfg
+		other.MapTrials = cfg.MapTrials * 2
+		coord := New(other)
+		if n := coord.InstallRecords(recs); n != 0 {
+			t.Fatalf("installed %d records with a different trial budget", n)
+		}
+	})
+	t.Run("wrong-mode", func(t *testing.T) {
+		other := cfg
+		other.Mode = FixedDataflow
+		coord := New(other)
+		if n := coord.InstallRecords(recs); n != 0 {
+			t.Fatalf("installed %d pruned-mode records into a fixed-dataflow evaluator", n)
+		}
+	})
+	t.Run("wrong-seed-random-mode", func(t *testing.T) {
+		rcfg := cacheTestConfig(s, RandomMappings)
+		rworker := New(rcfg)
+		rworker.Evaluate(pt)
+		rrecs := rworker.RecordsFor(pt)
+		if len(rrecs) == 0 {
+			t.Fatal("no random-mode records exported")
+		}
+		other := rcfg
+		other.Seed = rcfg.Seed + 1
+		coord := New(other)
+		if n := coord.InstallRecords(rrecs); n != 0 {
+			t.Fatalf("installed %d records across a seed change", n)
+		}
+	})
+}

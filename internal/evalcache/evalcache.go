@@ -24,6 +24,8 @@
 package evalcache
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -32,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"xdse/internal/mapping"
 	"xdse/internal/obs"
@@ -61,6 +64,45 @@ type Key struct {
 	// Salt is the random-mode rng seed (the evaluator's seed folded with
 	// the layer index); zero in the deterministic modes.
 	Salt int64
+}
+
+// ID returns the key's stable content-address digest — the currency of the
+// networked cache surface (GET /cache/{id} on the serve daemon) and of any
+// other context that needs a flat, URL-safe name for a record. It hashes the
+// canonical JSON rendering of the key, so two equal keys always share an ID
+// and any field change produces a new one.
+func (k Key) ID() string {
+	data, _ := json.Marshal(k) // Key is plain strings and ints; cannot fail
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:16])
+}
+
+// Record pairs a content address with its entry — the unit the wire-level
+// APIs (EncodeRecord/DecodeRecord, the fleet protocol, GET /cache/{id})
+// move between processes.
+type Record struct {
+	Key   Key
+	Entry Entry
+}
+
+// EncodeRecord renders one record as a CRC-guarded JSONL line (newline
+// included) under the given cost-model version stamp — the exact on-disk
+// format, exposed so records can travel over the network and be re-verified
+// (CRC and version both) at the receiving end.
+func EncodeRecord(rec Record, version string) ([]byte, error) {
+	return encode(rec.Key, rec.Entry, version, 0)
+}
+
+// DecodeRecord parses one EncodeRecord line (trailing newline optional),
+// verifying the CRC before trusting the payload, and returns the record with
+// the version stamp it was written under. Callers must check the version
+// against their own perf.ModelVersion before installing the entry.
+func DecodeRecord(line string) (Record, string, error) {
+	key, ent, version, _, err := decode(strings.TrimSuffix(line, "\n"))
+	if err != nil {
+		return Record{}, "", err
+	}
+	return Record{Key: key, Entry: ent}, version, nil
 }
 
 // Entry is the shape-invariant outcome of one layer mapping search — the
@@ -124,9 +166,16 @@ type Store struct {
 	cWrites    *obs.Counter
 	cWriteErrs *obs.Counter
 	cEvicted   *obs.Counter
+	cGCRetired *obs.Counter
+
+	// now supplies last-access timestamps (unix seconds); tests override it
+	// to drive GC deterministically.
+	now func() int64
 
 	mu    sync.Mutex
 	idx   map[Key]Entry
+	ids   map[string]Key // Key.ID() -> Key, the networked-lookup index
+	atime map[Key]int64  // last access (unix seconds), the GC currency
 	order []Key
 	head  int
 }
@@ -167,8 +216,13 @@ func Open(dir string, opts Options) (*Store, error) {
 		cWrites:    reg.Counter("evalcache_records_written_total"),
 		cWriteErrs: reg.Counter("evalcache_write_errors_total"),
 		cEvicted:   reg.Counter("evalcache_index_evictions_total"),
+		cGCRetired: reg.Counter("evalcache_gc_retired_total"),
 
-		idx: make(map[Key]Entry),
+		now: func() int64 { return time.Now().Unix() },
+
+		idx:   make(map[Key]Entry),
+		ids:   make(map[string]Key),
+		atime: make(map[Key]int64),
 	}
 	unlock, err := lockedFile(s.lockPath)
 	if err != nil {
@@ -208,7 +262,7 @@ func (s *Store) loadLocked() error {
 			break
 		}
 		rest = tail
-		key, ent, version, err := decode(text)
+		key, ent, version, at, err := decode(text)
 		if err != nil {
 			// Records are independent; a corrupt line costs exactly that
 			// line, and the scan continues at the next newline.
@@ -225,7 +279,7 @@ func (s *Store) loadLocked() error {
 		if _, ok := s.idx[key]; ok {
 			continue // duplicate append from a concurrent writer; first wins
 		}
-		s.insert(key, ent)
+		s.insert(key, ent, at)
 		s.cLoaded.Inc()
 	}
 	if dropped > 0 {
@@ -248,7 +302,7 @@ func (s *Store) compactLocked() error {
 	}
 	for i := s.head; i < len(s.order); i++ {
 		key := s.order[i]
-		data, err := encode(key, s.idx[key], s.version)
+		data, err := encode(key, s.idx[key], s.version, s.atime[key])
 		if err == nil {
 			_, err = tmp.Write(data)
 		}
@@ -292,7 +346,75 @@ func (s *Store) Get(key Key) (Entry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ent, ok := s.idx[key]
+	if ok {
+		// A hit refreshes the record's last-access stamp so GC retires by
+		// usefulness, not by write age. The refresh reaches disk at the next
+		// compaction; losing it merely ages the record back toward its last
+		// persisted stamp.
+		s.atime[key] = s.now()
+	}
 	return ent, ok
+}
+
+// GetByID answers a lookup by content-address digest (Key.ID) — the
+// networked read path, where callers hold a flat record ID instead of the
+// structured key. Hits refresh the record's last-access stamp like Get.
+func (s *Store) GetByID(id string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key, ok := s.ids[id]
+	if !ok {
+		return Record{}, false
+	}
+	s.atime[key] = s.now()
+	return Record{Key: key, Entry: s.idx[key]}, true
+}
+
+// GC retires every record whose last access is older than maxAge, then
+// compacts the file so the retired lines are physically gone, all under the
+// cross-process lock. Access times refresh on Get/GetByID hits and persist
+// through compactions; records written before access stamps existed carry a
+// zero stamp and are always GC-eligible. Returns the number of records
+// retired. maxAge must be positive — a zero or negative age would silently
+// empty the store.
+func (s *Store) GC(maxAge time.Duration) (int, error) {
+	if maxAge <= 0 {
+		return 0, fmt.Errorf("evalcache: GC max age must be positive, got %v", maxAge)
+	}
+	unlock, err := lockedFile(s.lockPath)
+	if err != nil {
+		return 0, err
+	}
+	defer unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	cutoff := s.now() - int64(maxAge/time.Second)
+	retired := 0
+	keep := make([]Key, 0, len(s.order)-s.head)
+	for i := s.head; i < len(s.order); i++ {
+		key := s.order[i]
+		if s.atime[key] >= cutoff {
+			keep = append(keep, key)
+			continue
+		}
+		delete(s.idx, key)
+		delete(s.ids, key.ID())
+		delete(s.atime, key)
+		retired++
+	}
+	s.order, s.head = keep, 0
+	s.cGCRetired.Add(int64(retired))
+	if retired == 0 {
+		return 0, nil
+	}
+	if err := s.compactLocked(); err != nil {
+		// The index already dropped the retired records; a failed rewrite
+		// leaves them on disk where the next successful compaction (or the
+		// next Open) retires them again.
+		return retired, fmt.Errorf("evalcache: GC compaction: %w", err)
+	}
+	return retired, nil
 }
 
 // Put records one completed search: into the index immediately, and onto
@@ -306,10 +428,11 @@ func (s *Store) Put(key Key, ent Entry) {
 		s.mu.Unlock()
 		return
 	}
-	s.insert(key, ent)
+	at := s.now()
+	s.insert(key, ent, at)
 	s.mu.Unlock()
 
-	data, err := encode(key, ent, s.version)
+	data, err := encode(key, ent, s.version, at)
 	if err != nil {
 		s.cWriteErrs.Inc()
 		s.warnf("evalcache: encode: %v", err)
@@ -350,13 +473,17 @@ func (s *Store) appendLocked(data []byte) error {
 
 // insert adds a key to the index and FIFO-evicts beyond the bound. Caller
 // holds s.mu (or has exclusive access during load).
-func (s *Store) insert(key Key, ent Entry) {
+func (s *Store) insert(key Key, ent Entry, at int64) {
 	s.idx[key] = ent
+	s.ids[key.ID()] = key
+	s.atime[key] = at
 	s.order = append(s.order, key)
 	for s.maxN > 0 && len(s.idx) > s.maxN {
 		old := s.order[s.head]
 		s.head++
 		delete(s.idx, old)
+		delete(s.ids, old.ID())
+		delete(s.atime, old)
 		s.cEvicted.Inc()
 	}
 	if s.head > len(s.order)/2 && s.head > 64 {
@@ -376,6 +503,7 @@ type wireRecord struct {
 	Mode   string    `json:"mode"`
 	Budget int       `json:"budget"`
 	Salt   int64     `json:"salt,omitempty"`
+	At     int64     `json:"at,omitempty"` // last access, unix seconds (0 = pre-GC record)
 	Entry  wireEntry `json:"entry"`
 }
 
@@ -456,8 +584,9 @@ const (
 	nTensors = len(perf.Breakdown{}.DataRF)
 )
 
-// encode renders a record as one CRC'd JSONL line (newline included).
-func encode(key Key, ent Entry, version string) ([]byte, error) {
+// encode renders a record as one CRC'd JSONL line (newline included); at is
+// the last-access stamp carried for GC (0 on pure wire-transport lines).
+func encode(key Key, ent Entry, version string, at int64) ([]byte, error) {
 	we := wireEntry{
 		Found:        ent.Found,
 		DRAMStat:     int(ent.Mapping.DRAMStationary),
@@ -503,6 +632,7 @@ func encode(key Key, ent Entry, version string) ([]byte, error) {
 		Mode:   key.Mode,
 		Budget: key.Trials,
 		Salt:   key.Salt,
+		At:     at,
 		Entry:  we,
 	})
 	if err != nil {
@@ -512,10 +642,11 @@ func encode(key Key, ent Entry, version string) ([]byte, error) {
 }
 
 // decode parses one line (without its newline), verifying the CRC before
-// trusting anything in the payload.
-func decode(text string) (Key, Entry, string, error) {
-	fail := func(err error) (Key, Entry, string, error) {
-		return Key{}, Entry{}, "", err
+// trusting anything in the payload; the fourth return is the record's
+// last-access stamp.
+func decode(text string) (Key, Entry, string, int64, error) {
+	fail := func(err error) (Key, Entry, string, int64, error) {
+		return Key{}, Entry{}, "", 0, err
 	}
 	if len(text) < 9 || text[8] != ' ' {
 		return fail(fmt.Errorf("malformed line %q", truncateForErr(text)))
@@ -610,7 +741,7 @@ func decode(text string) (Key, Entry, string, error) {
 		return fail(err)
 	}
 	copy(b.VirtNeeded[:], virt)
-	return key, ent, w.V, nil
+	return key, ent, w.V, w.At, nil
 }
 
 // truncateForErr bounds corrupt-line excerpts embedded in error messages.

@@ -1,0 +1,178 @@
+package evalcache
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	rec := Record{Key: testKey(3), Entry: testEntry(3)}
+	data, err := EncodeRecord(rec, "v-wire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Fatalf("encoded record missing trailing newline: %q", data)
+	}
+	got, version, err := DecodeRecord(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != "v-wire" {
+		t.Fatalf("version = %q, want v-wire", version)
+	}
+	if got.Key != rec.Key {
+		t.Fatalf("key round-trip: got %+v want %+v", got.Key, rec.Key)
+	}
+	if !entriesEqual(got.Entry, rec.Entry) {
+		t.Fatalf("entry round-trip mismatch")
+	}
+	// A line without its newline must decode identically (wire transport
+	// strips them).
+	if _, _, err := DecodeRecord(strings.TrimSuffix(string(data), "\n")); err != nil {
+		t.Fatalf("decode without newline: %v", err)
+	}
+}
+
+// entriesEqual compares the fields the codec tests care about bit-exactly.
+func entriesEqual(a, b Entry) bool {
+	return a.Found == b.Found && a.Trials == b.Trials &&
+		a.CostCalls == b.CostCalls && a.Mapping == b.Mapping &&
+		a.Perf == b.Perf
+}
+
+func TestRecordCodecRejectsCorruption(t *testing.T) {
+	rec := Record{Key: testKey(1), Entry: testEntry(1)}
+	data, err := EncodeRecord(rec, "v-wire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := string(data)
+	// Flip one payload byte: the CRC must catch it.
+	mid := len(line) / 2
+	corrupt := line[:mid] + "X" + line[mid+1:]
+	if _, _, err := DecodeRecord(corrupt); err == nil {
+		t.Fatal("decode accepted a corrupted record")
+	}
+	if _, _, err := DecodeRecord("not a record at all"); err == nil {
+		t.Fatal("decode accepted garbage")
+	}
+}
+
+func TestKeyIDStableAndDistinct(t *testing.T) {
+	a1, a2 := testKey(1).ID(), testKey(1).ID()
+	if a1 != a2 || a1 == "" {
+		t.Fatalf("ID not stable: %q vs %q", a1, a2)
+	}
+	if testKey(1).ID() == testKey(2).ID() {
+		t.Fatal("distinct keys share an ID")
+	}
+}
+
+func TestGetByID(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Version: "v-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testEntry(4)
+	s.Put(testKey(4), want)
+	rec, ok := s.GetByID(testKey(4).ID())
+	if !ok {
+		t.Fatal("GetByID miss for a present record")
+	}
+	if rec.Key != testKey(4) || !entriesEqual(rec.Entry, want) {
+		t.Fatal("GetByID returned the wrong record")
+	}
+	if _, ok := s.GetByID("no-such-id"); ok {
+		t.Fatal("GetByID hit for an absent id")
+	}
+}
+
+func TestGCRetiresByLastAccess(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: "v-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic clock: records 0..4 written at t=0, then 2 and 4
+	// accessed at t=1000.
+	clock := int64(0)
+	s.now = func() int64 { return clock }
+	for i := 0; i < 5; i++ {
+		s.Put(testKey(i), testEntry(i))
+	}
+	clock = 1000
+	for _, i := range []int{2, 4} {
+		if _, ok := s.Get(testKey(i)); !ok {
+			t.Fatalf("warm-up Get(%d) missed", i)
+		}
+	}
+	// At t=1500, a 600s horizon retires everything last touched at t=0.
+	clock = 1500
+	retired, err := s.GC(600 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retired != 3 {
+		t.Fatalf("retired %d records, want 3", retired)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("store has %d records after GC, want 2", s.Len())
+	}
+	if got := s.Metrics().Counter("evalcache_gc_retired_total").Value(); got != 3 {
+		t.Fatalf("evalcache_gc_retired_total = %d, want 3", got)
+	}
+	for _, i := range []int{0, 1, 3} {
+		if _, ok := s.Get(testKey(i)); ok {
+			t.Fatalf("record %d survived GC", i)
+		}
+	}
+	// The retirement must be durable: a fresh store sees only the kept
+	// records, with their access stamps intact.
+	s2, err := Open(dir, Options{Version: "v-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("reopened store has %d records, want 2", s2.Len())
+	}
+	for _, i := range []int{2, 4} {
+		if _, ok := s2.Get(testKey(i)); !ok {
+			t.Fatalf("kept record %d missing after reopen", i)
+		}
+	}
+}
+
+func TestGCRejectsNonPositiveAge(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Version: "v-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GC(0); err == nil {
+		t.Fatal("GC(0) accepted")
+	}
+	if _, err := s.GC(-time.Second); err == nil {
+		t.Fatal("GC(<0) accepted")
+	}
+}
+
+func TestGCKeepsEverythingWithinAge(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Version: "v-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := int64(100)
+	s.now = func() int64 { return clock }
+	for i := 0; i < 3; i++ {
+		s.Put(testKey(i), testEntry(i))
+	}
+	clock = 150
+	retired, err := s.GC(100 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retired != 0 || s.Len() != 3 {
+		t.Fatalf("GC retired %d (len %d), want 0 (3)", retired, s.Len())
+	}
+}

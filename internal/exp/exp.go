@@ -22,6 +22,7 @@ import (
 	"xdse/internal/dse"
 	"xdse/internal/eval"
 	"xdse/internal/evalcache"
+	"xdse/internal/fleet"
 	"xdse/internal/obs"
 	"xdse/internal/opt"
 	"xdse/internal/search"
@@ -97,6 +98,15 @@ type Config struct {
 	// Cache, when non-nil, is an already-open persistent store shared by
 	// every run (the serve daemon injects its own); CacheDir is ignored.
 	Cache *evalcache.Store
+	// Fleet, when non-nil, shards every run's evaluation batches across a
+	// pool of xdse serve workers (see internal/fleet): each batch's fresh
+	// points are dispatched under leases and the returned content-addressed
+	// layer records are installed before local evaluation. The hook is
+	// result neutral — traces and fingerprints are bit-identical with or
+	// without a fleet, under any worker failure — so attaching one changes
+	// only wall-clock time. The caller owns the coordinator's lifecycle
+	// (fleet.New / Close).
+	Fleet *fleet.Coordinator
 }
 
 // Default returns the reduced-budget configuration.
@@ -296,6 +306,11 @@ func RunOne(ctx context.Context, cfg Config, tech Technique, model *workload.Mod
 		label := fmt.Sprintf("%s_%s", sanitize(tech.Name), sanitize(model.Name))
 		prob.Events = obs.Multi(obs.WithRun(cfg.Trace, label), obs.NewMetricsSink(ev.Metrics()))
 	}
+	if cfg.Fleet != nil {
+		// Remote batch preparation: a pure cache warmer, so the optimizer
+		// below sees identical results whether the fleet helped or not.
+		prob.Prepare = cfg.Fleet.Prepare(ev, model.Name)
+	}
 	start := time.Now()
 	tr, panicErr := runOptimizer(o, prob, rand.New(rand.NewSource(cfg.Seed)))
 	run.Err = panicErr
@@ -422,6 +437,10 @@ func RunCampaign(ctx context.Context, cfg Config, techs []Technique, models []*w
 		}()
 		runs[i] = RunOne(ctx, cfg, j.tech, j.model, j.budget)
 	}
+	// Note: the coordinator's fleet_* instruments are NOT merged into
+	// cfg.Metrics here — the coordinator outlives campaigns (a process may
+	// run several over one fleet), so its owner merges c.Fleet.Metrics()
+	// exactly once at shutdown (cmd/xdse does this before -metrics-out).
 	if cfg.Parallel <= 1 {
 		for i, j := range jobs {
 			safeRun(i, j)

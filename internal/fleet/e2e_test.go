@@ -1,0 +1,280 @@
+// Package fleet_test proves the coordinator's headline contract end to end
+// against real serve workers: a distributed campaign's trace fingerprint is
+// bit-identical to a single-node run's under worker death mid-campaign,
+// model-version skew, shared worker pools, and total fleet loss.
+package fleet_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xdse/internal/exp"
+	"xdse/internal/fleet"
+	"xdse/internal/serve"
+	"xdse/internal/workload"
+)
+
+// quietOpts builds worker options over fresh temp dirs with warnings
+// suppressed (the chaos below makes plenty of expected noise).
+func quietOpts(t *testing.T) serve.Options {
+	t.Helper()
+	return serve.Options{
+		Dir:      t.TempDir(),
+		CacheDir: t.TempDir(),
+		Warnf:    func(string, ...any) {},
+	}
+}
+
+// startWorker mounts a serve daemon on an httptest server behind a kill
+// switch: once killed, every request — in-flight or future, probes included
+// — has its connection dropped abruptly, which is what a kill -9 looks like
+// from the coordinator's side.
+func startWorker(t *testing.T) (*httptest.Server, *atomic.Bool) {
+	t.Helper()
+	s, err := serve.New(quietOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := &atomic.Bool{}
+	h := s.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if dead.Load() {
+			panic(http.ErrAbortHandler)
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, dead
+}
+
+// testConfig is the seconds-scale run the e2e tests share.
+func testConfig() exp.Config {
+	cfg := exp.Default()
+	cfg.Out = io.Discard
+	cfg.MapTrials = 60
+	cfg.Seed = 1
+	cfg.Workers = 2
+	return cfg
+}
+
+const testBudget = 12
+
+// modes pairs each mapper mode with a technique exercising it.
+var modes = []struct{ tech string }{
+	{"GridSearch-FixDF"},
+	{"RandomSearch-Codesign"},
+	{"ExplainableDSE-Codesign"},
+}
+
+// fleetOptions returns aggressive timings so chaos plays out within a
+// seconds-scale run.
+func fleetOptions() fleet.Options {
+	return fleet.Options{
+		LeaseTTL:       400 * time.Millisecond,
+		MaxShardHold:   10 * time.Second,
+		HealthInterval: 25 * time.Millisecond,
+		ShardPoints:    2,
+		Backoff:        2 * time.Millisecond,
+		BackoffCap:     20 * time.Millisecond,
+		Warnf:          func(string, ...any) {},
+	}
+}
+
+// TestKillWorkerMidCampaignBitIdentical is the tentpole acceptance test: in
+// every mapper mode, a campaign over two workers — one of which dies
+// abruptly mid-campaign, mid-request — completes with a trace fingerprint
+// bit-identical to the single-node reference, and the death is visible as
+// expired leases.
+func TestKillWorkerMidCampaignBitIdentical(t *testing.T) {
+	model := workload.ByName("ResNet18")
+	for _, m := range modes {
+		m := m
+		t.Run(m.tech, func(t *testing.T) {
+			tech, ok := exp.TechniqueByName(m.tech)
+			if !ok {
+				t.Fatalf("unknown technique %q", m.tech)
+			}
+			ref := exp.RunOne(context.Background(), testConfig(), tech, model, testBudget)
+			if ref.Err != "" {
+				t.Fatalf("reference run failed: %s", ref.Err)
+			}
+
+			// The kill switch is fleet-wide: the second /eval request,
+			// whichever worker receives it, kills that worker — the request
+			// is dropped mid-flight and so is everything after it, probes
+			// included. This guarantees the campaign loses a worker that
+			// was actively holding a lease, wherever the ring sent the
+			// shards.
+			var mu sync.Mutex
+			evals := 0
+			dead := &atomic.Bool{} // set once some worker has been killed
+			mkWorker := func() *httptest.Server {
+				s, err := serve.New(quietOpts(t))
+				if err != nil {
+					t.Fatal(err)
+				}
+				myDead := &atomic.Bool{}
+				h := s.Handler()
+				ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					if myDead.Load() {
+						panic(http.ErrAbortHandler)
+					}
+					if r.URL.Path == "/eval" {
+						mu.Lock()
+						evals++
+						n := evals
+						mu.Unlock()
+						if n == 2 {
+							myDead.Store(true)
+							dead.Store(true)
+							panic(http.ErrAbortHandler)
+						}
+					}
+					h.ServeHTTP(w, r)
+				}))
+				t.Cleanup(ts.Close)
+				return ts
+			}
+			ts1, ts2 := mkWorker(), mkWorker()
+
+			c, err := fleet.New([]string{ts1.Listener.Addr().String(), ts2.Listener.Addr().String()}, fleetOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			cfg := testConfig()
+			cfg.Fleet = c
+			got := exp.RunOne(context.Background(), cfg, tech, model, testBudget)
+			if got.Err != "" {
+				t.Fatalf("fleet run failed: %s", got.Err)
+			}
+
+			want, have := ref.Trace.Fingerprint(), got.Trace.Fingerprint()
+			if want != have {
+				t.Fatalf("fleet campaign fingerprint %s != single-node %s", have, want)
+			}
+			if !dead.Load() {
+				t.Fatal("kill switch never tripped — the campaign did not exercise worker death")
+			}
+			if n := c.Metrics().Counter("fleet_leases_expired_total").Value(); n == 0 {
+				t.Fatal("worker died mid-flight but no lease expired")
+			}
+		})
+	}
+}
+
+// TestDegradedNoWorkersBitIdentical: with nothing listening anywhere, the
+// coordinator degrades to pure local execution — same fingerprint, degraded
+// transition counted.
+func TestDegradedNoWorkersBitIdentical(t *testing.T) {
+	tech, _ := exp.TechniqueByName("ExplainableDSE-Codesign")
+	model := workload.ByName("ResNet18")
+	ref := exp.RunOne(context.Background(), testConfig(), tech, model, testBudget)
+
+	// A listener opened and immediately closed yields an address with
+	// nothing behind it.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	addr := ts.Listener.Addr().String()
+	ts.Close()
+
+	c, err := fleet.New([]string{addr}, fleetOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if n := c.WorkersHealthy(); n != 0 {
+		t.Fatalf("WorkersHealthy = %d over a dead address, want 0", n)
+	}
+	cfg := testConfig()
+	cfg.Fleet = c
+	got := exp.RunOne(context.Background(), cfg, tech, model, testBudget)
+	if got.Trace.Fingerprint() != ref.Trace.Fingerprint() {
+		t.Fatal("degraded run fingerprint differs from single-node reference")
+	}
+	if n := c.Metrics().Counter("fleet_degraded_transitions_total").Value(); n == 0 {
+		t.Fatal("degraded transition not counted")
+	}
+}
+
+// TestVersionSkewQuarantine: a worker whose cost-model version differs from
+// the coordinator's is quarantined by the membership handshake and never
+// serves a shard; the campaign still completes bit-identically (locally).
+func TestVersionSkewQuarantine(t *testing.T) {
+	tech, _ := exp.TechniqueByName("GridSearch-FixDF")
+	model := workload.ByName("ResNet18")
+	ref := exp.RunOne(context.Background(), testConfig(), tech, model, testBudget)
+
+	ts, _ := startWorker(t)
+	opts := fleetOptions()
+	opts.ModelVersion = "some-other-model-version"
+	c, err := fleet.New([]string{ts.Listener.Addr().String()}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if n := c.WorkersHealthy(); n != 0 {
+		t.Fatalf("WorkersHealthy = %d for a skewed worker, want 0 (quarantined)", n)
+	}
+	if n := c.Metrics().Counter("fleet_workers_quarantined_total").Value(); n == 0 {
+		t.Fatal("skewed worker not counted quarantined")
+	}
+	cfg := testConfig()
+	cfg.Fleet = c
+	got := exp.RunOne(context.Background(), cfg, tech, model, testBudget)
+	if got.Trace.Fingerprint() != ref.Trace.Fingerprint() {
+		t.Fatal("quarantine run fingerprint differs from single-node reference")
+	}
+}
+
+// TestTwoCoordinatorsShareWorkerPool: two coordinators driving different
+// campaigns over the same single worker must not interfere — distinct lease
+// tokens, shared evaluator-side caches, both bit-identical.
+func TestTwoCoordinatorsShareWorkerPool(t *testing.T) {
+	model := workload.ByName("ResNet18")
+	techA, _ := exp.TechniqueByName("GridSearch-FixDF")
+	techB, _ := exp.TechniqueByName("ExplainableDSE-Codesign")
+	refA := exp.RunOne(context.Background(), testConfig(), techA, model, testBudget)
+	refB := exp.RunOne(context.Background(), testConfig(), techB, model, testBudget)
+
+	ts, _ := startWorker(t)
+	addr := ts.Listener.Addr().String()
+	newCoord := func() *fleet.Coordinator {
+		c, err := fleet.New([]string{addr}, fleetOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		return c
+	}
+	cA, cB := newCoord(), newCoord()
+
+	var wg sync.WaitGroup
+	var gotA, gotB exp.Run
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		cfg := testConfig()
+		cfg.Fleet = cA
+		gotA = exp.RunOne(context.Background(), cfg, techA, model, testBudget)
+	}()
+	go func() {
+		defer wg.Done()
+		cfg := testConfig()
+		cfg.Fleet = cB
+		gotB = exp.RunOne(context.Background(), cfg, techB, model, testBudget)
+	}()
+	wg.Wait()
+
+	if gotA.Trace.Fingerprint() != refA.Trace.Fingerprint() {
+		t.Fatal("coordinator A's campaign differs from its single-node reference")
+	}
+	if gotB.Trace.Fingerprint() != refB.Trace.Fingerprint() {
+		t.Fatal("coordinator B's campaign differs from its single-node reference")
+	}
+}

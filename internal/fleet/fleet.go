@@ -1,0 +1,570 @@
+// Package fleet coordinates a campaign across a pool of xdse serve worker
+// daemons. The coordinator never delegates *results* — workers compute
+// layer-grain mapping searches and return content-addressed evalcache
+// records, which the coordinator installs as cache prefill before running
+// every evaluation locally. Bit-identical merged campaigns therefore hold by
+// construction: a lost, late, corrupt, or missing record only means the
+// coordinator recomputes that layer itself, and the design-level trace
+// (hence Trace.Fingerprint) is untouched by any fleet failure mode.
+//
+// Robustness model:
+//   - Shards are assigned by consistent hash of the design/workload cache
+//     key, so repeat points land on the worker already holding their records.
+//   - Every dispatch holds a coordinator-side lease with heartbeat renewal
+//     (renewed while the health monitor sees the worker ready); a lease that
+//     ends without a completed result — worker killed mid-flight, hang past
+//     its TTL, or transport failure — counts as expired and the shard is
+//     re-dispatched to the next worker on the ring (work stealing).
+//   - Faults are classified with eval.ErrClass semantics: connection
+//     refused/timeouts/5xx/429 are transient (capped deterministic backoff,
+//     retry elsewhere); 4xx and model-version skew are permanent (surfaced
+//     in the campaign report, never retried). Version skew additionally
+//     quarantines the worker.
+//   - With zero reachable workers the coordinator degrades to pure local
+//     execution and keeps probing; workers rejoin transparently.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xdse/internal/arch"
+	"xdse/internal/eval"
+	"xdse/internal/evalcache"
+	"xdse/internal/obs"
+	"xdse/internal/perf"
+)
+
+// Options tunes a Coordinator. The zero value is usable; defaults suit a
+// LAN fleet of a few workers.
+type Options struct {
+	// LeaseTTL is the heartbeat window: a lease not renewed within it
+	// expires and its shard is stolen. Default 5s.
+	LeaseTTL time.Duration
+	// MaxShardHold is the absolute ceiling on one lease regardless of
+	// renewals — the straggler bound. Default 2m.
+	MaxShardHold time.Duration
+	// HealthInterval is the membership probe cadence. Default 1s.
+	HealthInterval time.Duration
+	// ShardPoints caps design points per dispatched shard. Default 8.
+	ShardPoints int
+	// MaxAttempts bounds dispatch attempts per shard before falling back
+	// to local evaluation. Default eval.DefaultRetry().MaxAttempts.
+	MaxAttempts int
+	// Backoff and BackoffCap shape the deterministic (jitter-free)
+	// exponential delay between a shard's dispatch attempts, mirroring
+	// eval.RetryPolicy. Defaults 50ms / 2s.
+	Backoff    time.Duration
+	BackoffCap time.Duration
+	// ModelVersion is the cost-model version workers must match. Default
+	// perf.ModelVersion(); tests override it to exercise quarantine.
+	ModelVersion string
+	// Registry, when non-nil, receives the fleet_* instruments; otherwise
+	// the coordinator allocates a private registry (see Metrics).
+	Registry *obs.Registry
+	// Warnf, when non-nil, receives human-readable fleet events
+	// (membership transitions, steals, permanent faults, degradation).
+	Warnf func(format string, args ...any)
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (o Options) withDefaults() Options {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 5 * time.Second
+	}
+	if o.MaxShardHold <= 0 {
+		o.MaxShardHold = 2 * time.Minute
+	}
+	if o.MaxShardHold < o.LeaseTTL {
+		o.MaxShardHold = o.LeaseTTL
+	}
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = time.Second
+	}
+	if o.ShardPoints <= 0 {
+		o.ShardPoints = 8
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = eval.DefaultRetry().MaxAttempts
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = 2 * time.Second
+	}
+	if o.ModelVersion == "" {
+		o.ModelVersion = perf.ModelVersion()
+	}
+	return o
+}
+
+// maxEvalRespBytes bounds one /eval response body (a shard's records).
+const maxEvalRespBytes = 64 << 20
+
+// maxFaults bounds the permanent-fault report so a misconfigured fleet
+// cannot grow coordinator memory without bound.
+const maxFaults = 64
+
+// coordSeq distinguishes coordinators within one process so lease tokens
+// never collide even when two coordinators share a worker pool.
+var coordSeq atomic.Int64
+
+// Coordinator shards campaign evaluation batches across a worker pool. It
+// plugs into a run as a search.Problem.Prepare hook (see Prepare): purely a
+// cache warmer, so every fleet failure mode degrades to local computation.
+type Coordinator struct {
+	opts   Options
+	reg    *obs.Registry
+	pool   *pool
+	leases *leaseTable
+	client *http.Client
+	now    func() time.Time
+
+	cShards    *obs.Counter // shards dispatched remotely (first attempts)
+	cStolen    *obs.Counter // re-dispatches after an expired lease
+	cRetries   *obs.Counter // transient-fault retry sleeps taken
+	cLate      *obs.Counter // results discarded because their lease was revoked
+	cPermanent *obs.Counter // permanent faults recorded
+	cLocal     *obs.Counter // shards that fell back to local evaluation
+	cInstalled *obs.Counter // records installed into the local evaluator
+	cPoints    *obs.Counter // points offered for remote preparation
+	cDegraded  *obs.Counter // transitions into degraded (no-worker) mode
+	gDegraded  *obs.Gauge   // 1 while degraded to pure local execution
+
+	mu       sync.Mutex
+	degraded bool
+	faults   []string
+}
+
+// New builds a Coordinator over the given worker addresses (host:port or
+// full URLs), probes them once synchronously, and starts the background
+// health monitor. Callers must Close it.
+func New(workers []string, opts Options) (*Coordinator, error) {
+	if len(workers) == 0 {
+		return nil, errors.New("fleet: no workers given")
+	}
+	for _, w := range workers {
+		if strings.TrimSpace(w) == "" {
+			return nil, errors.New("fleet: empty worker address")
+		}
+	}
+	opts = opts.withDefaults()
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	now := time.Now
+	client := &http.Client{}
+	c := &Coordinator{
+		opts:       opts,
+		reg:        reg,
+		client:     client,
+		now:        now,
+		cShards:    reg.Counter("fleet_shards_dispatched_total"),
+		cStolen:    reg.Counter("fleet_leases_stolen_total"),
+		cRetries:   reg.Counter("fleet_retries_total"),
+		cLate:      reg.Counter("fleet_late_results_discarded_total"),
+		cPermanent: reg.Counter("fleet_permanent_faults_total"),
+		cLocal:     reg.Counter("fleet_shards_local_total"),
+		cInstalled: reg.Counter("fleet_records_installed_total"),
+		cPoints:    reg.Counter("fleet_points_offered_total"),
+		cDegraded:  reg.Counter("fleet_degraded_transitions_total"),
+		gDegraded:  reg.Gauge("fleet_degraded"),
+	}
+	c.leases = newLeaseTable(fmt.Sprintf("%d-%d", os.Getpid(), coordSeq.Add(1)), func() time.Time { return c.now() }, reg)
+	c.pool = newPool(workers, opts.ModelVersion, opts.HealthInterval, client, reg, opts.Warnf)
+	c.pool.start()
+	return c, nil
+}
+
+// Close stops the health monitor. In-flight Prepare calls should have
+// finished (the campaign runner calls Close after RunCampaign returns).
+func (c *Coordinator) Close() {
+	c.pool.close()
+}
+
+// Metrics returns the registry holding the fleet_* instruments, for merging
+// into a campaign's metrics output.
+func (c *Coordinator) Metrics() *obs.Registry { return c.reg }
+
+// WorkersHealthy returns the number of currently dispatchable workers.
+func (c *Coordinator) WorkersHealthy() int { return c.pool.healthyCount() }
+
+// Faults returns the permanent faults recorded so far (capped), for the
+// campaign report.
+func (c *Coordinator) Faults() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.faults))
+	copy(out, c.faults)
+	return out
+}
+
+// recordFault appends a permanent fault to the report (bounded) and counts it.
+func (c *Coordinator) recordFault(msg string) {
+	c.cPermanent.Inc()
+	if c.opts.Warnf != nil {
+		c.opts.Warnf("fleet: permanent fault: %s", msg)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.faults) < maxFaults {
+		c.faults = append(c.faults, msg)
+	}
+}
+
+// setDegraded tracks entry/exit of pure-local degraded mode, counting and
+// logging transitions only.
+func (c *Coordinator) setDegraded(on bool) {
+	c.mu.Lock()
+	changed := c.degraded != on
+	c.degraded = on
+	c.mu.Unlock()
+	if !changed {
+		return
+	}
+	if on {
+		c.cDegraded.Inc()
+		c.gDegraded.Set(1)
+		if c.opts.Warnf != nil {
+			c.opts.Warnf("fleet: no reachable workers; degrading to local execution")
+		}
+	} else {
+		c.gDegraded.Set(0)
+		if c.opts.Warnf != nil {
+			c.opts.Warnf("fleet: workers reachable again; resuming remote dispatch")
+		}
+	}
+}
+
+// Prepare returns a search.Problem.Prepare hook that warms ev's layer cache
+// from the fleet before each batch: it shards the batch's not-yet-memoized
+// points by consistent hash, dispatches each shard under a lease, and
+// installs the returned content-addressed records. The hook is result
+// neutral — the batch's evaluations run locally afterwards and are
+// bit-identical whether the hook did everything, something, or nothing.
+func (c *Coordinator) Prepare(ev *eval.Evaluator, model string) func(context.Context, []arch.Point) {
+	cfg := ev.Config()
+	base := EvalRequest{
+		Protocol:     ProtocolVersion,
+		ModelVersion: c.opts.ModelVersion,
+		Model:        model,
+		Mode:         cfg.Mode.String(),
+		MapTrials:    cfg.MapTrials,
+		Seed:         cfg.Seed,
+	}
+	return func(ctx context.Context, pts []arch.Point) {
+		var fresh []arch.Point
+		seen := make(map[string]bool, len(pts))
+		for _, pt := range pts {
+			k := pt.Key()
+			if seen[k] || ev.Memoized(pt) {
+				continue
+			}
+			seen[k] = true
+			fresh = append(fresh, pt)
+		}
+		if len(fresh) == 0 {
+			return
+		}
+		c.cPoints.Add(int64(len(fresh)))
+		shards := c.shard(model, fresh)
+		if len(shards) == 0 {
+			// No reachable workers: degrade, let the batch evaluate locally.
+			c.setDegraded(true)
+			return
+		}
+		c.setDegraded(false)
+		var wg sync.WaitGroup
+		for _, sh := range shards {
+			wg.Add(1)
+			go func(sh shard) {
+				defer wg.Done()
+				recs := c.runShard(ctx, base, sh)
+				if len(recs) > 0 {
+					c.cInstalled.Add(int64(ev.InstallRecords(recs)))
+				}
+			}(sh)
+		}
+		wg.Wait()
+	}
+}
+
+// shard is one dispatchable unit: a slice of point keys with a ring-derived
+// locality key and preferred owner.
+type shard struct {
+	key    string // locality key of the shard's first point
+	points []string
+}
+
+// shard groups fresh points by their ring owner (for evalcache locality)
+// and chunks each group to ShardPoints. Returns nil when no workers are
+// currently healthy.
+func (c *Coordinator) shard(model string, pts []arch.Point) []shard {
+	if c.pool.healthyCount() == 0 {
+		return nil
+	}
+	groups := make(map[int][]string)
+	var order []int
+	for _, pt := range pts {
+		key := model + "|" + pt.Key()
+		own := c.pool.owner(key)
+		if _, ok := groups[own]; !ok {
+			order = append(order, own)
+		}
+		groups[own] = append(groups[own], pt.Key())
+	}
+	var out []shard
+	for _, own := range order {
+		keys := groups[own]
+		for len(keys) > 0 {
+			n := c.opts.ShardPoints
+			if n > len(keys) {
+				n = len(keys)
+			}
+			out = append(out, shard{key: model + "|" + keys[0], points: keys[:n]})
+			keys = keys[n:]
+		}
+	}
+	return out
+}
+
+// permanentError marks a fault retrying cannot heal (eval.ClassPermanent
+// semantics): bad request, unknown model/mode, or model-version skew.
+type permanentError struct{ err error }
+
+// Error implements error.
+func (e *permanentError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the underlying fault.
+func (e *permanentError) Unwrap() error { return e.err }
+
+// classify maps a dispatch error to eval.ErrClass semantics.
+func classify(err error) eval.ErrClass {
+	if err == nil {
+		return eval.ClassNone
+	}
+	var pe *permanentError
+	if errors.As(err, &pe) {
+		return eval.ClassPermanent
+	}
+	return eval.ClassTransient
+}
+
+// delayBefore mirrors eval.RetryPolicy's deterministic exponential backoff:
+// no jitter, so retry schedules are reproducible in tests and traces.
+func (c *Coordinator) delayBefore(retry int) time.Duration {
+	d := c.opts.Backoff
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= c.opts.BackoffCap {
+			return c.opts.BackoffCap
+		}
+	}
+	if d > c.opts.BackoffCap {
+		d = c.opts.BackoffCap
+	}
+	return d
+}
+
+// runShard drives one shard to completion: dispatch under a lease, steal to
+// the next ring worker on expiry or transient fault (with capped backoff),
+// record permanent faults, and fall back to local evaluation when attempts
+// run out or no worker remains. Returns the records to install (nil means
+// the coordinator computes the shard's layers itself).
+func (c *Coordinator) runShard(ctx context.Context, base EvalRequest, sh shard) []evalcache.Record {
+	c.cShards.Inc()
+	tried := make(map[int]bool)
+	prevExpired := false
+	for attempt := 1; ; attempt++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		w, idx := c.pool.pick(sh.key, tried)
+		if w == nil && len(tried) > 0 {
+			// Every healthy worker was tried; allow a second pass.
+			tried = make(map[int]bool)
+			w, idx = c.pool.pick(sh.key, tried)
+		}
+		if w == nil {
+			if c.pool.healthyCount() == 0 {
+				c.setDegraded(true)
+			}
+			c.cLocal.Inc()
+			return nil
+		}
+		if prevExpired {
+			c.cStolen.Inc()
+			if c.opts.Warnf != nil {
+				c.opts.Warnf("fleet: shard %s stolen to worker %s (attempt %d)", sh.key, w.id, attempt)
+			}
+		}
+		recs, err := c.dispatch(ctx, base, sh, w)
+		switch classify(err) {
+		case eval.ClassNone:
+			return recs
+		case eval.ClassPermanent:
+			c.recordFault(fmt.Sprintf("shard %s on worker %s: %v", sh.key, w.id, err))
+			c.cLocal.Inc()
+			return nil
+		}
+		// Transient: steal to another worker after a deterministic delay.
+		prevExpired = true
+		tried[idx] = true
+		if attempt >= c.opts.MaxAttempts {
+			c.cLocal.Inc()
+			return nil
+		}
+		c.cRetries.Inc()
+		if !sleepCtx(ctx, c.delayBefore(attempt)) {
+			return nil
+		}
+	}
+}
+
+// sleepCtx sleeps for d unless ctx ends first; reports whether the full
+// delay elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// dispatch performs one leased attempt of sh on w: grant a lease, start the
+// renew/expiry watcher, POST the shard, and gate the result on lease
+// completion. Any path that ends without complete() revokes the lease
+// (counting it expired). Errors are classified by classify.
+func (c *Coordinator) dispatch(ctx context.Context, base EvalRequest, sh shard, w *worker) ([]evalcache.Record, error) {
+	l := c.leases.grant(w.id, c.opts.LeaseTTL, c.opts.MaxShardHold)
+	req := base
+	req.Lease = l.token
+	req.Points = sh.points
+
+	reqCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	watchDone := make(chan struct{})
+	stopWatch := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		c.watchLease(l, w, cancel, stopWatch)
+	}()
+
+	resp, err := c.postEval(reqCtx, w, req)
+	close(stopWatch)
+	<-watchDone
+	if err != nil {
+		// The lease ended without a completed result — whether the worker
+		// died mid-flight, timed out, or the watcher already expired it.
+		c.leases.revoke(l)
+		return nil, err
+	}
+	if !c.leases.complete(l) {
+		// Late result: the lease expired (and the shard was or will be
+		// re-dispatched) before this response landed. Discard it — the
+		// records were never installed, so nothing was double-merged.
+		c.cLate.Inc()
+		return nil, fmt.Errorf("worker %s: result after lease %s expired; discarded", w.id, l.token)
+	}
+	if resp.ModelVersion != c.opts.ModelVersion {
+		c.pool.quarantine(w, fmt.Sprintf("response model version %q, want %q", resp.ModelVersion, c.opts.ModelVersion))
+		return nil, &permanentError{fmt.Errorf("worker %s: response model version %q, want %q", w.id, resp.ModelVersion, c.opts.ModelVersion)}
+	}
+	var recs []evalcache.Record
+	for _, line := range resp.Records {
+		rec, ver, err := evalcache.DecodeRecord(line)
+		if err != nil || ver != c.opts.ModelVersion {
+			// A corrupt or skewed record is dropped, not fatal: the
+			// coordinator recomputes that layer locally.
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// watchLease renews l while the pool believes w healthy (the heartbeat) and
+// revokes it — cancelling the in-flight request — once it expires. Runs
+// until stop closes or the lease expires.
+func (c *Coordinator) watchLease(l *lease, w *worker, cancel context.CancelFunc, stop <-chan struct{}) {
+	tick := c.opts.LeaseTTL / 3
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			now := c.now()
+			if l.expired(now) {
+				c.leases.revoke(l)
+				cancel()
+				return
+			}
+			if w.healthy() {
+				l.renew(now, c.opts.LeaseTTL)
+			}
+		}
+	}
+}
+
+// postEval performs the HTTP round trip for one shard and classifies the
+// response status: 200 decodes, 412 quarantines (permanent), other 4xx are
+// permanent, 429/5xx/transport errors are transient.
+func (c *Coordinator) postEval(ctx context.Context, w *worker, req EvalRequest) (*EvalResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, &permanentError{fmt.Errorf("encode request: %w", err)}
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/eval", bytes.NewReader(body))
+	if err != nil {
+		return nil, &permanentError{fmt.Errorf("build request: %w", err)}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("worker %s: %w", w.id, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxEvalRespBytes))
+	if err != nil {
+		return nil, fmt.Errorf("worker %s: read response: %w", w.id, err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		// Fall through to decode.
+	case resp.StatusCode == http.StatusPreconditionFailed:
+		c.pool.quarantine(w, "eval handshake: "+strings.TrimSpace(string(data)))
+		return nil, &permanentError{fmt.Errorf("worker %s: model version skew: %s", w.id, strings.TrimSpace(string(data)))}
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+		return nil, fmt.Errorf("worker %s: status %d", w.id, resp.StatusCode)
+	default:
+		return nil, &permanentError{fmt.Errorf("worker %s: status %d: %s", w.id, resp.StatusCode, strings.TrimSpace(string(data)))}
+	}
+	var out EvalResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("worker %s: decode response: %w", w.id, err)
+	}
+	return &out, nil
+}

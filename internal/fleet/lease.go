@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"xdse/internal/obs"
+)
+
+// leaseState is the lifecycle position of one lease. Transitions are
+// one-way: active → done (result accepted) or active → revoked (expired,
+// worker lost, or dispatch failed). A revoked lease never becomes done —
+// that is the late-result gate.
+type leaseState int
+
+const (
+	leaseActive leaseState = iota
+	leaseDone
+	leaseRevoked
+)
+
+// lease is one grant of a shard to a worker. The coordinator is the sole
+// authority: renewal, expiry, and the done/revoked race are all decided
+// here, under the lease's own lock, so a worker that answers after its
+// lease was revoked can never have its result merged as a completion.
+type lease struct {
+	token  string
+	worker string
+
+	mu     sync.Mutex
+	state  leaseState
+	expiry time.Time // soft deadline, pushed forward by renew
+	hard   time.Time // absolute ceiling; renew never passes it
+}
+
+// expired reports whether the lease is active but past its deadline at now.
+func (l *lease) expired(now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.state == leaseActive && now.After(l.expiry)
+}
+
+// renew pushes the soft deadline to now+ttl, clamped to the hard ceiling.
+// Renewing a non-active lease is a no-op; the watcher may race completion.
+func (l *lease) renew(now time.Time, ttl time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.state != leaseActive {
+		return
+	}
+	next := now.Add(ttl)
+	if next.After(l.hard) {
+		next = l.hard
+	}
+	l.expiry = next
+}
+
+// leaseTable issues leases and owns the fleet's lease metrics. One table per
+// coordinator; tokens embed a per-process coordinator id so two coordinators
+// sharing a worker pool never collide.
+type leaseTable struct {
+	prefix string
+	now    func() time.Time
+
+	mu  sync.Mutex
+	seq int
+
+	cGranted *obs.Counter
+	cExpired *obs.Counter
+	cDone    *obs.Counter
+}
+
+// newLeaseTable wires a table to the registry's fleet_lease_* counters.
+func newLeaseTable(prefix string, now func() time.Time, reg *obs.Registry) *leaseTable {
+	return &leaseTable{
+		prefix:   prefix,
+		now:      now,
+		cGranted: reg.Counter("fleet_leases_granted_total"),
+		cExpired: reg.Counter("fleet_leases_expired_total"),
+		cDone:    reg.Counter("fleet_leases_completed_total"),
+	}
+}
+
+// grant issues a fresh active lease on a shard to worker, expiring ttl from
+// now unless renewed, with an absolute ceiling of maxHold.
+func (t *leaseTable) grant(worker string, ttl, maxHold time.Duration) *lease {
+	t.mu.Lock()
+	t.seq++
+	token := fmt.Sprintf("%s-%d", t.prefix, t.seq)
+	t.mu.Unlock()
+	now := t.now()
+	l := &lease{
+		token:  token,
+		worker: worker,
+		state:  leaseActive,
+		expiry: now.Add(ttl),
+		hard:   now.Add(maxHold),
+	}
+	t.cGranted.Inc()
+	return l
+}
+
+// revoke ends an active lease without a result — expiry, worker death
+// mid-flight, or transport failure all land here — and counts it expired.
+// Returns false (and counts nothing) if the lease already completed or was
+// already revoked.
+func (t *leaseTable) revoke(l *lease) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.state != leaseActive {
+		return false
+	}
+	l.state = leaseRevoked
+	t.cExpired.Inc()
+	return true
+}
+
+// complete marks an active lease done and returns true; a lease that was
+// revoked first returns false, telling the caller the result arrived too
+// late and must be discarded (the shard has already been re-dispatched or
+// fallen back to local evaluation).
+func (t *leaseTable) complete(l *lease) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.state != leaseActive {
+		return false
+	}
+	l.state = leaseDone
+	t.cDone.Inc()
+	return true
+}

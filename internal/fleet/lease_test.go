@@ -1,0 +1,169 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"xdse/internal/obs"
+)
+
+// testClock is a hand-cranked clock for deterministic lease tests.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestTable() (*leaseTable, *testClock, *obs.Registry) {
+	clock := &testClock{t: time.Unix(1000, 0)}
+	reg := obs.NewRegistry()
+	return newLeaseTable("test", clock.now, reg), clock, reg
+}
+
+func TestLeaseLifecycleComplete(t *testing.T) {
+	tab, clock, reg := newTestTable()
+	l := tab.grant("w1", 5*time.Second, time.Minute)
+	if l.expired(clock.now()) {
+		t.Fatal("fresh lease already expired")
+	}
+	clock.advance(3 * time.Second)
+	l.renew(clock.now(), 5*time.Second)
+	clock.advance(4 * time.Second) // 7s total: past the original TTL, inside the renewed one
+	if l.expired(clock.now()) {
+		t.Fatal("renewed lease expired inside its window")
+	}
+	if !tab.complete(l) {
+		t.Fatal("complete refused an active lease")
+	}
+	if tab.complete(l) {
+		t.Fatal("complete accepted a lease twice")
+	}
+	if tab.revoke(l) {
+		t.Fatal("revoke accepted a completed lease")
+	}
+	if got := reg.Counter("fleet_leases_expired_total").Value(); got != 0 {
+		t.Fatalf("expired counter = %d on the clean path, want 0", got)
+	}
+	if got := reg.Counter("fleet_leases_completed_total").Value(); got != 1 {
+		t.Fatalf("completed counter = %d, want 1", got)
+	}
+}
+
+func TestLeaseExpiryAndLateResultDiscard(t *testing.T) {
+	tab, clock, reg := newTestTable()
+	l := tab.grant("w1", 5*time.Second, time.Minute)
+	clock.advance(6 * time.Second)
+	if !l.expired(clock.now()) {
+		t.Fatal("unrenewed lease not expired past its TTL")
+	}
+	if !tab.revoke(l) {
+		t.Fatal("revoke refused an expired-but-active lease")
+	}
+	// The late result: the worker answers after revocation. complete must
+	// refuse, which is what keeps the result out of the merge.
+	if tab.complete(l) {
+		t.Fatal("complete accepted a revoked lease — late result would double-merge")
+	}
+	if tab.revoke(l) {
+		t.Fatal("revoke accepted a lease twice — expiry would double-count")
+	}
+	if got := reg.Counter("fleet_leases_expired_total").Value(); got != 1 {
+		t.Fatalf("expired counter = %d, want 1", got)
+	}
+	if got := reg.Counter("fleet_leases_completed_total").Value(); got != 0 {
+		t.Fatalf("completed counter = %d, want 0", got)
+	}
+}
+
+func TestLeaseRenewRespectsHardCeiling(t *testing.T) {
+	tab, clock, _ := newTestTable()
+	l := tab.grant("w1", 5*time.Second, 8*time.Second)
+	clock.advance(6 * time.Second)
+	l.renew(clock.now(), 5*time.Second) // would reach t+11s; ceiling is t+8s
+	clock.advance(3 * time.Second)      // t+9s: past the ceiling
+	if !l.expired(clock.now()) {
+		t.Fatal("renewals pushed the lease past its hard ceiling — straggler unbounded")
+	}
+}
+
+func TestLeaseTokensUniqueAcrossTables(t *testing.T) {
+	clock := &testClock{t: time.Unix(0, 0)}
+	a := newLeaseTable("c1", clock.now, obs.NewRegistry())
+	b := newLeaseTable("c2", clock.now, obs.NewRegistry())
+	seen := map[string]bool{}
+	for i := 0; i < 10; i++ {
+		for _, tab := range []*leaseTable{a, b} {
+			l := tab.grant("w", time.Second, time.Minute)
+			if seen[l.token] {
+				t.Fatalf("duplicate lease token %q across coordinators", l.token)
+			}
+			seen[l.token] = true
+		}
+	}
+}
+
+func TestRingOwnerDeterministicAndLocal(t *testing.T) {
+	reg := obs.NewRegistry()
+	addrs := []string{"a:1", "b:2", "c:3"}
+	p1 := newPool(addrs, "v", time.Second, nil, reg, nil)
+	p2 := newPool(addrs, "v", time.Second, nil, obs.NewRegistry(), nil)
+	keys := []string{"ResNet18|k1", "ResNet18|k2", "BERT|k1", "x|y", "m|n"}
+	spread := map[int]bool{}
+	for _, k := range keys {
+		if p1.owner(k) != p2.owner(k) {
+			t.Fatalf("ring owner for %q differs between identical pools", k)
+		}
+		spread[p1.owner(k)] = true
+	}
+	if len(spread) < 2 {
+		t.Fatalf("all %d keys landed on one worker — ring not spreading", len(keys))
+	}
+}
+
+func TestPickPrefersOwnerAndFailsOver(t *testing.T) {
+	reg := obs.NewRegistry()
+	addrs := []string{"a:1", "b:2", "c:3"}
+	p := newPool(addrs, "v", time.Second, nil, reg, nil)
+	for _, w := range p.workers {
+		w.setState(workerHealthy)
+	}
+	key := "ResNet18|k1"
+	own := p.owner(key)
+	w, idx := p.pick(key, nil)
+	if w == nil || idx != own {
+		t.Fatalf("pick over a fully healthy pool chose %v, want owner %d", idx, own)
+	}
+	// Owner down: pick must fail over to a different healthy worker,
+	// deterministically.
+	p.workers[own].setState(workerUnreachable)
+	w2, idx2 := p.pick(key, nil)
+	if w2 == nil || idx2 == own {
+		t.Fatalf("pick did not fail over from the down owner (got %v)", idx2)
+	}
+	_, idx3 := p.pick(key, nil)
+	if idx3 != idx2 {
+		t.Fatalf("failover not deterministic: %d then %d", idx2, idx3)
+	}
+	// Excluding the failover target too leaves exactly one candidate.
+	w4, idx4 := p.pick(key, map[int]bool{idx2: true})
+	if w4 == nil || idx4 == idx2 || idx4 == own {
+		t.Fatalf("pick with exclusion chose %v", idx4)
+	}
+	// Everything excluded or down: nil.
+	if w5, _ := p.pick(key, map[int]bool{0: true, 1: true, 2: true}); w5 != nil {
+		t.Fatal("pick returned a worker despite all being excluded")
+	}
+	_ = w
+	_ = w2
+}
+
+func TestQuarantinedWorkerNeverPicked(t *testing.T) {
+	p := newPool([]string{"a:1", "b:2"}, "v", time.Second, nil, obs.NewRegistry(), nil)
+	p.workers[0].setState(workerQuarantined)
+	p.workers[1].setState(workerHealthy)
+	for _, key := range []string{"k1", "k2", "k3", "k4", "k5"} {
+		w, idx := p.pick(key, nil)
+		if w == nil || idx != 1 {
+			t.Fatalf("pick(%q) = %v, want the sole healthy worker 1", key, idx)
+		}
+	}
+}

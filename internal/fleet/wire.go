@@ -1,0 +1,52 @@
+package fleet
+
+// ProtocolVersion stamps every fleet request. A worker that receives a
+// request with a protocol it does not speak rejects it with 400 (permanent),
+// so a mixed-version fleet fails loudly at dispatch instead of silently
+// mis-evaluating shards. Bump it when the request/response shape, the lease
+// semantics, or the record wire format changes incompatibly (see
+// docs/EXTENDING.md).
+const ProtocolVersion = 1
+
+// EvalRequest is the body of POST /eval — one leased shard of a campaign
+// batch. The worker evaluates every point under the given configuration and
+// returns the content-addressed layer records it computed; the coordinator
+// installs them and replays the design evaluations locally, which is what
+// keeps merged campaigns bit-identical to single-node runs.
+type EvalRequest struct {
+	// Protocol is the fleet protocol version (ProtocolVersion).
+	Protocol int `json:"protocol"`
+	// Lease is the coordinator-issued lease token for this shard; it names
+	// the grant in logs and metrics on both sides. Lease enforcement —
+	// renewal, expiry, late-result discard — is coordinator-side.
+	Lease string `json:"lease"`
+	// ModelVersion is the coordinator's perf.ModelVersion; a worker whose
+	// own version differs refuses the shard with 412 (version skew is a
+	// permanent, quarantining fault).
+	ModelVersion string `json:"model_version"`
+	// Model names the workload model (workload.ByName).
+	Model string `json:"model"`
+	// Mode is the mapper mode name (eval.MapperMode.String()).
+	Mode string `json:"mode"`
+	// MapTrials is the per-layer mapping-search budget.
+	MapTrials int `json:"map_trials"`
+	// Seed is the evaluation seed (participates in random-mode cache keys).
+	Seed int64 `json:"seed"`
+	// Points are the design points of the shard, in arch.Point.Key form.
+	Points []string `json:"points"`
+}
+
+// EvalResponse is the worker's answer to one shard: the content-addressed
+// layer records (evalcache.EncodeRecord lines) its evaluations produced.
+type EvalResponse struct {
+	// ModelVersion is the worker's perf.ModelVersion, echoed so the
+	// coordinator can re-verify the handshake on every response.
+	ModelVersion string `json:"model_version"`
+	// Records are encoded evalcache records, one line each (no newline).
+	// Each carries its own CRC and version stamp and is re-verified by the
+	// receiver, so a corrupted record degrades to a recompute, never to a
+	// wrong result.
+	Records []string `json:"records"`
+	// Evaluated is the number of points the worker evaluated.
+	Evaluated int `json:"evaluated"`
+}

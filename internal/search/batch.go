@@ -148,6 +148,12 @@ func (p *Problem) EvaluateBatch(pts []arch.Point) []Costs {
 	start := time.Now()
 	out := make([]Costs, len(pts))
 	ctx := p.Context()
+	if p.Prepare != nil && len(pts) > 0 && ctx.Err() == nil {
+		// The warming hook (see Problem.Prepare) runs before dispatch; it
+		// may only prefill caches, so the results below are identical
+		// whether it completed, failed, or was skipped.
+		p.Prepare(ctx, pts)
+	}
 	done := ctx.Done()
 	one := func(i int) {
 		if done != nil {

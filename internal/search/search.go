@@ -126,6 +126,14 @@ type Problem struct {
 	// derived from — and never feed back into — the acquisition sequence,
 	// so attaching a sink cannot change a trace's Fingerprint.
 	Events obs.Sink
+	// Prepare, when non-nil, runs once at the top of every EvaluateBatch
+	// call, before any point is dispatched to Evaluate. It is a
+	// result-neutral warming hook: implementations may only prefill caches
+	// (the distributed fleet installs remotely computed, content-addressed
+	// sub-results here) — evaluation correctness must never depend on it
+	// running, partially running, or being skipped, so batch results are
+	// bit-identical with or without it.
+	Prepare func(ctx context.Context, pts []arch.Point)
 }
 
 // Context returns the problem's cancellation context (context.Background

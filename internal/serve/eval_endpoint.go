@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"xdse/internal/arch"
+	"xdse/internal/eval"
+	"xdse/internal/evalcache"
+	"xdse/internal/fleet"
+	"xdse/internal/obs"
+	"xdse/internal/perf"
+	"xdse/internal/workload"
+)
+
+// evalMaxBody bounds one POST /eval request body.
+const evalMaxBody = 8 << 20
+
+// evalPoolCap bounds the worker's evaluator pool: distinct
+// (model, mode, trials, seed) configurations beyond it evict the oldest
+// (FIFO), whose metrics fold into the jobs registry so nothing observable
+// is lost.
+const evalPoolCap = 8
+
+// evalPoolKey identifies one pooled evaluator configuration. Everything
+// that participates in the content address of a layer record participates
+// here, so a pooled evaluator can never answer a request whose records it
+// would mis-key.
+type evalPoolKey struct {
+	model  string
+	mode   eval.MapperMode
+	trials int
+	seed   int64
+}
+
+// evaluatorFor returns the pooled evaluator for one shard configuration,
+// creating (and, at capacity, evicting FIFO) as needed. Evaluators share the
+// daemon's persistent cache, so repeat shards — and shards for designs seen
+// by earlier jobs — answer from disk. An evicted evaluator stays valid for
+// requests already holding it; it just stops being shared.
+func (s *Server) evaluatorFor(model *workload.Model, mode eval.MapperMode, trials int, seed int64) *eval.Evaluator {
+	key := evalPoolKey{model: model.Name, mode: mode, trials: trials, seed: seed}
+	s.evalMu.Lock()
+	defer s.evalMu.Unlock()
+	if ev, ok := s.evalPool[key]; ok {
+		return ev
+	}
+	ev := eval.New(eval.Config{
+		Space:        arch.EdgeSpace(),
+		Models:       []*workload.Model{model},
+		Constraints:  eval.EdgeConstraints(),
+		Mode:         mode,
+		MapTrials:    trials,
+		Seed:         seed,
+		Workers:      s.opts.MaxJobWorkers,
+		EvalTimeout:  s.opts.EvalTimeout,
+		Retry:        s.opts.Retry,
+		PersistCache: s.cache,
+	})
+	if len(s.evalOrder) >= evalPoolCap {
+		oldest := s.evalOrder[0]
+		s.evalOrder = s.evalOrder[1:]
+		if old, ok := s.evalPool[oldest]; ok {
+			// Fold the evicted evaluator's instruments into the jobs
+			// registry so /metrics keeps its history.
+			s.jobsReg.Merge(old.Metrics())
+			delete(s.evalPool, oldest)
+		}
+	}
+	s.evalPool[key] = ev
+	s.evalOrder = append(s.evalOrder, key)
+	return ev
+}
+
+// handleEval serves one fleet shard: validate the protocol and model-version
+// handshake, evaluate every point through a pooled evaluator, and return the
+// content-addressed layer records the evaluations produced. Admission
+// mirrors the jobs API: draining → 503 + Retry-After, concurrency saturated
+// → 429 + Retry-After, malformed or mismatched requests → 4xx (permanent for
+// the coordinator), version skew → 412.
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.opts.RetryAfter))
+		httpError(w, http.StatusServiceUnavailable, "daemon draining")
+		return
+	}
+	var req fleet.EvalRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, evalMaxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge, "eval request exceeds %d-byte limit", mbe.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "parse eval request: %v", err)
+		return
+	}
+	if req.Protocol != fleet.ProtocolVersion {
+		httpError(w, http.StatusBadRequest, "fleet protocol %d, this worker speaks %d", req.Protocol, fleet.ProtocolVersion)
+		return
+	}
+	if req.ModelVersion != perf.ModelVersion() {
+		httpError(w, http.StatusPreconditionFailed, "cost-model version %q, this worker has %q", req.ModelVersion, perf.ModelVersion())
+		return
+	}
+	mode, ok := eval.ParseMapperMode(req.Mode)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown mapper mode %q", req.Mode)
+		return
+	}
+	model := workload.ByName(req.Model)
+	if model == nil {
+		httpError(w, http.StatusBadRequest, "unknown model %q", req.Model)
+		return
+	}
+	if req.MapTrials <= 0 || len(req.Points) == 0 {
+		httpError(w, http.StatusBadRequest, "eval request needs map_trials > 0 and at least one point")
+		return
+	}
+	pts := make([]arch.Point, 0, len(req.Points))
+	for _, key := range req.Points {
+		pt, err := arch.ParseKey(key)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad point %q: %v", key, err)
+			return
+		}
+		pts = append(pts, pt)
+	}
+
+	// Non-blocking admission: saturation sheds with a back-off hint instead
+	// of queueing shards whose leases would expire while waiting.
+	select {
+	case s.evalSem <- struct{}{}:
+		s.gEvalInflight.Set(float64(len(s.evalSem)))
+		defer func() {
+			<-s.evalSem
+			s.gEvalInflight.Set(float64(len(s.evalSem)))
+		}()
+	default:
+		s.cEvalShed.Inc()
+		w.Header().Set("Retry-After", retryAfterSeconds(s.opts.RetryAfter))
+		httpError(w, http.StatusTooManyRequests, "eval concurrency %d saturated; retry later", s.opts.EvalConcurrent)
+		return
+	}
+
+	s.cEvalShards.Inc()
+	ev := s.evaluatorFor(model, mode, req.MapTrials, req.Seed)
+	var lines []string
+	seen := make(map[string]bool)
+	evaluated := 0
+	for _, pt := range pts {
+		// The request context carries the lease: a coordinator that revokes
+		// (or dies) cancels it, and the worker stops mid-shard instead of
+		// burning cycles on a result nobody will accept.
+		if r.Context().Err() != nil {
+			break
+		}
+		ev.EvaluateCtx(r.Context(), pt)
+		evaluated++
+		for _, rec := range ev.RecordsFor(pt) {
+			id := rec.Key.ID()
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			data, err := evalcache.EncodeRecord(rec, perf.ModelVersion())
+			if err != nil {
+				continue
+			}
+			lines = append(lines, strings.TrimSuffix(string(data), "\n"))
+		}
+	}
+	s.cEvalPoints.Add(int64(evaluated))
+	s.cEvalRecords.Add(int64(len(lines)))
+	writeJSON(w, http.StatusOK, fleet.EvalResponse{
+		ModelVersion: perf.ModelVersion(),
+		Records:      lines,
+		Evaluated:    evaluated,
+	})
+}
+
+// handleCacheGet serves one persistent-cache record by content address
+// (evalcache.Key.ID) as its wire line, with the daemon's cost-model version
+// as a strong ETag: a peer holding a copy under the same version revalidates
+// to 304 without the body, and a version bump invalidates every cached copy
+// at once.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	if s.cache == nil {
+		httpError(w, http.StatusNotFound, "no persistent cache configured")
+		return
+	}
+	id := r.PathValue("id")
+	rec, ok := s.cache.GetByID(id)
+	if !ok {
+		s.cCacheMisses.Inc()
+		httpError(w, http.StatusNotFound, "no record %q", id)
+		return
+	}
+	etag := `"` + s.cache.Version() + `"`
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		s.cCacheRevalid.Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	data, err := evalcache.EncodeRecord(rec, s.cache.Version())
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode record: %v", err)
+		return
+	}
+	s.cCacheServed.Inc()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(data) //nolint:errcheck // client gone; nothing to do
+}
+
+// evalEndpointMetrics registers the fleet-worker instruments on the service
+// registry; called from New.
+func (s *Server) evalEndpointMetrics(reg *obs.Registry) {
+	s.cEvalShards = reg.Counter("serve_eval_shards_total")
+	s.cEvalPoints = reg.Counter("serve_eval_points_total")
+	s.cEvalRecords = reg.Counter("serve_eval_records_total")
+	s.cEvalShed = reg.Counter("serve_eval_shed_total")
+	s.cCacheServed = reg.Counter("serve_cache_records_served_total")
+	s.cCacheMisses = reg.Counter("serve_cache_record_misses_total")
+	s.cCacheRevalid = reg.Counter("serve_cache_revalidations_total")
+	s.gEvalInflight = reg.Gauge("serve_eval_inflight")
+}

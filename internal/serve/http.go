@@ -10,12 +10,17 @@ import (
 	"time"
 
 	"xdse/internal/obs"
+	"xdse/internal/perf"
 )
 
 // Handler returns the daemon's HTTP API:
 //
-//	GET  /healthz          — liveness (200 while the process serves)
-//	GET  /readyz           — readiness (503 while draining)
+//	GET  /healthz          — liveness (200 while the process serves), with
+//	                         model_version, queue_depth, and eval_inflight
+//	                         so fleet operators can see load and skew at a
+//	                         glance
+//	GET  /readyz           — readiness (503 while draining); carries
+//	                         model_version, the fleet membership handshake
 //	GET  /metrics          — Prometheus text dump: service + all runs
 //	POST /jobs             — submit a JobSpec; 201, 400 (invalid),
 //	                         429 + Retry-After (queue full),
@@ -23,23 +28,42 @@ import (
 //	GET  /jobs             — list all jobs
 //	GET  /jobs/{id}        — one job's status and result
 //	POST /jobs/{id}/cancel — cancel a queued or running job
+//	POST /eval             — evaluate one leased fleet shard and return its
+//	                         content-addressed records; 412 on model-version
+//	                         skew, 429 + Retry-After when saturated
+//	GET  /cache/{id}       — one persistent-cache record by content address,
+//	                         ETag'd with the cost-model version (304 on
+//	                         If-None-Match revalidation)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":        "ok",
+			"model_version": perf.ModelVersion(),
+			"queue_depth":   len(s.queue),
+			"eval_inflight": len(s.evalSem),
+		})
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		if s.Draining() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"status":        "draining",
+				"model_version": perf.ModelVersion(),
+			})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status":        "ready",
+			"model_version": perf.ModelVersion(),
+		})
 	})
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /eval", s.handleEval)
+	mux.HandleFunc("GET /cache/{id}", s.handleCacheGet)
 	return mux
 }
 

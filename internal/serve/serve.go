@@ -81,6 +81,10 @@ type Options struct {
 	// policy — the chaos hook the resilience tests and the serve-smoke CI
 	// job drive. Production deployments leave it nil.
 	Faults func(id string, spec JobSpec) *eval.FaultPolicy
+	// EvalConcurrent bounds concurrently served fleet shards (POST /eval);
+	// requests beyond it are shed with 429 + Retry-After so coordinator
+	// leases fail fast instead of expiring in a queue (default 2).
+	EvalConcurrent int
 	// CacheDir, when non-empty, opens the cross-run persistent evaluation
 	// store (internal/evalcache) there and shares it across every job: a
 	// resubmitted or related job answers repeated layer searches from disk
@@ -105,6 +109,9 @@ func (o Options) withDefaults() Options {
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = 2 * time.Second
 	}
+	if o.EvalConcurrent <= 0 {
+		o.EvalConcurrent = 2
+	}
 	if o.Retry == (eval.RetryPolicy{}) {
 		o.Retry = eval.DefaultRetry()
 	}
@@ -125,10 +132,20 @@ type Server struct {
 	reg     *obs.Registry // service-level counters/gauges
 	jobsReg *obs.Registry // per-run evaluator registries, merged as runs finish
 
-	cSubmitted, cShed, cCompleted, cFailed   *obs.Counter
-	cCancelled, cInterrupted, cDeadlineCount *obs.Counter
-	cRecovered, cResumedRuns                 *obs.Counter
-	gQueue, gRunning, gDraining              *obs.Gauge
+	cSubmitted, cShed, cCompleted, cFailed     *obs.Counter
+	cCancelled, cInterrupted, cDeadlineCount   *obs.Counter
+	cRecovered, cResumedRuns                   *obs.Counter
+	cEvalShards, cEvalPoints, cEvalRecords     *obs.Counter
+	cEvalShed, cCacheServed, cCacheMisses      *obs.Counter
+	cCacheRevalid                              *obs.Counter
+	gQueue, gRunning, gDraining, gEvalInflight *obs.Gauge
+
+	// Fleet-worker state: shard admission semaphore and the bounded pool of
+	// per-configuration evaluators behind POST /eval (see eval_endpoint.go).
+	evalSem   chan struct{}
+	evalMu    sync.Mutex
+	evalPool  map[evalPoolKey]*eval.Evaluator
+	evalOrder []evalPoolKey
 
 	drainCtx    context.Context // parent of every job context; cancelled by Drain
 	drainCancel context.CancelCauseFunc
@@ -182,10 +199,13 @@ func New(opts Options) (*Server, error) {
 		gRunning:       reg.Gauge("serve_jobs_running"),
 		gDraining:      reg.Gauge("serve_draining"),
 
-		jobs:  make(map[string]*Job),
-		queue: make(chan *Job, opts.QueueCap),
-		stop:  make(chan struct{}),
+		jobs:     make(map[string]*Job),
+		queue:    make(chan *Job, opts.QueueCap),
+		stop:     make(chan struct{}),
+		evalSem:  make(chan struct{}, opts.EvalConcurrent),
+		evalPool: make(map[evalPoolKey]*eval.Evaluator),
 	}
+	s.evalEndpointMetrics(reg)
 	s.drainCtx, s.drainCancel = context.WithCancelCause(context.Background())
 	if opts.CacheDir != "" {
 		store, err := evalcache.Open(opts.CacheDir, evalcache.Options{Warnf: opts.Warnf})
@@ -559,6 +579,13 @@ func (s *Server) mergedMetrics() *obs.Registry {
 	m := obs.NewRegistry()
 	m.Merge(s.reg)
 	m.Merge(s.jobsReg)
+	s.evalMu.Lock()
+	for _, key := range s.evalOrder {
+		// Live fleet-shard evaluators; evicted ones already folded into
+		// jobsReg at eviction time.
+		m.Merge(s.evalPool[key].Metrics())
+	}
+	s.evalMu.Unlock()
 	if s.cache != nil {
 		m.Merge(s.cache.Metrics())
 	}
