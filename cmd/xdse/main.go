@@ -33,6 +33,12 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "report" {
 		os.Exit(runReport(os.Args[2:]))
 	}
+	// `xdse trace` reads the same file back and renders the distributed
+	// tracing view: critical paths, self-time by span kind, per-worker
+	// queue/compute breakdowns, and Chrome trace_event export.
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		os.Exit(runTrace(os.Args[2:]))
+	}
 	// `xdse serve` runs the long-lived DSE job daemon (see internal/serve).
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		os.Exit(runServe(os.Args[2:]))
@@ -341,31 +347,64 @@ func writeMetricsFile(path string, reg *obs.Registry) error {
 	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
-// runReport implements `xdse report [-top N] <trace.jsonl>`: it reads the
-// structured explanation trace a campaign wrote through -trace-out and
-// renders the per-run acquisition timeline plus the top-N
-// bottleneck/mitigation summary.
+// runReport implements `xdse report [-top N] [-run NAME] [-since-step N]
+// <trace.jsonl>`: it reads the structured explanation trace a campaign wrote
+// through -trace-out and renders the per-run acquisition timeline plus the
+// top-N bottleneck/mitigation summary. A trace whose tail was truncated
+// mid-record (a crashed or killed writer) still renders its intact prefix,
+// but the command exits non-zero so scripts notice the loss.
 func runReport(args []string) int {
 	fs := flag.NewFlagSet("xdse report", flag.ExitOnError)
 	topN := fs.Int("top", 5, "how many bottlenecks/rules to rank in the summary")
+	runFilter := fs.String("run", "", "report only events of this run label (as shown in the untrimmed report headers)")
+	sinceStep := fs.Int("since-step", 0, "report only events at attempt/step >= N (0 = all)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		fmt.Fprintf(os.Stderr, "usage: xdse report [-top N] <trace.jsonl>\n")
+		fmt.Fprintf(os.Stderr, "usage: xdse report [-top N] [-run NAME] [-since-step N] <trace.jsonl>\n")
 		return 2
 	}
 	warnf := func(format string, a ...any) {
 		fmt.Fprintf(os.Stderr, "xdse report: "+format+"\n", a...)
 	}
-	events, err := obs.ReadTrace(fs.Arg(0), warnf)
+	events, torn, err := obs.ReadTraceChecked(fs.Arg(0), warnf)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xdse report: %v\n", err)
+		return 1
+	}
+	events = filterEvents(events, *runFilter, *sinceStep)
+	if len(events) == 0 {
+		fmt.Fprintf(os.Stderr, "xdse report: no events match the -run/-since-step filters\n")
 		return 1
 	}
 	if err := obs.WriteReport(os.Stdout, events, *topN); err != nil {
 		fmt.Fprintf(os.Stderr, "xdse report: %v\n", err)
 		return 1
 	}
+	if torn {
+		fmt.Fprintf(os.Stderr, "xdse report: trace tail truncated mid-record (writer crashed or was killed); report above covers the intact prefix only\n")
+		return 1
+	}
 	return 0
+}
+
+// filterEvents applies the report/trace subcommand filters: keep events of
+// one run label (empty = all) at attempt >= sinceStep. Span and other
+// unstepped events carry attempt 0 and survive any sinceStep <= 0 only.
+func filterEvents(events []obs.Event, run string, sinceStep int) []obs.Event {
+	if run == "" && sinceStep <= 0 {
+		return events
+	}
+	out := events[:0:0]
+	for _, ev := range events {
+		if run != "" && ev.Run != run {
+			continue
+		}
+		if ev.Attempt < sinceStep {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
 }
 
 // runExplore performs one ad-hoc Explainable-DSE exploration over a

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"xdse/internal/eval"
+	"xdse/internal/obs"
 	"xdse/internal/serve"
 )
 
@@ -35,11 +36,24 @@ func runServe(args []string) int {
 		drainTimeout = fs.Duration("drain-timeout", 2*time.Minute, "how long a shutdown signal waits for in-flight jobs to checkpoint")
 		cacheDir     = fs.String("cache-dir", "", "persistent evaluation-cache directory shared by every job (and by later daemon incarnations); empty = uncached")
 		evalConc     = fs.Int("eval-concurrent", 2, "fleet shards served concurrently (POST /eval); excess requests are shed with 429 + Retry-After")
+		traceOut     = fs.String("trace-out", "", "write this worker's span events (traced /eval and /cache fetches) to this JSONL file")
+		debug        = fs.Bool("debug", false, "mount the runtime profiling surface (/debug/pprof/*, /debug/vars); off by default as it exposes process internals")
+		runtimeSamp  = fs.Duration("runtime-sample", 0, "runtime sampler cadence for /metrics (goroutines, heap, GC pauses); 0 = 10s default, negative disables")
 	)
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "usage: xdse serve [flags]\n")
 		return 2
+	}
+
+	var traceSink *obs.JSONLSink
+	if *traceOut != "" {
+		ts, err := obs.NewJSONLSink(*traceOut, obs.JSONLOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xdse serve: %v\n", err)
+			return 1
+		}
+		traceSink = ts
 	}
 
 	s, err := serve.New(serve.Options{
@@ -53,6 +67,9 @@ func runServe(args []string) int {
 		Retry:           eval.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff},
 		CacheDir:        *cacheDir,
 		EvalConcurrent:  *evalConc,
+		Trace:           sinkOrNil(traceSink),
+		Debug:           *debug,
+		RuntimeSample:   *runtimeSamp,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xdse serve: %v\n", err)
@@ -78,6 +95,21 @@ func runServe(args []string) int {
 		fmt.Fprintf(os.Stderr, "xdse serve: %v\n", err)
 		return 1
 	}
+	if traceSink != nil {
+		if err := traceSink.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "xdse serve: trace: %v\n", err)
+		}
+	}
 	fmt.Printf("xdse serve: drained; unfinished jobs resume on next start over %s\n", *dir)
 	return 0
+}
+
+// sinkOrNil converts a possibly-nil *JSONLSink to the obs.Sink interface
+// without producing a non-nil interface wrapping a nil pointer (the classic
+// typed-nil trap: serve would then think tracing is on).
+func sinkOrNil(s *obs.JSONLSink) obs.Sink {
+	if s == nil {
+		return nil
+	}
+	return s
 }

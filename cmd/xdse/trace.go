@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xdse/internal/obs"
+)
+
+// runTrace implements `xdse trace [-top N] [-run NAME] [-chrome FILE]
+// <trace.jsonl>`: it reads a span-carrying trace (a campaign's -trace-out, a
+// coordinator's merged cross-process trace, or a worker's own file) and
+// renders the critical-path report — longest span chain per trace, top-N
+// self-time by span kind, and the per-worker queue/compute/transfer
+// breakdown. -chrome additionally exports the spans as Chrome trace_event
+// JSON, loadable in Perfetto or chrome://tracing.
+//
+// Parent-link validation is part of rendering: a merged trace with a
+// dangling parent, duplicate span ID, or parent cycle fails loudly here,
+// which is what the CI trace-smoke gate relies on. A torn tail (truncated
+// final record) renders the intact prefix but exits non-zero, matching
+// `xdse report`.
+func runTrace(args []string) int {
+	fs := flag.NewFlagSet("xdse trace", flag.ExitOnError)
+	topN := fs.Int("top", 5, "how many span kinds to rank in the self-time summary")
+	runFilter := fs.String("run", "", "report only spans of this run label")
+	chromeOut := fs.String("chrome", "", "also write the spans as Chrome trace_event JSON to this file (view in Perfetto)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: xdse trace [-top N] [-run NAME] [-chrome FILE] <trace.jsonl>\n")
+		return 2
+	}
+	warnf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "xdse trace: "+format+"\n", a...)
+	}
+	events, torn, err := obs.ReadTraceChecked(fs.Arg(0), warnf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xdse trace: %v\n", err)
+		return 1
+	}
+	events = filterEvents(events, *runFilter, 0)
+	if err := obs.WriteTraceReport(os.Stdout, events, *topN); err != nil {
+		fmt.Fprintf(os.Stderr, "xdse trace: %v\n", err)
+		return 1
+	}
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xdse trace: %v\n", err)
+			return 1
+		}
+		werr := obs.WriteChromeTrace(f, events)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			if werr == nil {
+				werr = cerr
+			}
+			fmt.Fprintf(os.Stderr, "xdse trace: chrome export: %v\n", werr)
+			return 1
+		}
+		fmt.Printf("chrome trace written to %s\n", *chromeOut)
+	}
+	if torn {
+		fmt.Fprintf(os.Stderr, "xdse trace: trace tail truncated mid-record; report above covers the intact prefix only\n")
+		return 1
+	}
+	return 0
+}

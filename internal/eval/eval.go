@@ -672,6 +672,14 @@ func (e *Evaluator) EvaluateCtx(ctx context.Context, pt arch.Point) *Result {
 	if err := ctx.Err(); err != nil {
 		return cancelledResult(pt, err)
 	}
+	// A context carrying trace context (a serve worker handling a traced
+	// fleet shard) gets one span per call — memo hits included, so the span
+	// duration is the honest per-point cost. Local runs never plant a span
+	// here, so this is a single nil-returning ctx.Value on their hot path.
+	if tr, parent, ok := obs.SpanFromContext(ctx); ok {
+		sp := tr.StartChild(parent, obs.SpanWorkerEval, pt.Key())
+		defer sp.End()
+	}
 	key := pt.Key()
 	e.mu.Lock()
 	if r, ok := e.cache[key]; ok {

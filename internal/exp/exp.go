@@ -302,9 +302,23 @@ func RunOne(ctx context.Context, cfg Config, tech Technique, model *workload.Mod
 	// plain runs. The metrics sink folds event-derived counters (rule
 	// firings, bottleneck factors) into the run's own registry; the trace
 	// sink gets every event stamped with this run's label.
+	var camp obs.Span
 	if cfg.Trace != nil || cfg.Metrics != nil {
 		label := fmt.Sprintf("%s_%s", sanitize(tech.Name), sanitize(model.Name))
 		prob.Events = obs.Multi(obs.WithRun(cfg.Trace, label), obs.NewMetricsSink(ev.Metrics()))
+		if cfg.Trace != nil {
+			// The tracing spine: one trace per run, rooted in a campaign span
+			// that every batch span parents to. The trace ID is the run label
+			// and span IDs count from a per-run sequence — fully deterministic,
+			// so a resumed run re-emits identical identities and attaching the
+			// tracer provably cannot perturb fingerprints. The flip side:
+			// repeating the same (technique, model) run into one shared sink
+			// collides IDs; give repeat campaigns separate -trace-out files.
+			tracer := obs.NewTracer(prob.Events, "")
+			camp = tracer.StartRoot(label, obs.SpanCampaign, label)
+			prob.Tracer = tracer
+			prob.TraceSpan = camp.Context()
+		}
 	}
 	if cfg.Fleet != nil {
 		// Remote batch preparation: a pure cache warmer, so the optimizer
@@ -313,6 +327,13 @@ func RunOne(ctx context.Context, cfg Config, tech Technique, model *workload.Mod
 	}
 	start := time.Now()
 	tr, panicErr := runOptimizer(o, prob, rand.New(rand.NewSource(cfg.Seed)))
+	camp.Err = panicErr
+	if ctx.Err() == nil {
+		// An interrupted run suppresses the campaign-end span so its trace
+		// stays a strict event-for-event prefix of an uninterrupted run's
+		// (the resume re-emits the full stream, campaign span included).
+		camp.End()
+	}
 	run.Err = panicErr
 	run.Interrupted = ctx.Err() != nil
 	if cfg.CSVDir != "" && !run.Interrupted {

@@ -286,15 +286,27 @@ func (c *Coordinator) Prepare(ev *eval.Evaluator, model string) func(context.Con
 			return
 		}
 		c.setDegraded(false)
+		// The batch span arrives through the context (search.EvaluateBatch
+		// plants it); each shard nests a dispatch span under it, and the
+		// record install closes the loop. A ctx without a span yields a nil
+		// tracer, making every span operation below free.
+		tr, batchSC, _ := obs.SpanFromContext(ctx)
 		var wg sync.WaitGroup
 		for _, sh := range shards {
 			wg.Add(1)
 			go func(sh shard) {
 				defer wg.Done()
-				recs := c.runShard(ctx, base, sh)
+				dsp := tr.StartChild(batchSC, obs.SpanDispatch, sh.key)
+				dsp.Points = len(sh.points)
+				recs := c.runShard(obs.ContextWithSpan(ctx, tr, dsp.Context()), base, sh)
 				if len(recs) > 0 {
-					c.cInstalled.Add(int64(ev.InstallRecords(recs)))
+					isp := tr.StartChild(dsp.Context(), obs.SpanInstall, sh.key)
+					n := ev.InstallRecords(recs)
+					isp.Points = n
+					isp.End()
+					c.cInstalled.Add(int64(n))
 				}
+				dsp.End()
 			}(sh)
 		}
 		wg.Wait()
@@ -415,11 +427,13 @@ func (c *Coordinator) runShard(ctx context.Context, base EvalRequest, sh shard) 
 		case eval.ClassNone:
 			return recs
 		case eval.ClassPermanent:
+			c.workerCounter("fleet_worker_faults_total", w.id).Inc()
 			c.recordFault(fmt.Sprintf("shard %s on worker %s: %v", sh.key, w.id, err))
 			c.cLocal.Inc()
 			return nil
 		}
 		// Transient: steal to another worker after a deterministic delay.
+		c.workerCounter("fleet_worker_faults_total", w.id).Inc()
 		prevExpired = true
 		tried[idx] = true
 		if attempt >= c.opts.MaxAttempts {
@@ -427,10 +441,18 @@ func (c *Coordinator) runShard(ctx context.Context, base EvalRequest, sh shard) 
 			return nil
 		}
 		c.cRetries.Inc()
+		c.workerCounter("fleet_worker_retries_total", w.id).Inc()
 		if !sleepCtx(ctx, c.delayBefore(attempt)) {
 			return nil
 		}
 	}
+}
+
+// workerCounter returns the per-worker-attributed variant of a fleet
+// counter, labeled by worker address — how a flapping worker becomes
+// visible in /metrics instead of only in Faults at exit.
+func (c *Coordinator) workerCounter(name, worker string) *obs.Counter {
+	return c.reg.Counter(name + `{worker="` + worker + `"}`)
 }
 
 // sleepCtx sleeps for d unless ctx ends first; reports whether the full
@@ -453,11 +475,26 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 // renew/expiry watcher, POST the shard, and gate the result on lease
 // completion. Any path that ends without complete() revokes the lease
 // (counting it expired). Errors are classified by classify.
-func (c *Coordinator) dispatch(ctx context.Context, base EvalRequest, sh shard, w *worker) ([]evalcache.Record, error) {
+func (c *Coordinator) dispatch(ctx context.Context, base EvalRequest, sh shard, w *worker) (recs []evalcache.Record, err error) {
 	l := c.leases.grant(w.id, c.opts.LeaseTTL, c.opts.MaxShardHold)
 	req := base
 	req.Lease = l.token
 	req.Points = sh.points
+
+	// One rpc span per attempt, nested under the shard's dispatch span
+	// (planted on ctx by Prepare). Its context rides the trace header to
+	// the worker, whose own spans come back in resp.Spans already parented
+	// under it — the cross-process merge point.
+	tr, dispatchSC, _ := obs.SpanFromContext(ctx)
+	rpc := tr.StartChild(dispatchSC, obs.SpanRPC, sh.key)
+	rpc.Worker = w.id
+	rpc.Points = len(sh.points)
+	defer func() {
+		if err != nil {
+			rpc.Err = err.Error()
+		}
+		rpc.End()
+	}()
 
 	reqCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -468,7 +505,7 @@ func (c *Coordinator) dispatch(ctx context.Context, base EvalRequest, sh shard, 
 		c.watchLease(l, w, cancel, stopWatch)
 	}()
 
-	resp, err := c.postEval(reqCtx, w, req)
+	resp, err := c.postEval(reqCtx, w, req, rpc.Context())
 	close(stopWatch)
 	<-watchDone
 	if err != nil {
@@ -488,7 +525,12 @@ func (c *Coordinator) dispatch(ctx context.Context, base EvalRequest, sh shard, 
 		c.pool.quarantine(w, fmt.Sprintf("response model version %q, want %q", resp.ModelVersion, c.opts.ModelVersion))
 		return nil, &permanentError{fmt.Errorf("worker %s: response model version %q, want %q", w.id, resp.ModelVersion, c.opts.ModelVersion)}
 	}
-	var recs []evalcache.Record
+	// The result is accepted: merge the worker-side spans into the local
+	// trace. Spans of discarded (late, errored, skewed) results never merge,
+	// mirroring the record-install rule.
+	for _, sev := range resp.Spans {
+		tr.Forward(sev)
+	}
 	for _, line := range resp.Records {
 		rec, ver, err := evalcache.DecodeRecord(line)
 		if err != nil || ver != c.opts.ModelVersion {
@@ -531,8 +573,9 @@ func (c *Coordinator) watchLease(l *lease, w *worker, cancel context.CancelFunc,
 
 // postEval performs the HTTP round trip for one shard and classifies the
 // response status: 200 decodes, 412 quarantines (permanent), other 4xx are
-// permanent, 429/5xx/transport errors are transient.
-func (c *Coordinator) postEval(ctx context.Context, w *worker, req EvalRequest) (*EvalResponse, error) {
+// permanent, 429/5xx/transport errors are transient. A non-zero span context
+// rides the obs.TraceHeader so the worker links its spans under ours.
+func (c *Coordinator) postEval(ctx context.Context, w *worker, req EvalRequest, sc obs.SpanContext) (*EvalResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, &permanentError{fmt.Errorf("encode request: %w", err)}
@@ -542,6 +585,9 @@ func (c *Coordinator) postEval(ctx context.Context, w *worker, req EvalRequest) 
 		return nil, &permanentError{fmt.Errorf("build request: %w", err)}
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if sc.Span != "" {
+		hreq.Header.Set(obs.TraceHeader, obs.FormatTraceHeader(sc))
+	}
 	resp, err := c.client.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("worker %s: %w", w.id, err)

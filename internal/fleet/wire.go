@@ -1,5 +1,7 @@
 package fleet
 
+import "xdse/internal/obs"
+
 // ProtocolVersion stamps every fleet request. A worker that receives a
 // request with a protocol it does not speak rejects it with 400 (permanent),
 // so a mixed-version fleet fails loudly at dispatch instead of silently
@@ -49,4 +51,11 @@ type EvalResponse struct {
 	Records []string `json:"records"`
 	// Evaluated is the number of points the worker evaluated.
 	Evaluated int `json:"evaluated"`
+	// Spans are the worker-side span events of this shard (queue wait,
+	// per-point evaluations, record export), emitted only when the request
+	// carried an obs.TraceHeader and already causally linked under the
+	// coordinator's rpc span. The field is additive — old coordinators
+	// ignore it and old workers never send it — so it needs no protocol
+	// bump (see docs/EXTENDING.md).
+	Spans []obs.Event `json:"spans,omitempty"`
 }

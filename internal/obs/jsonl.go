@@ -141,6 +141,15 @@ func (s *JSONLSink) Close() error {
 // warnf (nil discards warnings): the expected aftermath of a hard kill,
 // never a fatal error. Only I/O failures are returned as errors.
 func ReadTrace(path string, warnf func(format string, args ...any)) ([]Event, error) {
+	events, _, err := ReadTraceChecked(path, warnf)
+	return events, err
+}
+
+// ReadTraceChecked is ReadTrace additionally reporting whether lines were
+// dropped — a torn or unparseable tail — so callers that must not silently
+// present a partial trace (xdse report) can fail loudly while tolerant
+// callers keep the intact prefix.
+func ReadTraceChecked(path string, warnf func(format string, args ...any)) (events []Event, torn bool, err error) {
 	warn := func(format string, args ...any) {
 		if warnf != nil {
 			warnf(format, args...)
@@ -148,9 +157,8 @@ func ReadTrace(path string, warnf func(format string, args ...any)) ([]Event, er
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	var events []Event
 	rest := string(data)
 	lineNo := 0
 	for rest != "" {
@@ -158,18 +166,20 @@ func ReadTrace(path string, warnf func(format string, args ...any)) ([]Event, er
 		text, tail, complete := strings.Cut(rest, "\n")
 		if !complete {
 			warn("obs: %s line %d: torn write (no newline), dropping", path, lineNo)
+			torn = true
 			break
 		}
 		rest = tail
 		var ev Event
 		if err := json.Unmarshal([]byte(text), &ev); err != nil {
 			warn("obs: %s line %d: %v — dropping this and later lines", path, lineNo, err)
+			torn = true
 			break
 		}
 		events = append(events, ev)
 	}
 	if events == nil && lineNo == 0 {
-		return nil, fmt.Errorf("obs: %s: empty trace", path)
+		return nil, false, fmt.Errorf("obs: %s: empty trace", path)
 	}
-	return events, nil
+	return events, torn, nil
 }

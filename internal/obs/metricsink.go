@@ -43,5 +43,7 @@ func (s *MetricsSink) Emit(ev Event) {
 		s.reg.Gauge("dse_incumbent_objective").Set(float64(ev.Objective))
 	case KindConverged:
 		s.reg.Counter("dse_convergences_total").Inc()
+	case KindSpan:
+		s.reg.Counter(`obs_spans_total{kind="` + ev.SpanKind + `"}`).Inc()
 	}
 }

@@ -9,8 +9,11 @@
 // the acquisition sequence. An optimizer's decisions must be bit-identical
 // whether zero, one, or many sinks are attached; the only event fields
 // allowed to differ between two runs of the same exploration are wall-clock
-// durations (Event.WallNs) and the per-sink sequence number assigned at
-// write time. Kill-and-resume therefore holds with tracing on: an
+// readings (Event.WallNs durations and Event.StartNs span start timestamps)
+// and the per-sink sequence number assigned at write time. Span identities in
+// particular (Event.Trace/Span/Parent) come from per-run sequence counters,
+// never from clocks or randomness, so two runs of the same exploration emit
+// the same causal graph. Kill-and-resume therefore holds with tracing on: an
 // interrupted run's trace is a prefix of the uninterrupted reference (up to
 // those fields), and a resumed run — which deterministically re-executes
 // from the start, answering replayed designs from the journal — re-emits
@@ -100,6 +103,11 @@ const (
 	// (e.g. the rendered bottleneck trees of one attempt, or the
 	// neighbor-sampling fallback notice).
 	KindNote Kind = "note"
+	// KindSpan records one completed span of the distributed tracing spine
+	// (see span.go): a timed, causally-linked region of campaign, fleet,
+	// or worker execution. Span events ride the same sinks as explanation
+	// events so one JSONL file holds the merged cross-process trace.
+	KindSpan Kind = "span"
 )
 
 // Event is one record of the explanation trace. It is a flat struct — one
@@ -168,14 +176,37 @@ type Event struct {
 	// format; the TextSink writes exactly this (events with no legacy
 	// line leave it empty).
 	Text string `json:"text,omitempty"`
+	// Trace identifies the trace a KindSpan event belongs to (one trace
+	// per exploration run; see Tracer).
+	Trace string `json:"trace,omitempty"`
+	// Span is the span's identifier, unique within its trace and derived
+	// from a per-tracer sequence counter — never from clocks or
+	// randomness, so span identity is deterministic across runs.
+	Span string `json:"span,omitempty"`
+	// Parent is the identifier of the enclosing span ("" for a root).
+	Parent string `json:"parent,omitempty"`
+	// SpanKind classifies a span (SpanCampaign, SpanBatch, SpanRPC, ...).
+	SpanKind string `json:"span_kind,omitempty"`
+	// Name carries the span's instance label (shard key, design point,
+	// run label) — what distinguishes it from siblings of the same kind.
+	Name string `json:"name,omitempty"`
+	// Worker is the worker address a SpanRPC span was dispatched to, and
+	// the attribution key of the per-worker breakdown in `xdse trace`.
+	Worker string `json:"worker,omitempty"`
+	// StartNs is a span's wall-clock start in Unix nanoseconds. Like
+	// WallNs it is exempt from the determinism contract; unlike every
+	// other field it orders spans from different processes on one
+	// timeline, which is all the Chrome export needs.
+	StartNs int64 `json:"start_ns,omitempty"`
 }
 
 // EqualDeterministic reports whether two events agree on every
-// reproducibility-relevant field — everything except the wall-clock duration
-// and the sink-assigned sequence number, which are the only fields the
-// determinism contract exempts.
+// reproducibility-relevant field — everything except the wall-clock readings
+// (WallNs, StartNs) and the sink-assigned sequence number, which are the
+// only fields the determinism contract exempts.
 func (e Event) EqualDeterministic(o Event) bool {
 	e.WallNs, o.WallNs = 0, 0
+	e.StartNs, o.StartNs = 0, 0
 	e.Seq, o.Seq = 0, 0
 	return e == o
 }
@@ -276,6 +307,30 @@ func WithRun(s Sink, run string) Sink {
 		return nil
 	}
 	return &runSink{sink: s, run: run}
+}
+
+// CollectSink buffers events in memory. The serve worker uses one to gather
+// the spans of a single /eval request for return in the response, and tests
+// use it to assert on emitted streams.
+type CollectSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink by appending the event to the buffer.
+func (c *CollectSink) Emit(ev Event) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of everything emitted so far.
+func (c *CollectSink) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
 }
 
 // Emitter is the nil-safe handle optimizers emit through. A nil *Emitter is

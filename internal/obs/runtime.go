@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// GCPauseBuckets returns histogram bounds suited to Go GC pauses — tens of
+// microseconds to worst-case hundreds of milliseconds, exponential.
+func GCPauseBuckets() []float64 {
+	return []float64{
+		10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+		1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3,
+	}
+}
+
+// RuntimeSampler periodically folds Go runtime health — goroutine count,
+// heap size, GC activity and pause latency — into a metrics Registry, so a
+// serve worker's /metrics answers "is this worker GC-bound or leaking
+// goroutines" without attaching a profiler.
+type RuntimeSampler struct {
+	interval time.Duration
+
+	gGoroutines  *Gauge
+	gHeapAlloc   *Gauge
+	gHeapObjects *Gauge
+	cGC          *Counter
+	hPause       *Histogram
+
+	lastNumGC uint32
+}
+
+// NewRuntimeSampler registers the runtime metrics on reg and returns a
+// sampler observing them every interval. Nil reg or non-positive interval
+// yields nil (Run on a nil sampler returns immediately).
+func NewRuntimeSampler(reg *Registry, interval time.Duration) *RuntimeSampler {
+	if reg == nil || interval <= 0 {
+		return nil
+	}
+	return &RuntimeSampler{
+		interval:     interval,
+		gGoroutines:  reg.Gauge("runtime_goroutines"),
+		gHeapAlloc:   reg.Gauge("runtime_heap_alloc_bytes"),
+		gHeapObjects: reg.Gauge("runtime_heap_objects"),
+		cGC:          reg.Counter("runtime_gc_cycles_total"),
+		hPause:       reg.Histogram("runtime_gc_pause_seconds", GCPauseBuckets()),
+	}
+}
+
+// Sample takes one observation: gauges are set to current values, and every
+// GC pause completed since the previous call is fed to the pause histogram
+// (via the MemStats 256-entry pause ring, so up to 256 cycles between
+// samples are attributed exactly).
+func (s *RuntimeSampler) Sample() {
+	if s == nil {
+		return
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	s.gGoroutines.Set(float64(runtime.NumGoroutine()))
+	s.gHeapAlloc.Set(float64(m.HeapAlloc))
+	s.gHeapObjects.Set(float64(m.HeapObjects))
+	if m.NumGC > s.lastNumGC {
+		s.cGC.Add(int64(m.NumGC - s.lastNumGC))
+		first := s.lastNumGC
+		if m.NumGC-first > 256 {
+			first = m.NumGC - 256
+		}
+		for i := first; i < m.NumGC; i++ {
+			s.hPause.Observe(float64(m.PauseNs[(i+255)%256]) / 1e9)
+		}
+		s.lastNumGC = m.NumGC
+	}
+}
+
+// Run samples immediately and then on every interval tick until stop closes.
+func (s *RuntimeSampler) Run(stop <-chan struct{}) {
+	if s == nil {
+		return
+	}
+	s.Sample()
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.Sample()
+		}
+	}
+}

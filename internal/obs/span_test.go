@@ -1,0 +1,427 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// span emits one completed span event with the given identity, for building
+// synthetic traces in tests.
+func span(trace, id, parent, kind string, startNs, wallNs int64) Event {
+	return Event{
+		Kind: KindSpan, Trace: trace, Span: id, Parent: parent,
+		SpanKind: kind, StartNs: startNs, WallNs: wallNs,
+	}
+}
+
+// TestSpanAllocFree pins the tracing half of the zero-overhead contract: the
+// disabled (nil) tracer must cost nothing on the Tier-1 hot path — no
+// allocation starting, attributing, or ending spans — and a prebuilt span
+// event must travel through the Emitter/NullSink machinery without
+// allocating, exactly like every other Event (see TestEmitAllocFree).
+func TestSpanAllocFree(t *testing.T) {
+	var tr *Tracer
+	parent := SpanContext{Trace: "t", Span: "1"}
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := tr.StartChild(parent, SpanBatch, "")
+		sp.Points = 8
+		sp.End()
+	}); n != 0 {
+		t.Errorf("disabled tracer StartChild/End: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		root := tr.StartRoot("t", SpanCampaign, "c")
+		_ = root.Context()
+		root.End()
+	}); n != 0 {
+		t.Errorf("disabled tracer StartRoot/End: %v allocs/op, want 0", n)
+	}
+	ev := span("t", "2", "1", SpanBatch, 100, 200)
+	null := NewEmitter(NullSink{})
+	if n := testing.AllocsPerRun(1000, func() { null.Emit(ev) }); n != 0 {
+		t.Errorf("span event through null-sink emitter: %v allocs/op, want 0", n)
+	}
+}
+
+// TestTracerDeterministicIDs pins the identity scheme: IDs are the prefix
+// plus a per-tracer counter, so two tracers with the same prefix mint the
+// same sequence — no clocks, no randomness.
+func TestTracerDeterministicIDs(t *testing.T) {
+	mint := func(prefix string) []string {
+		tr := NewTracer(NullSink{}, prefix)
+		root := tr.StartRoot("t", SpanCampaign, "c")
+		c1 := tr.StartChild(root.Context(), SpanBatch, "")
+		c2 := tr.StartChild(c1.Context(), SpanReplay, "")
+		return []string{root.Context().Span, c1.Context().Span, c2.Context().Span}
+	}
+	got := mint("")
+	want := []string{"1", "2", "3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("coordinator IDs = %v, want %v", got, want)
+			break
+		}
+	}
+	got = mint("7.")
+	want = []string{"7.1", "7.2", "7.3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("worker IDs = %v, want %v", got, want)
+			break
+		}
+	}
+	again := mint("7.")
+	for i := range want {
+		if again[i] != want[i] {
+			t.Errorf("repeat mint = %v, want %v (IDs must be reproducible)", again, want)
+			break
+		}
+	}
+}
+
+// TestSpanEmission checks the emitted event carries the full identity and
+// attribute set, parents link correctly, and End is idempotent.
+func TestSpanEmission(t *testing.T) {
+	col := &CollectSink{}
+	tr := NewTracer(col, "")
+	root := tr.StartRoot("tr1", SpanCampaign, "camp")
+	child := tr.StartChild(root.Context(), SpanRPC, "shard-0")
+	child.Worker = "w1:80"
+	child.Points = 5
+	child.Err = "boom"
+	child.End()
+	child.End() // idempotent: must not double-emit
+	root.End()
+
+	events := col.Events()
+	if len(events) != 2 {
+		t.Fatalf("emitted %d events, want 2", len(events))
+	}
+	c, r := events[0], events[1]
+	if c.Kind != KindSpan || c.Trace != "tr1" || c.Span != "2" || c.Parent != "1" {
+		t.Errorf("child identity wrong: %+v", c)
+	}
+	if c.SpanKind != SpanRPC || c.Name != "shard-0" || c.Worker != "w1:80" || c.Points != 5 || c.Why != "boom" {
+		t.Errorf("child attributes wrong: %+v", c)
+	}
+	if c.StartNs == 0 || c.WallNs < 0 {
+		t.Errorf("child timing wrong: start=%d wall=%d", c.StartNs, c.WallNs)
+	}
+	if r.Span != "1" || r.Parent != "" || r.SpanKind != SpanCampaign {
+		t.Errorf("root identity wrong: %+v", r)
+	}
+}
+
+// TestTraceHeaderRoundTrip pins the wire format and its rejection rules.
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	sc := SpanContext{Trace: "Explainable_ResNet18", Span: "4"}
+	v := FormatTraceHeader(sc)
+	if v != "1 Explainable_ResNet18 4" {
+		t.Errorf("header = %q", v)
+	}
+	got, ok := ParseTraceHeader(v)
+	if !ok || got != sc {
+		t.Errorf("round trip = %+v ok=%v, want %+v", got, ok, sc)
+	}
+	for _, bad := range []string{
+		"",               // absent header
+		"1 trace",        // missing span
+		"1 trace span x", // extra field
+		"2 trace span",   // future version: proceed untraced
+		"garbage",        // not a header at all
+	} {
+		if _, ok := ParseTraceHeader(bad); ok {
+			t.Errorf("ParseTraceHeader(%q) accepted, want rejected", bad)
+		}
+	}
+}
+
+// TestContextSpanPlumbing checks the context round trip and that a nil tracer
+// leaves the context untouched (so untraced runs pay one Value lookup only).
+func TestContextSpanPlumbing(t *testing.T) {
+	ctx := t.Context()
+	if _, _, ok := SpanFromContext(ctx); ok {
+		t.Error("empty context reported a span")
+	}
+	if got := ContextWithSpan(ctx, nil, SpanContext{}); got != ctx {
+		t.Error("nil tracer must return the context unchanged")
+	}
+	tr := NewTracer(NullSink{}, "")
+	sc := SpanContext{Trace: "t", Span: "3"}
+	tr2, sc2, ok := SpanFromContext(ContextWithSpan(ctx, tr, sc))
+	if !ok || tr2 != tr || sc2 != sc {
+		t.Errorf("context round trip = (%v, %+v, %v)", tr2, sc2, ok)
+	}
+}
+
+// TestBuildSpanForest covers reconstruction and each validation failure.
+func TestBuildSpanForest(t *testing.T) {
+	valid := []Event{
+		{Kind: KindBatchEvaluated, Run: "r"}, // non-span events are ignored
+		span("t1", "1", "", SpanCampaign, 10, 1000),
+		span("t1", "2", "1", SpanBatch, 20, 500),
+		span("t1", "3", "2", SpanDispatch, 30, 200),
+		span("t1", "3.1", "3", SpanWorkerEval, 40, 100),
+		span("t2", "1", "", SpanCampaign, 10, 400),
+	}
+	forest, err := BuildSpanForest(valid)
+	if err != nil {
+		t.Fatalf("valid forest rejected: %v", err)
+	}
+	if len(forest) != 2 || forest[0].ID != "t1" || forest[1].ID != "t2" {
+		t.Fatalf("forest traces wrong: %+v", forest)
+	}
+	t1 := forest[0]
+	if len(t1.Roots) != 1 || t1.Roots[0].Span != "1" {
+		t.Fatalf("t1 roots wrong")
+	}
+	if len(t1.Nodes) != 4 {
+		t.Fatalf("t1 has %d nodes, want 4", len(t1.Nodes))
+	}
+	if got := t1.Nodes["3"].Children; len(got) != 1 || got[0].Span != "3.1" {
+		t.Errorf("worker span not linked under dispatch: %+v", got)
+	}
+	if err := ValidateSpans(valid); err != nil {
+		t.Errorf("ValidateSpans(valid) = %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		events []Event
+		want   string
+	}{
+		{"missing parent", []Event{
+			span("t", "1", "", SpanCampaign, 0, 1),
+			span("t", "9", "8", SpanBatch, 0, 1),
+		}, "missing parent"},
+		{"duplicate id", []Event{
+			span("t", "1", "", SpanCampaign, 0, 1),
+			span("t", "1", "", SpanCampaign, 0, 1),
+		}, "duplicate span id"},
+		{"cycle", []Event{
+			span("t", "1", "2", SpanBatch, 0, 1),
+			span("t", "2", "1", SpanBatch, 0, 1),
+		}, "cycle"},
+	}
+	for _, tc := range cases {
+		err := ValidateSpans(tc.events)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// fleetTrace is a small but fully-shaped merged cross-process trace:
+// campaign → batch → {dispatch → rpc → worker spans, replay}, plus install.
+func fleetTrace() []Event {
+	mk := func(id, parent, kind, name, worker string, startNs, wallNs int64, pts int) Event {
+		ev := span("t", id, parent, kind, startNs, wallNs)
+		ev.Name = name
+		ev.Worker = worker
+		ev.Points = pts
+		return ev
+	}
+	return []Event{
+		mk("1", "", SpanCampaign, "run", "", 0, 10_000_000, 0),
+		mk("2", "1", SpanBatch, "", "", 100, 8_000_000, 6),
+		mk("3", "2", SpanDispatch, "shard-a", "", 200, 5_000_000, 3),
+		mk("4", "3", SpanRPC, "shard-a", "w1:80", 300, 4_500_000, 3),
+		mk("4.1", "4", SpanQueue, "", "", 310, 400_000, 0),
+		mk("4.2", "4", SpanWorkerEval, "p1", "", 320, 1_500_000, 0),
+		mk("4.3", "4", SpanWorkerEval, "p2", "", 330, 1_600_000, 0),
+		mk("4.4", "4", SpanCache, "export", "", 340, 200_000, 2),
+		mk("5", "3", SpanInstall, "shard-a", "", 350, 100_000, 2),
+		mk("6", "2", SpanReplay, "", "", 360, 2_000_000, 6),
+	}
+}
+
+// TestWriteTraceReport smoke-tests the critical-path report: it must name the
+// trace, render a critical path reaching the worker side, and attribute the
+// worker's rpc wall-clock across queue/compute/export/transfer.
+func TestWriteTraceReport(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteTraceReport(&b, fleetTrace(), 5); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"== trace t ==",
+		"critical path:",
+		SpanCampaign, SpanBatch, SpanDispatch, SpanRPC,
+		"self-time by span kind:",
+		"per-worker breakdown",
+		"w1:80: 1 rpcs",
+		"queue 400µs",
+		"compute 3.1ms",
+		"export 200µs",
+		"transfer 800µs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	if err := WriteTraceReport(&b, []Event{{Kind: KindBatchEvaluated}}, 5); err == nil {
+		t.Error("spanless trace must error (nothing to report)")
+	}
+}
+
+// TestWriteChromeTrace checks the export is parseable trace_event JSON with
+// one complete event per span plus process-name metadata.
+func TestWriteChromeTrace(t *testing.T) {
+	events := fleetTrace()
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	complete := 0
+	dispatchLane := false
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph == "X" {
+			complete++
+			if ev.Tid > 0 {
+				dispatchLane = true
+			}
+		}
+	}
+	if want := len(Spans(events)); complete != want {
+		t.Errorf("%d complete events, want %d (one per span)", complete, want)
+	}
+	if !dispatchLane {
+		t.Error("dispatch subtree did not get its own lane (tid > 0)")
+	}
+	if parsed.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", parsed.DisplayTimeUnit)
+	}
+}
+
+// TestReadTraceCheckedTornTail pins the torn-tail contract for cross-process
+// merges: a trace whose final record was cut mid-write (worker crash, full
+// disk) yields its intact prefix with torn=true — and that prefix still
+// passes span validation, so a merged report renders what survived.
+func TestReadTraceCheckedTornTail(t *testing.T) {
+	// A merged coordinator trace: a root and a child, then a third record
+	// cut mid-write (the killed worker's final flush).
+	lines := []string{
+		mustJSON(t, span("t", "1", "", SpanCampaign, 10, 1000)),
+		mustJSON(t, span("t", "2", "1", SpanBatch, 20, 500)),
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	intact := strings.Join(lines, "\n") + "\n"
+	if err := os.WriteFile(path, []byte(intact), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Whole file: both spans, not torn.
+	events, torn, err := ReadTraceChecked(path, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn || len(events) != 2 {
+		t.Fatalf("intact file: %d events torn=%v, want 2 events torn=false", len(events), torn)
+	}
+
+	// Tear a third record mid-write: the prefix survives, the loss is
+	// reported, and the prefix still validates (children emit before their
+	// parents only at the stream tail, which is exactly what was lost).
+	tornLine := mustJSON(t, span("t", "3", "2", SpanReplay, 30, 200))
+	torn3 := intact + tornLine[:len(tornLine)/2]
+	if err := os.WriteFile(path, []byte(torn3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, torn, err = ReadTraceChecked(path, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn {
+		t.Error("torn tail not reported")
+	}
+	if len(events) != 2 {
+		t.Fatalf("torn file yielded %d events, want the 2-event prefix", len(events))
+	}
+	if err := ValidateSpans(events); err != nil {
+		t.Errorf("torn prefix failed span validation: %v", err)
+	}
+}
+
+// mustJSON marshals ev to its JSONL line (no trailing newline).
+func mustJSON(t *testing.T, ev Event) string {
+	t.Helper()
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestTracerForward checks the coordinator-side merge point: forwarded span
+// events re-emit with Seq cleared (the local sink re-stamps), and non-span
+// events are dropped rather than duplicated into the trace.
+func TestTracerForward(t *testing.T) {
+	col := &CollectSink{}
+	tr := NewTracer(col, "")
+	ev := span("t", "4.1", "4", SpanWorkerEval, 10, 20)
+	ev.Seq = 99
+	tr.Forward(ev)
+	tr.Forward(Event{Kind: KindBatchEvaluated, Seq: 100})
+	var nilTr *Tracer
+	nilTr.Forward(ev) // disabled tracer: no-op, no panic
+
+	got := col.Events()
+	if len(got) != 1 {
+		t.Fatalf("forwarded %d events, want 1", len(got))
+	}
+	if got[0].Seq != 0 {
+		t.Errorf("forwarded Seq = %d, want cleared", got[0].Seq)
+	}
+	if got[0].Span != "4.1" {
+		t.Errorf("forwarded span = %q", got[0].Span)
+	}
+}
+
+// TestRuntimeSampler checks a sample populates every runtime instrument and
+// that the disabled states (nil registry, non-positive interval) are inert.
+func TestRuntimeSampler(t *testing.T) {
+	reg := NewRegistry()
+	rs := NewRuntimeSampler(reg, time.Second)
+	if rs == nil {
+		t.Fatal("sampler not created")
+	}
+	rs.Sample()
+	if reg.Gauge("runtime_goroutines").Value() <= 0 {
+		t.Error("goroutine gauge not set")
+	}
+	if reg.Gauge("runtime_heap_alloc_bytes").Value() <= 0 {
+		t.Error("heap gauge not set")
+	}
+	if NewRuntimeSampler(nil, time.Second) != nil {
+		t.Error("nil registry must disable the sampler")
+	}
+	if NewRuntimeSampler(reg, 0) != nil {
+		t.Error("zero interval must disable the sampler")
+	}
+	var nilRS *RuntimeSampler
+	nilRS.Sample() // inert
+	stop := make(chan struct{})
+	close(stop)
+	nilRS.Run(stop) // inert
+}

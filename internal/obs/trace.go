@@ -1,0 +1,368 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Spans filters a trace down to its KindSpan events.
+func Spans(events []Event) []Event {
+	var out []Event
+	for _, ev := range events {
+		if ev.Kind == KindSpan {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// SpanNode is one span linked into its trace's causal tree.
+type SpanNode struct {
+	// Event is the span's emitted record.
+	Event
+	// Children are the span's direct children, ordered by StartNs.
+	Children []*SpanNode
+}
+
+// SpanTree is the reconstructed causal forest of one trace ID.
+type SpanTree struct {
+	// ID is the trace identifier.
+	ID string
+	// Roots are the trace's parentless spans (normally one campaign span),
+	// ordered by StartNs.
+	Roots []*SpanNode
+	// Nodes indexes every span of the trace by span ID.
+	Nodes map[string]*SpanNode
+}
+
+// BuildSpanForest reconstructs the causal trees of a merged trace, one
+// SpanTree per trace ID in first-appearance order. It is also the parent-link
+// validator: a duplicate span ID, a non-root span whose parent is absent, or
+// a parent cycle is an error — the conditions under which a critical path
+// would be meaningless.
+func BuildSpanForest(events []Event) ([]*SpanTree, error) {
+	byID := map[string]*SpanTree{}
+	var order []*SpanTree
+	for _, ev := range events {
+		if ev.Kind != KindSpan {
+			continue
+		}
+		tree, ok := byID[ev.Trace]
+		if !ok {
+			tree = &SpanTree{ID: ev.Trace, Nodes: map[string]*SpanNode{}}
+			byID[ev.Trace] = tree
+			order = append(order, tree)
+		}
+		if _, dup := tree.Nodes[ev.Span]; dup {
+			return nil, fmt.Errorf("trace %q: duplicate span id %q", ev.Trace, ev.Span)
+		}
+		tree.Nodes[ev.Span] = &SpanNode{Event: ev}
+	}
+	for _, tree := range order {
+		for _, n := range tree.Nodes {
+			if n.Parent == "" {
+				tree.Roots = append(tree.Roots, n)
+				continue
+			}
+			p, ok := tree.Nodes[n.Parent]
+			if !ok {
+				return nil, fmt.Errorf("trace %q: span %q (%s) references missing parent %q",
+					tree.ID, n.Span, n.SpanKind, n.Parent)
+			}
+			p.Children = append(p.Children, n)
+		}
+		// A parent cycle strands its members off every root; walking each
+		// node's parent chain with a step bound detects it without recursion.
+		for _, n := range tree.Nodes {
+			cur, steps := n, 0
+			for cur.Parent != "" {
+				cur = tree.Nodes[cur.Parent]
+				if steps++; steps > len(tree.Nodes) {
+					return nil, fmt.Errorf("trace %q: parent cycle through span %q", tree.ID, n.Span)
+				}
+			}
+		}
+		sortNodes(tree.Roots)
+		for _, n := range tree.Nodes {
+			sortNodes(n.Children)
+		}
+	}
+	return order, nil
+}
+
+// sortNodes orders sibling spans by start time, breaking ties by span ID so
+// rendering is deterministic even within one clock tick.
+func sortNodes(ns []*SpanNode) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].StartNs != ns[j].StartNs {
+			return ns[i].StartNs < ns[j].StartNs
+		}
+		return ns[i].Span < ns[j].Span
+	})
+}
+
+// ValidateSpans checks a merged trace's span invariants — unique IDs, every
+// non-root parent present, no cycles — returning the first violation.
+func ValidateSpans(events []Event) error {
+	_, err := BuildSpanForest(events)
+	return err
+}
+
+// criticalPath returns the chain from n down its heaviest child at each
+// level — the longest-duration causal chain under n.
+func criticalPath(n *SpanNode) []*SpanNode {
+	path := []*SpanNode{n}
+	for len(n.Children) > 0 {
+		best := n.Children[0]
+		for _, c := range n.Children[1:] {
+			if c.WallNs > best.WallNs {
+				best = c
+			}
+		}
+		path = append(path, best)
+		n = best
+	}
+	return path
+}
+
+// selfNs is n's duration not covered by its children, clamped at zero
+// (children of a fan-out span run concurrently and may sum past the parent).
+func selfNs(n *SpanNode) int64 {
+	self := n.WallNs
+	for _, c := range n.Children {
+		self -= c.WallNs
+	}
+	if self < 0 {
+		self = 0
+	}
+	return self
+}
+
+// spanLabel renders one span for report lines.
+func spanLabel(n *SpanNode) string {
+	var b strings.Builder
+	b.WriteString(n.SpanKind)
+	if n.Name != "" {
+		fmt.Fprintf(&b, " %s", n.Name)
+	}
+	if n.Worker != "" {
+		fmt.Fprintf(&b, " worker=%s", n.Worker)
+	}
+	if n.Points > 0 {
+		fmt.Fprintf(&b, " pts=%d", n.Points)
+	}
+	fmt.Fprintf(&b, " %s", time.Duration(n.WallNs).Round(time.Microsecond))
+	if n.Why != "" {
+		fmt.Fprintf(&b, " err=%q", n.Why)
+	}
+	return b.String()
+}
+
+// workerStat accumulates one worker's time attribution.
+type workerStat struct {
+	rpcs     int
+	total    int64 // sum of rpc span durations
+	queue    int64 // worker-side queue spans
+	compute  int64 // worker-side eval spans
+	cache    int64 // worker-side record-export spans
+	transfer int64 // rpc duration not covered by worker-side spans
+}
+
+// collectWorker folds the worker-side descendants of an rpc span into st.
+func collectWorker(n *SpanNode, st *workerStat) {
+	for _, c := range n.Children {
+		switch c.SpanKind {
+		case SpanQueue:
+			st.queue += c.WallNs
+		case SpanWorkerEval:
+			st.compute += c.WallNs
+		case SpanCache:
+			st.cache += c.WallNs
+		}
+		collectWorker(c, st)
+	}
+}
+
+// WriteTraceReport renders the critical-path analysis of a merged trace:
+// per trace, the slowest causal chain, the top-N span kinds by self-time
+// (time not covered by children), and a per-worker breakdown attributing
+// each worker's rpc wall-clock to queue wait vs. compute vs. record export
+// vs. transfer overhead. Returns the parent-link validation error, if any.
+func WriteTraceReport(w io.Writer, events []Event, topN int) error {
+	if topN <= 0 {
+		topN = 5
+	}
+	forest, err := BuildSpanForest(events)
+	if err != nil {
+		return err
+	}
+	if len(forest) == 0 {
+		return fmt.Errorf("obs: no span events in trace")
+	}
+	for _, tree := range forest {
+		fmt.Fprintf(w, "== trace %s ==\n", tree.ID)
+		fmt.Fprintf(w, "  spans: %d (%d roots)\n", len(tree.Nodes), len(tree.Roots))
+
+		// Critical path: the longest chain under the slowest root.
+		slowest := tree.Roots[0]
+		for _, r := range tree.Roots[1:] {
+			if r.WallNs > slowest.WallNs {
+				slowest = r
+			}
+		}
+		fmt.Fprintf(w, "  critical path:\n")
+		for depth, n := range criticalPath(slowest) {
+			fmt.Fprintf(w, "    %s%s\n", strings.Repeat("  ", depth), spanLabel(n))
+		}
+
+		// Self-time by kind.
+		type kindStat struct {
+			kind  string
+			ns    int64
+			count int
+		}
+		byKind := map[string]*kindStat{}
+		for _, n := range tree.Nodes {
+			st, ok := byKind[n.SpanKind]
+			if !ok {
+				st = &kindStat{kind: n.SpanKind}
+				byKind[n.SpanKind] = st
+			}
+			st.ns += selfNs(n)
+			st.count++
+		}
+		kinds := make([]*kindStat, 0, len(byKind))
+		for _, st := range byKind {
+			kinds = append(kinds, st)
+		}
+		sort.Slice(kinds, func(i, j int) bool {
+			if kinds[i].ns != kinds[j].ns {
+				return kinds[i].ns > kinds[j].ns
+			}
+			return kinds[i].kind < kinds[j].kind
+		})
+		if len(kinds) > topN {
+			kinds = kinds[:topN]
+		}
+		fmt.Fprintf(w, "  self-time by span kind:\n")
+		for _, st := range kinds {
+			fmt.Fprintf(w, "    %-12s %10s  (%d spans)\n",
+				st.kind, time.Duration(st.ns).Round(time.Microsecond), st.count)
+		}
+
+		// Per-worker queue/compute/transfer attribution over rpc spans.
+		workers := map[string]*workerStat{}
+		var order []string
+		for _, n := range tree.Nodes {
+			if n.SpanKind != SpanRPC || n.Worker == "" {
+				continue
+			}
+			st, ok := workers[n.Worker]
+			if !ok {
+				st = &workerStat{}
+				workers[n.Worker] = st
+				order = append(order, n.Worker)
+			}
+			st.rpcs++
+			st.total += n.WallNs
+			collectWorker(n, st)
+		}
+		if len(workers) > 0 {
+			sort.Strings(order)
+			fmt.Fprintf(w, "  per-worker breakdown (rpc wall-clock):\n")
+			for _, addr := range order {
+				st := workers[addr]
+				st.transfer = st.total - st.queue - st.compute - st.cache
+				if st.transfer < 0 {
+					st.transfer = 0
+				}
+				fmt.Fprintf(w, "    %s: %d rpcs %s total | queue %s | compute %s | export %s | transfer %s\n",
+					addr, st.rpcs,
+					time.Duration(st.total).Round(time.Microsecond),
+					time.Duration(st.queue).Round(time.Microsecond),
+					time.Duration(st.compute).Round(time.Microsecond),
+					time.Duration(st.cache).Round(time.Microsecond),
+					time.Duration(st.transfer).Round(time.Microsecond))
+			}
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one trace_event record of the Chrome/Perfetto JSON format
+// (complete events, ph "X", microsecond timestamps).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level Chrome trace_event JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports a merged trace as Chrome trace_event JSON,
+// viewable in chrome://tracing or Perfetto. Each trace ID becomes a process;
+// coordinator-side spans share lane 0 and every dispatch subtree gets its
+// own lane, so concurrent shards render stacked instead of overlapping.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	forest, err := BuildSpanForest(events)
+	if err != nil {
+		return err
+	}
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	for ti, tree := range forest {
+		pid := ti + 1
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": "trace " + tree.ID},
+		})
+		lanes := 0
+		var emit func(n *SpanNode, tid int)
+		emit = func(n *SpanNode, tid int) {
+			name := n.SpanKind
+			if n.Name != "" {
+				name += " " + n.Name
+			}
+			args := map[string]any{"span": n.Span}
+			if n.Worker != "" {
+				args["worker"] = n.Worker
+			}
+			if n.Points > 0 {
+				args["points"] = n.Points
+			}
+			if n.Why != "" {
+				args["err"] = n.Why
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: name, Cat: n.SpanKind, Ph: "X",
+				Ts: float64(n.StartNs) / 1e3, Dur: float64(n.WallNs) / 1e3,
+				Pid: pid, Tid: tid, Args: args,
+			})
+			for _, c := range n.Children {
+				ctid := tid
+				if c.SpanKind == SpanDispatch {
+					lanes++
+					ctid = lanes
+				}
+				emit(c, ctid)
+			}
+		}
+		for _, r := range tree.Roots {
+			emit(r, 0)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

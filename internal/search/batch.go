@@ -148,12 +148,18 @@ func (p *Problem) EvaluateBatch(pts []arch.Point) []Costs {
 	start := time.Now()
 	out := make([]Costs, len(pts))
 	ctx := p.Context()
+	bsp := p.Tracer.StartChild(p.TraceSpan, obs.SpanBatch, "")
+	bsp.Points = len(pts)
 	if p.Prepare != nil && len(pts) > 0 && ctx.Err() == nil {
 		// The warming hook (see Problem.Prepare) runs before dispatch; it
 		// may only prefill caches, so the results below are identical
-		// whether it completed, failed, or was skipped.
-		p.Prepare(ctx, pts)
+		// whether it completed, failed, or was skipped. It receives the
+		// batch span through the context so fleet dispatch spans nest
+		// under it.
+		p.Prepare(obs.ContextWithSpan(ctx, p.Tracer, bsp.Context()), pts)
 	}
+	rsp := p.Tracer.StartChild(bsp.Context(), obs.SpanReplay, "")
+	rsp.Points = len(pts)
 	done := ctx.Done()
 	one := func(i int) {
 		if done != nil {
@@ -193,6 +199,15 @@ func (p *Problem) EvaluateBatch(pts []arch.Point) []Costs {
 		close(next)
 		wg.Wait()
 	}
+	if ctx.Err() == nil {
+		// A cancelled batch suppresses both span ends — mirroring the
+		// campaign span in exp.RunOne — so a killed run's trace stays a
+		// strict event-for-event prefix of an uninterrupted run's.
+		rsp.End()
+	}
 	p.Stats.add(len(pts), time.Since(start))
+	if ctx.Err() == nil {
+		bsp.End()
+	}
 	return out
 }

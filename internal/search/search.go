@@ -134,6 +134,16 @@ type Problem struct {
 	// running, partially running, or being skipped, so batch results are
 	// bit-identical with or without it.
 	Prepare func(ctx context.Context, pts []arch.Point)
+	// Tracer, when non-nil, makes EvaluateBatch open a batch span (and a
+	// nested replay span) around every call, parented to TraceSpan, and
+	// propagate the batch span to Prepare via the context — the campaign
+	// half of the distributed tracing spine. Like Events, spans are
+	// derived observations only; a nil Tracer is the (free) disabled
+	// state.
+	Tracer *obs.Tracer
+	// TraceSpan is the span every batch span parents to — normally the
+	// run's campaign root span. Zero makes batch spans roots.
+	TraceSpan obs.SpanContext
 }
 
 // Context returns the problem's cancellation context (context.Background

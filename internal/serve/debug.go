@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// mountDebug adds the runtime profiling surface to mux (Options.Debug only):
+// the net/http/pprof handlers under /debug/pprof/ and an expvar-style
+// /debug/vars that additionally exposes the daemon's merged metrics
+// registry as "xdse_metrics". Mounted explicitly instead of relying on the
+// pprof package's DefaultServeMux side effects, so an undebugged daemon
+// serves nothing under /debug.
+func (s *Server) mountDebug(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/vars", s.handleDebugVars)
+}
+
+// handleDebugVars renders the process's published expvars (cmdline,
+// memstats) plus the daemon's merged metrics registry, in expvar's JSON
+// format. A custom handler rather than expvar.Handler so the registry
+// snapshot is per-request without expvar.Publish (which panics on duplicate
+// names when tests build several Servers in one process).
+func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value.String())
+	})
+	if !first {
+		fmt.Fprintf(w, ",\n")
+	}
+	fmt.Fprintf(w, "%q: %s", "xdse_metrics", s.mergedMetrics().Expvar().String())
+	fmt.Fprintf(w, "\n}\n")
+}

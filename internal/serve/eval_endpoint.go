@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"strings"
+	"time"
 
 	"xdse/internal/arch"
 	"xdse/internal/eval"
@@ -80,7 +81,14 @@ func (s *Server) evaluatorFor(model *workload.Model, mode eval.MapperMode, trial
 // mirrors the jobs API: draining → 503 + Retry-After, concurrency saturated
 // → 429 + Retry-After, malformed or mismatched requests → 4xx (permanent for
 // the coordinator), version skew → 412.
+//
+// A request carrying an obs.TraceHeader gets worker-side spans — queue wait,
+// one span per evaluated point, record export — parented under the
+// coordinator's rpc span and returned in the response for cross-process
+// merge (and emitted to Options.Trace, when set). Tracing is observation
+// only: an untraced request takes the identical evaluation path.
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	if s.Draining() {
 		w.Header().Set("Retry-After", retryAfterSeconds(s.opts.RetryAfter))
 		httpError(w, http.StatusServiceUnavailable, "daemon draining")
@@ -145,21 +153,41 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusTooManyRequests, "eval concurrency %d saturated; retry later", s.opts.EvalConcurrent)
 		return
 	}
+	s.hEvalWait.ObserveDuration(time.Since(t0))
+
+	// Set up worker-side tracing when the coordinator sent trace context:
+	// a collecting sink gathers this request's spans for the response, the
+	// rpc span ID prefixes local span IDs ("<rpc>.<n>") so merged IDs never
+	// collide, and the queue span retroactively covers arrival→admission.
+	var col *obs.CollectSink
+	var tr *obs.Tracer
+	var parent obs.SpanContext
+	if sc, ok := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader)); ok {
+		col = &obs.CollectSink{}
+		tr = obs.NewTracer(obs.Multi(col, s.opts.Trace), sc.Span+".")
+		parent = sc
+		q := tr.StartChildAt(parent, obs.SpanQueue, "", t0)
+		q.End()
+	}
 
 	s.cEvalShards.Inc()
 	ev := s.evaluatorFor(model, mode, req.MapTrials, req.Seed)
-	var lines []string
-	seen := make(map[string]bool)
+	evCtx := obs.ContextWithSpan(r.Context(), tr, parent)
 	evaluated := 0
 	for _, pt := range pts {
 		// The request context carries the lease: a coordinator that revokes
 		// (or dies) cancels it, and the worker stops mid-shard instead of
 		// burning cycles on a result nobody will accept.
-		if r.Context().Err() != nil {
+		if evCtx.Err() != nil {
 			break
 		}
-		ev.EvaluateCtx(r.Context(), pt)
+		ev.EvaluateCtx(evCtx, pt)
 		evaluated++
+	}
+	csp := tr.StartChild(parent, obs.SpanCache, "export")
+	var lines []string
+	seen := make(map[string]bool)
+	for _, pt := range pts[:evaluated] {
 		for _, rec := range ev.RecordsFor(pt) {
 			id := rec.Key.ID()
 			if seen[id] {
@@ -173,13 +201,19 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 			lines = append(lines, strings.TrimSuffix(string(data), "\n"))
 		}
 	}
+	csp.Points = len(lines)
+	csp.End()
 	s.cEvalPoints.Add(int64(evaluated))
 	s.cEvalRecords.Add(int64(len(lines)))
-	writeJSON(w, http.StatusOK, fleet.EvalResponse{
+	resp := fleet.EvalResponse{
 		ModelVersion: perf.ModelVersion(),
 		Records:      lines,
 		Evaluated:    evaluated,
-	})
+	}
+	if col != nil {
+		resp.Spans = col.Events()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleCacheGet serves one persistent-cache record by content address
@@ -193,6 +227,13 @@ func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
+	// A traced fetch spans the serve into the daemon's own trace sink
+	// (there is no response channel for spans here; peers merge via /eval).
+	if sc, ok := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader)); ok && s.opts.Trace != nil {
+		ctr := obs.NewTracer(s.opts.Trace, sc.Span+".c")
+		sp := ctr.StartChild(sc, obs.SpanCache, id)
+		defer sp.End()
+	}
 	rec, ok := s.cache.GetByID(id)
 	if !ok {
 		s.cCacheMisses.Inc()
@@ -227,4 +268,5 @@ func (s *Server) evalEndpointMetrics(reg *obs.Registry) {
 	s.cCacheMisses = reg.Counter("serve_cache_record_misses_total")
 	s.cCacheRevalid = reg.Counter("serve_cache_revalidations_total")
 	s.gEvalInflight = reg.Gauge("serve_eval_inflight")
+	s.hEvalWait = reg.Histogram("serve_eval_queue_wait_seconds", obs.DurationBuckets())
 }

@@ -34,6 +34,11 @@ import (
 //	GET  /cache/{id}       — one persistent-cache record by content address,
 //	                         ETag'd with the cost-model version (304 on
 //	                         If-None-Match revalidation)
+//
+// With Options.Debug, the runtime profiling surface is mounted too:
+//
+//	GET  /debug/pprof/*    — net/http/pprof (profile, heap, goroutine, ...)
+//	GET  /debug/vars       — expvars + the merged metrics registry as JSON
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -64,6 +69,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("POST /eval", s.handleEval)
 	mux.HandleFunc("GET /cache/{id}", s.handleCacheGet)
+	if s.opts.Debug {
+		s.mountDebug(mux)
+	}
 	return mux
 }
 

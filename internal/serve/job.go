@@ -140,6 +140,12 @@ type Job struct {
 	dir   string
 	warnf func(format string, args ...any)
 
+	// enqueuedAt is stamped just before the job is offered to the queue
+	// (submission or boot recovery) and read by the worker that pops it —
+	// the channel send orders the accesses — to observe enqueue→start
+	// latency. Not persisted: a restart restarts the wait.
+	enqueuedAt time.Time
+
 	mu     sync.Mutex
 	status JobStatus
 	reason string

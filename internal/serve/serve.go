@@ -91,6 +91,20 @@ type Options struct {
 	// with bit-identical results. An unopenable store is reported through
 	// Warnf and the daemon runs uncached.
 	CacheDir string
+	// Trace, when non-nil, receives the daemon's own span events: the
+	// worker-side spans of traced /eval shards (also returned to the
+	// coordinator in the response) and /cache/{id} serves carrying an
+	// obs.TraceHeader. The sink's lifetime belongs to the caller.
+	Trace obs.Sink
+	// Debug mounts the runtime profiling surface — GET /debug/pprof/* and
+	// GET /debug/vars — on Handler. Off by default: profiling endpoints
+	// can stall the process (a CPU profile blocks for its duration) and
+	// expose internals, so enabling them is an explicit operator decision.
+	Debug bool
+	// RuntimeSample is the cadence of the runtime sampler folding
+	// goroutine/heap/GC readings into /metrics (default 10s; negative
+	// disables sampling).
+	RuntimeSample time.Duration
 	// Warnf receives non-fatal service warnings (default: stderr).
 	Warnf func(format string, args ...any)
 }
@@ -114,6 +128,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Retry == (eval.RetryPolicy{}) {
 		o.Retry = eval.DefaultRetry()
+	}
+	if o.RuntimeSample == 0 {
+		o.RuntimeSample = 10 * time.Second
 	}
 	if o.Warnf == nil {
 		o.Warnf = func(format string, args ...any) {
@@ -139,6 +156,9 @@ type Server struct {
 	cEvalShed, cCacheServed, cCacheMisses      *obs.Counter
 	cCacheRevalid                              *obs.Counter
 	gQueue, gRunning, gDraining, gEvalInflight *obs.Gauge
+	hJobWait, hEvalWait                        *obs.Histogram
+
+	sampler *obs.RuntimeSampler
 
 	// Fleet-worker state: shard admission semaphore and the bounded pool of
 	// per-configuration evaluators behind POST /eval (see eval_endpoint.go).
@@ -198,6 +218,7 @@ func New(opts Options) (*Server, error) {
 		gQueue:         reg.Gauge("serve_queue_depth"),
 		gRunning:       reg.Gauge("serve_jobs_running"),
 		gDraining:      reg.Gauge("serve_draining"),
+		hJobWait:       reg.Histogram("serve_job_queue_wait_seconds", obs.DurationBuckets()),
 
 		jobs:     make(map[string]*Job),
 		queue:    make(chan *Job, opts.QueueCap),
@@ -206,6 +227,7 @@ func New(opts Options) (*Server, error) {
 		evalPool: make(map[evalPoolKey]*eval.Evaluator),
 	}
 	s.evalEndpointMetrics(reg)
+	s.sampler = obs.NewRuntimeSampler(reg, opts.RuntimeSample)
 	s.drainCtx, s.drainCancel = context.WithCancelCause(context.Background())
 	if opts.CacheDir != "" {
 		store, err := evalcache.Open(opts.CacheDir, evalcache.Options{Warnf: opts.Warnf})
@@ -276,11 +298,19 @@ func (s *Server) StartWorkers() {
 	for i := 0; i < s.opts.MaxConcurrent; i++ {
 		go s.worker()
 	}
+	if s.sampler != nil {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.sampler.Run(s.stop)
+		}()
+	}
 	// Recovered jobs may outnumber the queue cap, so enqueue from a
 	// goroutine that a drain can interrupt; workers consume as they go.
 	if len(recovered) > 0 {
 		go func() {
 			for _, j := range recovered {
+				j.enqueuedAt = time.Now()
 				select {
 				case s.queue <- j:
 					s.gQueue.Set(float64(len(s.queue)))
@@ -382,6 +412,9 @@ func (s *Server) runJob(j *Job) {
 	if s.drainCtx.Err() != nil {
 		// Popped mid-drain: leave it queued on disk for the next boot.
 		return
+	}
+	if !j.enqueuedAt.IsZero() {
+		s.hJobWait.ObserveDuration(time.Since(j.enqueuedAt))
 	}
 	ctx, cancel := context.WithCancelCause(s.drainCtx)
 	defer cancel(nil)
@@ -529,6 +562,7 @@ func (s *Server) submit(spec JobSpec) (*Job, error) {
 		return nil, fmt.Errorf("serve: create job dir: %w", err)
 	}
 	j.setStatus(StatusQueued, "")
+	j.enqueuedAt = time.Now()
 	select {
 	case s.queue <- j:
 		s.gQueue.Set(float64(len(s.queue)))
