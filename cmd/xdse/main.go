@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -73,6 +74,9 @@ func main() {
 		metrsOut = flag.String("metrics-out", "", "write the campaign's merged metrics to this file in Prometheus text format")
 		fleetWrk = flag.String("fleet-workers", "", "comma-separated `xdse serve` worker addresses (host:port,...): shard evaluation batches across them; results stay bit-identical to a local run under any worker failure")
 		fleetHI  = flag.Duration("fleet-health-interval", 0, "fleet worker health-probe cadence (0 = 1s default)")
+		fleetHA  = flag.Duration("fleet-hedge-after", 0, "hedge a straggling shard dispatch to the next ring candidate after this long (0 = LeaseTTL/2 default, negative disables)")
+		fleetBK  = flag.Int("fleet-breaker", 0, "consecutive transient faults that open a worker's circuit breaker (0 = 3 default)")
+		fleetCh  = flag.String("fleet-chaos", "", "coordinator-side deterministic chaos spec (e.g. \"drop@3,storm@0-4=503,partition@2-6=host:port\"); see internal/fleet.ParseChaosSpec")
 	)
 	flag.Parse()
 
@@ -175,12 +179,29 @@ func main() {
 				addrs = append(addrs, a)
 			}
 		}
-		c, err := fleet.New(addrs, fleet.Options{
-			HealthInterval: *fleetHI,
+		chaos, err := fleet.ParseChaosSpec(*fleetCh)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xdse: -fleet-chaos: %v\n", err)
+			os.Exit(2)
+		}
+		fleetOpts := fleet.Options{
+			HealthInterval:   *fleetHI,
+			HedgeAfter:       *fleetHA,
+			BreakerThreshold: *fleetBK,
+			Chaos:            chaos,
 			Warnf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "xdse: "+format+"\n", args...)
 			},
-		})
+		}
+		if *ckptDir != "" {
+			// The shard journal rides in the campaign checkpoint directory:
+			// one -checkpoint flag makes both the evaluation trace and the
+			// coordinator's shard state crash-durable, and one -resume
+			// replays both.
+			fleetOpts.JournalDir = filepath.Join(*ckptDir, "fleet")
+			fleetOpts.Resume = *resume
+		}
+		c, err := fleet.New(addrs, fleetOpts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xdse: %v\n", err)
 			os.Exit(2)

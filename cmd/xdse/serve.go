@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"xdse/internal/eval"
+	"xdse/internal/fleet"
 	"xdse/internal/obs"
 	"xdse/internal/serve"
 )
@@ -37,6 +38,7 @@ func runServe(args []string) int {
 		cacheDir     = fs.String("cache-dir", "", "persistent evaluation-cache directory shared by every job (and by later daemon incarnations); empty = uncached")
 		evalConc     = fs.Int("eval-concurrent", 2, "fleet shards served concurrently (POST /eval); excess requests are shed with 429 + Retry-After")
 		traceOut     = fs.String("trace-out", "", "write this worker's span events (traced /eval and /cache fetches) to this JSONL file")
+		chaosSpec    = fs.String("chaos", "", "worker-side deterministic chaos spec for POST /eval (e.g. \"storm@0-3=503,corrupt@5\"); see internal/fleet.ParseChaosSpec")
 		debug        = fs.Bool("debug", false, "mount the runtime profiling surface (/debug/pprof/*, /debug/vars); off by default as it exposes process internals")
 		runtimeSamp  = fs.Duration("runtime-sample", 0, "runtime sampler cadence for /metrics (goroutines, heap, GC pauses); 0 = 10s default, negative disables")
 	)
@@ -56,6 +58,11 @@ func runServe(args []string) int {
 		traceSink = ts
 	}
 
+	chaos, err := fleet.ParseChaosSpec(*chaosSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xdse serve: -chaos: %v\n", err)
+		return 2
+	}
 	s, err := serve.New(serve.Options{
 		Dir:             *dir,
 		QueueCap:        *queueCap,
@@ -67,6 +74,8 @@ func runServe(args []string) int {
 		Retry:           eval.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff},
 		CacheDir:        *cacheDir,
 		EvalConcurrent:  *evalConc,
+		Chaos:           chaos,
+		ChaosSelf:       *addr,
 		Trace:           sinkOrNil(traceSink),
 		Debug:           *debug,
 		RuntimeSample:   *runtimeSamp,

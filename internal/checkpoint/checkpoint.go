@@ -72,6 +72,35 @@ func formatF(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
 // parseF is the inverse of formatF.
 func parseF(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
 
+// FrameLine renders payload as one journal line under this package's CRC
+// discipline: eight lowercase hex digits of the payload's CRC32 (IEEE), a
+// space, the payload, and a trailing newline. Other subsystems that journal
+// through a checkpoint directory (the fleet coordinator's shard log) frame
+// their lines with this so every journal in the tree shares one torn-write
+// detection story.
+func FrameLine(payload []byte) []byte {
+	return []byte(fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload))
+}
+
+// UnframeLine verifies one framed line (without its trailing newline) and
+// returns the payload. A short line, malformed CRC field, or checksum
+// mismatch — the signatures of a torn or corrupted write — is an error;
+// callers treat it as end-of-intact-data, not as fatal.
+func UnframeLine(text string) ([]byte, error) {
+	if len(text) < 9 || text[8] != ' ' {
+		return nil, fmt.Errorf("checkpoint: malformed line %q", truncateForErr(text))
+	}
+	want, err := strconv.ParseUint(text[:8], 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: bad CRC field: %w", err)
+	}
+	payload := text[9:]
+	if got := crc32.ChecksumIEEE([]byte(payload)); got != uint32(want) {
+		return nil, fmt.Errorf("checkpoint: CRC mismatch (want %08x, got %08x)", want, got)
+	}
+	return []byte(payload), nil
+}
+
 // encode renders a Record as one CRC'd journal line (newline included).
 func encode(r Record) ([]byte, error) {
 	data, err := json.Marshal(line{
@@ -87,25 +116,18 @@ func encode(r Record) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []byte(fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(data), data)), nil
+	return FrameLine(data), nil
 }
 
 // decode parses one journal line (without its trailing newline), verifying
 // the CRC before trusting the payload.
 func decode(text string) (Record, error) {
-	if len(text) < 9 || text[8] != ' ' {
-		return Record{}, fmt.Errorf("checkpoint: malformed line %q", truncateForErr(text))
-	}
-	want, err := strconv.ParseUint(text[:8], 16, 32)
+	payload, err := UnframeLine(text)
 	if err != nil {
-		return Record{}, fmt.Errorf("checkpoint: bad CRC field: %w", err)
-	}
-	payload := text[9:]
-	if got := crc32.ChecksumIEEE([]byte(payload)); got != uint32(want) {
-		return Record{}, fmt.Errorf("checkpoint: CRC mismatch (want %08x, got %08x)", want, got)
+		return Record{}, err
 	}
 	var l line
-	if err := json.Unmarshal([]byte(payload), &l); err != nil {
+	if err := json.Unmarshal(payload, &l); err != nil {
 		return Record{}, fmt.Errorf("checkpoint: bad JSON: %w", err)
 	}
 	obj, err := parseF(l.Objective)

@@ -1,0 +1,52 @@
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFrameLineRoundTrip: every payload survives the CRC'd line discipline —
+// including empty, whitespace-bearing, and non-ASCII payloads — and the wire
+// form is exactly "crc8hex space payload newline".
+func TestFrameLineRoundTrip(t *testing.T) {
+	for _, payload := range []string{
+		"",
+		"{}",
+		`{"op":"done","points":["p1","p2"]}`,
+		"payload with spaces",
+		"unicodé ✓ bytes",
+	} {
+		line := FrameLine([]byte(payload))
+		if len(line) == 0 || line[len(line)-1] != '\n' {
+			t.Fatalf("FrameLine(%q) missing trailing newline: %q", payload, line)
+		}
+		text := string(line[:len(line)-1])
+		if len(text) < 9 || text[8] != ' ' {
+			t.Fatalf("FrameLine(%q) wire shape wrong: %q", payload, text)
+		}
+		got, err := UnframeLine(text)
+		if err != nil {
+			t.Fatalf("UnframeLine(FrameLine(%q)): %v", payload, err)
+		}
+		if string(got) != payload {
+			t.Fatalf("round trip of %q returned %q", payload, got)
+		}
+	}
+}
+
+func TestUnframeLineRejects(t *testing.T) {
+	good := string(FrameLine([]byte(`{"ok":true}`)))
+	good = strings.TrimSuffix(good, "\n")
+	cases := map[string]string{
+		"too short":        "abc",
+		"no space":         good[:8] + "_" + good[9:],
+		"bad hex":          "zzzzzzzz " + good[9:],
+		"crc mismatch":     good[:9] + `{"ok":false}`,
+		"payload bit flip": good[:len(good)-1] + "x",
+	}
+	for name, text := range cases {
+		if _, err := UnframeLine(text); err == nil {
+			t.Errorf("%s: UnframeLine(%q) accepted", name, text)
+		}
+	}
+}

@@ -122,6 +122,31 @@ func (e *Evaluator) InstallRecords(recs []evalcache.Record) int {
 	return n
 }
 
+// InstallFromStore re-installs records by content address from the attached
+// persistent store — the fleet coordinator's resume path. A resumed
+// coordinator knows from its shard journal *which* record IDs a completed
+// shard produced; the records themselves live in the evalcache, so this
+// fetches each by ID and installs it through InstallRecords (inheriting its
+// full round-trip validation). Returns the count newly installed and the
+// count the store no longer holds; an ID that resolves but is already cached
+// locally counts toward neither. With no store attached everything is
+// missing — callers then simply re-dispatch, trading speed, never
+// correctness.
+func (e *Evaluator) InstallFromStore(ids []string) (installed, missing int) {
+	if e.store == nil {
+		return 0, len(ids)
+	}
+	for _, id := range ids {
+		rec, ok := e.store.GetByID(id)
+		if !ok {
+			missing++
+			continue
+		}
+		installed += e.InstallRecords([]evalcache.Record{rec})
+	}
+	return installed, missing
+}
+
 // layerKeyFor builds the in-memory layer-cache key for one layer of a model
 // on a design with sub-key sub, mirroring layerResult's derivation (the salt
 // participates in RandomMappings mode only). Caller need not hold e.mu.

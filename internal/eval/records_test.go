@@ -89,6 +89,59 @@ func TestRecordsRoundTripBitIdentical(t *testing.T) {
 	}
 }
 
+// TestInstallFromStore is the coordinator resume contract: given only the
+// record IDs a shard journal names, a fresh evaluator over the same
+// persistent cache re-installs exactly those records and then evaluates the
+// point bit-identically without re-running a single layer search; IDs the
+// store no longer holds are reported missing, never fatal.
+func TestInstallFromStore(t *testing.T) {
+	s := spaceWithDummyParam(3)
+	pt := campaignPoints(s, 1)[0]
+	cacheDir := t.TempDir()
+	cfg := cacheTestConfig(s, PrunedMappings)
+	cfg.CacheDir = cacheDir
+
+	worker := New(cfg)
+	want := worker.Evaluate(pt)
+	recs := worker.RecordsFor(pt)
+	if len(recs) == 0 {
+		t.Fatal("no records exported")
+	}
+	ids := make([]string, 0, len(recs))
+	for _, rec := range recs {
+		ids = append(ids, rec.Key.ID())
+	}
+
+	resumed := New(cfg)
+	installed, missing := resumed.InstallFromStore(ids)
+	if installed != len(ids) || missing != 0 {
+		t.Fatalf("InstallFromStore = %d installed, %d missing; want %d, 0", installed, missing, len(ids))
+	}
+	// Re-installing already-cached IDs counts toward neither bucket.
+	if in, miss := resumed.InstallFromStore(ids); in != 0 || miss != 0 {
+		t.Fatalf("re-install = %d installed, %d missing; want 0, 0", in, miss)
+	}
+	got := resumed.Evaluate(pt)
+	if err := resultsEquivalent(want, got); err != nil {
+		t.Fatalf("resumed evaluation differs: %v", err)
+	}
+	if st := resumed.Stats(); st.LayerMisses != 0 {
+		t.Fatalf("resumed evaluator re-ran %d layer searches", st.LayerMisses)
+	}
+
+	// Unknown IDs are missing, known ones still install alongside them.
+	fresh := New(cfg)
+	if in, miss := fresh.InstallFromStore(append([]string{"no-such-id"}, ids...)); in != len(ids) || miss != 1 {
+		t.Fatalf("mixed install = %d installed, %d missing; want %d, 1", in, miss, len(ids))
+	}
+
+	// No store attached: everything is missing — the caller re-dispatches.
+	noStore := New(cacheTestConfig(s, PrunedMappings))
+	if in, miss := noStore.InstallFromStore(ids); in != 0 || miss != len(ids) {
+		t.Fatalf("storeless install = %d installed, %d missing; want 0, %d", in, miss, len(ids))
+	}
+}
+
 // TestInstallRecordsRejectsMismatched proves a record addressed to a
 // different configuration can never answer a local search: wrong mode,
 // wrong trial budget, and (in random mode) wrong seed all fail the

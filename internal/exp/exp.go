@@ -103,8 +103,11 @@ type Config struct {
 	// points are dispatched under leases and the returned content-addressed
 	// layer records are installed before local evaluation. The hook is
 	// result neutral — traces and fingerprints are bit-identical with or
-	// without a fleet, under any worker failure — so attaching one changes
-	// only wall-clock time. The caller owns the coordinator's lifecycle
+	// without a fleet, under any worker failure, hedged duplicate, open
+	// circuit breaker, injected chaos fault, or coordinator crash-resume
+	// (give the coordinator a JournalDir inside CheckpointDir and set its
+	// Resume alongside this Config's) — so attaching one changes only
+	// wall-clock time. The caller owns the coordinator's lifecycle
 	// (fleet.New / Close).
 	Fleet *fleet.Coordinator
 }

@@ -1,0 +1,306 @@
+// Chaos and crash-resume end-to-end tests: campaigns under deterministic
+// fault injection, breaker-opening worker brownouts, and a coordinator killed
+// mid-campaign and resumed from its shard journal must all produce traces —
+// and CSV artifacts — bit-identical to a fault-free single-node reference.
+package fleet_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xdse/internal/eval"
+	"xdse/internal/exp"
+	"xdse/internal/fleet"
+	"xdse/internal/serve"
+	"xdse/internal/workload"
+)
+
+// startWorkerWith mounts a serve daemon whose /eval requests first pass
+// through intercept; returning true means the interceptor answered (or
+// deliberately broke) the request itself.
+func startWorkerWith(t *testing.T, intercept func(w http.ResponseWriter, r *http.Request) bool) *httptest.Server {
+	t.Helper()
+	s, err := serve.New(quietOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/eval" && intercept(w, r) {
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// testChaos is the nontrivial coordinator-side chaos script the e2e tests
+// share: a dropped connection, a 503 storm, a torn body, a corrupted body,
+// and a scripted partition of every worker early in the campaign.
+func testChaos() *fleet.ChaosPolicy {
+	return &fleet.ChaosPolicy{
+		Seed:       7,
+		DropAt:     []int{1},
+		StatusAt:   map[int]int{4: 503, 5: 503, 6: 503},
+		TruncateAt: []int{8},
+		CorruptAt:  []int{10},
+		Partitions: []fleet.Partition{{From: 2, To: 3}},
+		Delay:      time.Millisecond,
+	}
+}
+
+// TestChaosCampaignBitIdentical: a campaign with the full chaos script active
+// on the dispatch path completes bit-identical to the single-node reference
+// in every mapper mode — chaos can cost time, never correctness.
+func TestChaosCampaignBitIdentical(t *testing.T) {
+	model := workload.ByName("ResNet18")
+	for _, m := range modes {
+		m := m
+		t.Run(m.tech, func(t *testing.T) {
+			tech, ok := exp.TechniqueByName(m.tech)
+			if !ok {
+				t.Fatalf("unknown technique %q", m.tech)
+			}
+			ref := exp.RunOne(context.Background(), testConfig(), tech, model, testBudget)
+			if ref.Err != "" {
+				t.Fatalf("reference run failed: %s", ref.Err)
+			}
+
+			ts1, _ := startWorker(t)
+			ts2, _ := startWorker(t)
+			opts := fleetOptions()
+			opts.Chaos = testChaos()
+			c, err := fleet.New([]string{ts1.Listener.Addr().String(), ts2.Listener.Addr().String()}, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			cfg := testConfig()
+			cfg.Fleet = c
+			got := exp.RunOne(context.Background(), cfg, tech, model, testBudget)
+			if got.Err != "" {
+				t.Fatalf("chaos run failed: %s", got.Err)
+			}
+			if got.Trace.Fingerprint() != ref.Trace.Fingerprint() {
+				t.Fatal("chaos campaign fingerprint differs from single-node reference")
+			}
+			var injected int64
+			for _, kind := range []string{"drop", "status", "truncate", "corrupt", "partition"} {
+				injected += c.Metrics().Counter(`fleet_chaos_injected_total{kind="` + kind + `"}`).Value()
+			}
+			if injected == 0 {
+				t.Fatal("chaos policy active but nothing injected — the test proved nothing")
+			}
+		})
+	}
+}
+
+// TestBreakerOpensMidCampaignBitIdentical: a worker that browns out (a 503
+// burst) trips its circuit breaker mid-campaign, recovers through the
+// half-open probe cycle, and the campaign still matches the reference.
+func TestBreakerOpensMidCampaignBitIdentical(t *testing.T) {
+	tech, _ := exp.TechniqueByName("ExplainableDSE-Codesign")
+	model := workload.ByName("ResNet18")
+	ref := exp.RunOne(context.Background(), testConfig(), tech, model, testBudget)
+	if ref.Err != "" {
+		t.Fatalf("reference run failed: %s", ref.Err)
+	}
+
+	// Worker 1 serves 503 for its first four /eval requests, then heals;
+	// worker 2 is steady. With BreakerThreshold 2 the burst must open the
+	// breaker, and the readyz probe loop later earns it a half-open trial.
+	ts2, _ := startWorker(t)
+	var evals atomic.Int64
+	ts1 := startWorkerWith(t, func(w http.ResponseWriter, r *http.Request) bool {
+		if evals.Add(1) <= 4 {
+			http.Error(w, "brownout", http.StatusServiceUnavailable)
+			return true
+		}
+		return false
+	})
+	opts := fleetOptions()
+	opts.BreakerThreshold = 2
+	c, err := fleet.New([]string{ts1.Listener.Addr().String(), ts2.Listener.Addr().String()}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cfg := testConfig()
+	cfg.Fleet = c
+	got := exp.RunOne(context.Background(), cfg, tech, model, testBudget)
+	if got.Err != "" {
+		t.Fatalf("brownout run failed: %s", got.Err)
+	}
+	if got.Trace.Fingerprint() != ref.Trace.Fingerprint() {
+		t.Fatal("brownout campaign fingerprint differs from single-node reference")
+	}
+	if n := c.Metrics().Counter("fleet_breaker_opens_total").Value(); n == 0 {
+		t.Fatal("503 burst exceeded the threshold but no breaker opened")
+	}
+}
+
+// TestResumeSkipsCompletedShards is the deterministic resume unit of the
+// crash story: campaign one journals every shard completion; a second
+// coordinator resuming over the same journal and persistent cache answers
+// every point from re-installed records — zero /eval dispatches — and the
+// trace still matches.
+func TestResumeSkipsCompletedShards(t *testing.T) {
+	tech, _ := exp.TechniqueByName("ExplainableDSE-Codesign")
+	model := workload.ByName("ResNet18")
+	cacheDir, journalDir := t.TempDir(), t.TempDir()
+
+	ref := exp.RunOne(context.Background(), testConfig(), tech, model, testBudget)
+	if ref.Err != "" {
+		t.Fatalf("reference run failed: %s", ref.Err)
+	}
+
+	runFleet := func(resume bool) (*fleet.Coordinator, exp.Run, int64) {
+		var evals atomic.Int64
+		ts := startWorkerWith(t, func(w http.ResponseWriter, r *http.Request) bool {
+			evals.Add(1)
+			return false
+		})
+		// Calm timings: a load-induced lease expiry or an unprobed worker at
+		// first pick would silently evaluate a shard locally — unjournaled —
+		// and break the zero-dispatch assertion below.
+		opts := calmOptions()
+		opts.JournalDir = journalDir
+		opts.Resume = resume
+		c, err := fleet.New([]string{ts.Listener.Addr().String()}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		waitHealthy(t, c, 1)
+		cfg := testConfig()
+		cfg.Fleet = c
+		cfg.CacheDir = cacheDir
+		run := exp.RunOne(context.Background(), cfg, tech, model, testBudget)
+		return c, run, evals.Load()
+	}
+
+	_, first, evals1 := runFleet(false)
+	if first.Err != "" {
+		t.Fatalf("first fleet run failed: %s", first.Err)
+	}
+	if evals1 == 0 {
+		t.Fatal("first run dispatched nothing — journal empty, resume untestable")
+	}
+
+	c2, second, evals2 := runFleet(true)
+	if second.Err != "" {
+		t.Fatalf("resumed fleet run failed: %s", second.Err)
+	}
+	if second.Trace.Fingerprint() != ref.Trace.Fingerprint() {
+		t.Fatal("resumed campaign fingerprint differs from single-node reference")
+	}
+	if evals2 != 0 {
+		t.Fatalf("resumed run dispatched %d shards; journal + store should have answered all", evals2)
+	}
+	if n := c2.Metrics().Counter("fleet_resume_points_skipped_total").Value(); n == 0 {
+		t.Fatal("fleet_resume_points_skipped_total = 0 on a full resume")
+	}
+	if n := c2.Metrics().Counter("fleet_resume_records_installed_total").Value(); n == 0 {
+		t.Fatal("fleet_resume_records_installed_total = 0 on a full resume")
+	}
+}
+
+// TestKillCoordinatorMidCampaignBitIdentical is the tentpole acceptance test:
+// in every mapper mode, with the chaos script active, the coordinator process
+// is "killed" mid-campaign (run context cancelled at a fixed evaluation
+// ordinal — the in-process stand-in for kill -9, exercising the same torn
+// journal tails) and a fresh coordinator resumes from the campaign checkpoint
+// plus the shard journal. The final trace fingerprint AND the CSV artifact
+// must be byte-identical to a fault-free single-node reference.
+func TestKillCoordinatorMidCampaignBitIdentical(t *testing.T) {
+	model := workload.ByName("ResNet18")
+	for _, m := range modes {
+		m := m
+		t.Run(m.tech, func(t *testing.T) {
+			tech, ok := exp.TechniqueByName(m.tech)
+			if !ok {
+				t.Fatalf("unknown technique %q", m.tech)
+			}
+			refCfg := testConfig()
+			refCfg.CSVDir = t.TempDir()
+			ref := exp.RunOne(context.Background(), refCfg, tech, model, testBudget)
+			if ref.Err != "" {
+				t.Fatalf("reference run failed: %s", ref.Err)
+			}
+			refCSV := readCSV(t, refCfg.CSVDir, m.tech)
+
+			ckptDir := t.TempDir()
+			journalDir := filepath.Join(ckptDir, "fleet")
+			cacheDir := t.TempDir()
+			newCoord := func(resume bool) *fleet.Coordinator {
+				ts1, _ := startWorker(t)
+				ts2, _ := startWorker(t)
+				opts := fleetOptions()
+				opts.Chaos = testChaos()
+				opts.JournalDir = journalDir
+				opts.Resume = resume
+				c, err := fleet.New([]string{ts1.Listener.Addr().String(), ts2.Listener.Addr().String()}, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(c.Close)
+				return c
+			}
+
+			// Phase 1: kill the campaign at a fixed unique-evaluation ordinal.
+			ctx, cancel := context.WithCancel(context.Background())
+			kcfg := testConfig()
+			kcfg.Fleet = newCoord(false)
+			kcfg.CheckpointDir = ckptDir
+			kcfg.CacheDir = cacheDir
+			kcfg.Faults = &eval.FaultPolicy{OnEvaluation: func(ord int) {
+				if ord == 5 {
+					cancel()
+				}
+			}}
+			killed := exp.RunOne(ctx, kcfg, tech, model, testBudget)
+			cancel()
+			if !killed.Interrupted {
+				t.Fatal("kill did not interrupt the campaign — nothing to resume")
+			}
+
+			// Phase 2: fresh coordinator, resumed campaign, chaos still on.
+			rcfg := testConfig()
+			rcfg.Fleet = newCoord(true)
+			rcfg.CheckpointDir = ckptDir
+			rcfg.CacheDir = cacheDir
+			rcfg.Resume = true
+			rcfg.CSVDir = t.TempDir()
+			resumed := exp.RunOne(context.Background(), rcfg, tech, model, testBudget)
+			if resumed.Interrupted || resumed.Err != "" {
+				t.Fatalf("resumed run failed: interrupted=%v err=%q", resumed.Interrupted, resumed.Err)
+			}
+			if resumed.Resumed == 0 {
+				t.Error("resumed run replayed no journaled evaluations")
+			}
+			if got, want := resumed.Trace.Fingerprint(), ref.Trace.Fingerprint(); got != want {
+				t.Fatalf("resumed campaign fingerprint %s != fault-free single-node %s", got, want)
+			}
+			if gotCSV := readCSV(t, rcfg.CSVDir, m.tech); gotCSV != refCSV {
+				t.Fatal("resumed campaign CSV differs byte-for-byte from the reference")
+			}
+		})
+	}
+}
+
+// readCSV loads the run's trace CSV artifact.
+func readCSV(t *testing.T, dir, tech string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, tech+"_ResNet18.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}

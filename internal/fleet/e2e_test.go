@@ -86,6 +86,33 @@ func fleetOptions() fleet.Options {
 	}
 }
 
+// calmOptions returns fleetOptions with generous leases and hedging off, for
+// tests whose assertions (exact dispatch or fault counts) must not be
+// perturbed by load-induced lease expiry or hedge races — e.g. under the
+// race detector with the whole package running.
+func calmOptions() fleet.Options {
+	o := fleetOptions()
+	o.LeaseTTL = time.Minute
+	o.MaxShardHold = 10 * time.Minute
+	o.HedgeAfter = -1
+	o.MaxAttempts = 32
+	return o
+}
+
+// waitHealthy blocks until the coordinator's health monitor has admitted n
+// workers, so a campaign's first pick cannot fall back local just because
+// the initial probe hadn't landed yet.
+func waitHealthy(t *testing.T, c *fleet.Coordinator, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.WorkersHealthy() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d workers healthy after 10s", c.WorkersHealthy(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // TestKillWorkerMidCampaignBitIdentical is the tentpole acceptance test: in
 // every mapper mode, a campaign over two workers — one of which dies
 // abruptly mid-campaign, mid-request — completes with a trace fingerprint

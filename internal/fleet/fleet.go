@@ -33,6 +33,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -66,6 +67,28 @@ type Options struct {
 	// eval.RetryPolicy. Defaults 50ms / 2s.
 	Backoff    time.Duration
 	BackoffCap time.Duration
+	// BreakerThreshold is the consecutive classified-transient fault count
+	// that opens a worker's circuit breaker (dispatch shed until a readyz
+	// probe earns a half-open trial). Default 3.
+	BreakerThreshold int
+	// HedgeAfter is the straggler threshold: a dispatch attempt still
+	// unanswered after this long gets one hedge to the next ring candidate,
+	// and the first complete result wins (the loser's lease is revoked, so
+	// its late result is discarded by the complete() gate). 0 selects the
+	// default LeaseTTL/2; negative disables hedging.
+	HedgeAfter time.Duration
+	// Chaos, when non-nil (and non-empty), deterministically injects faults
+	// into the coordinator's dispatch path — see ChaosPolicy.
+	Chaos *ChaosPolicy
+	// JournalDir, when set, journals shard grants/steals/completions into
+	// <JournalDir>/fleet.jsonl under checkpoint's CRC'd-JSONL discipline,
+	// making the coordinator's shard state crash-durable. Campaign runners
+	// point it at the campaign checkpoint directory.
+	JournalDir string
+	// Resume replays JournalDir's journal instead of truncating it: points
+	// covered by journaled shard completions are re-installed from the
+	// evaluator's persistent store and skipped from dispatch.
+	Resume bool
 	// ModelVersion is the cost-model version workers must match. Default
 	// perf.ModelVersion(); tests override it to exercise quarantine.
 	ModelVersion string
@@ -103,6 +126,15 @@ func (o Options) withDefaults() Options {
 	if o.BackoffCap <= 0 {
 		o.BackoffCap = 2 * time.Second
 	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.HedgeAfter == 0 {
+		o.HedgeAfter = o.LeaseTTL / 2
+	}
+	if o.HedgeAfter < 0 {
+		o.HedgeAfter = 0 // disabled
+	}
 	if o.ModelVersion == "" {
 		o.ModelVersion = perf.ModelVersion()
 	}
@@ -124,27 +156,35 @@ var coordSeq atomic.Int64
 // plugs into a run as a search.Problem.Prepare hook (see Prepare): purely a
 // cache warmer, so every fleet failure mode degrades to local computation.
 type Coordinator struct {
-	opts   Options
-	reg    *obs.Registry
-	pool   *pool
-	leases *leaseTable
-	client *http.Client
-	now    func() time.Time
+	opts    Options
+	reg     *obs.Registry
+	pool    *pool
+	leases  *leaseTable
+	client  *http.Client
+	now     func() time.Time
+	chaos   *ChaosInjector
+	journal *shardLog
 
-	cShards    *obs.Counter // shards dispatched remotely (first attempts)
-	cStolen    *obs.Counter // re-dispatches after an expired lease
-	cRetries   *obs.Counter // transient-fault retry sleeps taken
-	cLate      *obs.Counter // results discarded because their lease was revoked
-	cPermanent *obs.Counter // permanent faults recorded
-	cLocal     *obs.Counter // shards that fell back to local evaluation
-	cInstalled *obs.Counter // records installed into the local evaluator
-	cPoints    *obs.Counter // points offered for remote preparation
-	cDegraded  *obs.Counter // transitions into degraded (no-worker) mode
-	gDegraded  *obs.Gauge   // 1 while degraded to pure local execution
+	cShards     *obs.Counter // shards dispatched remotely (first attempts)
+	cStolen     *obs.Counter // re-dispatches after an expired lease
+	cRetries    *obs.Counter // transient-fault retry sleeps taken
+	cLate       *obs.Counter // results discarded because their lease was revoked
+	cPermanent  *obs.Counter // permanent faults recorded
+	cLocal      *obs.Counter // shards that fell back to local evaluation
+	cInstalled  *obs.Counter // records installed into the local evaluator
+	cPoints     *obs.Counter // points offered for remote preparation
+	cDegraded   *obs.Counter // transitions into degraded (no-worker) mode
+	gDegraded   *obs.Gauge   // 1 while degraded to pure local execution
+	cHedges     *obs.Counter // hedge dispatches launched
+	cHedgeWins  *obs.Counter // hedges whose result won the race
+	cShedFast   *obs.Counter // backoff sleeps skipped because a breaker opened
+	cResumePts  *obs.Counter // points answered from the shard journal on resume
+	cResumeRecs *obs.Counter // records re-installed from the store on resume
 
-	mu       sync.Mutex
-	degraded bool
-	faults   []string
+	mu            sync.Mutex
+	degraded      bool
+	faults        []string
+	faultsDropped int // permanent faults evicted from the FIFO report
 }
 
 // New builds a Coordinator over the given worker addresses (host:port or
@@ -167,31 +207,46 @@ func New(workers []string, opts Options) (*Coordinator, error) {
 	now := time.Now
 	client := &http.Client{}
 	c := &Coordinator{
-		opts:       opts,
-		reg:        reg,
-		client:     client,
-		now:        now,
-		cShards:    reg.Counter("fleet_shards_dispatched_total"),
-		cStolen:    reg.Counter("fleet_leases_stolen_total"),
-		cRetries:   reg.Counter("fleet_retries_total"),
-		cLate:      reg.Counter("fleet_late_results_discarded_total"),
-		cPermanent: reg.Counter("fleet_permanent_faults_total"),
-		cLocal:     reg.Counter("fleet_shards_local_total"),
-		cInstalled: reg.Counter("fleet_records_installed_total"),
-		cPoints:    reg.Counter("fleet_points_offered_total"),
-		cDegraded:  reg.Counter("fleet_degraded_transitions_total"),
-		gDegraded:  reg.Gauge("fleet_degraded"),
+		opts:        opts,
+		reg:         reg,
+		client:      client,
+		now:         now,
+		chaos:       opts.Chaos.NewInjector("", reg),
+		cShards:     reg.Counter("fleet_shards_dispatched_total"),
+		cStolen:     reg.Counter("fleet_leases_stolen_total"),
+		cRetries:    reg.Counter("fleet_retries_total"),
+		cLate:       reg.Counter("fleet_late_results_discarded_total"),
+		cPermanent:  reg.Counter("fleet_permanent_faults_total"),
+		cLocal:      reg.Counter("fleet_shards_local_total"),
+		cInstalled:  reg.Counter("fleet_records_installed_total"),
+		cPoints:     reg.Counter("fleet_points_offered_total"),
+		cDegraded:   reg.Counter("fleet_degraded_transitions_total"),
+		gDegraded:   reg.Gauge("fleet_degraded"),
+		cHedges:     reg.Counter("fleet_hedges_total"),
+		cHedgeWins:  reg.Counter("fleet_hedge_wins_total"),
+		cShedFast:   reg.Counter("fleet_breaker_sheds_total"),
+		cResumePts:  reg.Counter("fleet_resume_points_skipped_total"),
+		cResumeRecs: reg.Counter("fleet_resume_records_installed_total"),
+	}
+	if opts.JournalDir != "" {
+		j, err := openShardLog(opts.JournalDir, opts.Resume, opts.Warnf)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: open shard journal: %w", err)
+		}
+		c.journal = j
 	}
 	c.leases = newLeaseTable(fmt.Sprintf("%d-%d", os.Getpid(), coordSeq.Add(1)), func() time.Time { return c.now() }, reg)
-	c.pool = newPool(workers, opts.ModelVersion, opts.HealthInterval, client, reg, opts.Warnf)
+	c.pool = newPool(workers, opts.ModelVersion, opts.HealthInterval, opts.BreakerThreshold, client, reg, opts.Warnf)
 	c.pool.start()
 	return c, nil
 }
 
-// Close stops the health monitor. In-flight Prepare calls should have
-// finished (the campaign runner calls Close after RunCampaign returns).
+// Close stops the health monitor and closes the shard journal. In-flight
+// Prepare calls should have finished (the campaign runner calls Close after
+// RunCampaign returns).
 func (c *Coordinator) Close() {
 	c.pool.close()
+	c.journal.close()
 }
 
 // Metrics returns the registry holding the fleet_* instruments, for merging
@@ -201,17 +256,25 @@ func (c *Coordinator) Metrics() *obs.Registry { return c.reg }
 // WorkersHealthy returns the number of currently dispatchable workers.
 func (c *Coordinator) WorkersHealthy() int { return c.pool.healthyCount() }
 
-// Faults returns the permanent faults recorded so far (capped), for the
-// campaign report.
+// Faults returns the most recent permanent faults (FIFO-capped, with a
+// dropped-count marker when older ones were evicted) plus the current
+// non-closed circuit-breaker states, for the campaign report.
 func (c *Coordinator) Faults() []string {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := make([]string, len(c.faults))
 	copy(out, c.faults)
-	return out
+	dropped := c.faultsDropped
+	c.mu.Unlock()
+	if dropped > 0 {
+		out = append(out, fmt.Sprintf("(+%d earlier permanent fault(s) dropped)", dropped))
+	}
+	return append(out, c.pool.breakerLines()...)
 }
 
-// recordFault appends a permanent fault to the report (bounded) and counts it.
+// recordFault appends a permanent fault to the report and counts it. The
+// report is a FIFO of the last maxFaults entries — a week-long campaign
+// against a flapping worker keeps the newest faults and a count of evicted
+// ones instead of growing without bound (or freezing on the oldest).
 func (c *Coordinator) recordFault(msg string) {
 	c.cPermanent.Inc()
 	if c.opts.Warnf != nil {
@@ -219,9 +282,11 @@ func (c *Coordinator) recordFault(msg string) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.faults) < maxFaults {
-		c.faults = append(c.faults, msg)
+	if len(c.faults) >= maxFaults {
+		c.faults = c.faults[1:]
+		c.faultsDropped++
 	}
+	c.faults = append(c.faults, msg)
 }
 
 // setDegraded tracks entry/exit of pure-local degraded mode, counting and
@@ -279,6 +344,12 @@ func (c *Coordinator) Prepare(ev *eval.Evaluator, model string) func(context.Con
 			return
 		}
 		c.cPoints.Add(int64(len(fresh)))
+		if c.opts.Resume {
+			fresh = c.replayCompleted(ev, fresh)
+			if len(fresh) == 0 {
+				return
+			}
+		}
 		shards := c.shard(model, fresh)
 		if len(shards) == 0 {
 			// No reachable workers: degrade, let the batch evaluate locally.
@@ -305,12 +376,46 @@ func (c *Coordinator) Prepare(ev *eval.Evaluator, model string) func(context.Con
 					isp.Points = n
 					isp.End()
 					c.cInstalled.Add(int64(n))
+					ids := make([]string, 0, len(recs))
+					for _, rec := range recs {
+						ids = append(ids, rec.Key.ID())
+					}
+					c.journal.done(sh, ids)
 				}
 				dsp.End()
 			}(sh)
 		}
 		wg.Wait()
 	}
+}
+
+// replayCompleted is the resume fast path: points whose shard the journal
+// records as done are answered by re-installing that shard's records from
+// the evaluator's persistent store — no re-dispatch, no recomputation. A
+// point whose records the store no longer holds (GC'd, different cache dir,
+// no store at all) falls through to normal dispatch: resume is an
+// optimization riding on the merge-by-construction contract, never a
+// correctness dependency. Returns the points still needing dispatch.
+func (c *Coordinator) replayCompleted(ev *eval.Evaluator, pts []arch.Point) []arch.Point {
+	if c.journal == nil {
+		return pts
+	}
+	rest := pts[:0:0]
+	for _, pt := range pts {
+		ids, ok := c.journal.completedFor(pt.Key())
+		if !ok {
+			rest = append(rest, pt)
+			continue
+		}
+		installed, missing := ev.InstallFromStore(ids)
+		if missing > 0 {
+			rest = append(rest, pt)
+			continue
+		}
+		c.cResumePts.Inc()
+		c.cResumeRecs.Add(int64(installed))
+	}
+	return rest
 }
 
 // shard is one dispatchable unit: a slice of point keys with a ring-derived
@@ -390,15 +495,19 @@ func (c *Coordinator) delayBefore(retry int) time.Duration {
 	return d
 }
 
-// runShard drives one shard to completion: dispatch under a lease, steal to
-// the next ring worker on expiry or transient fault (with capped backoff),
-// record permanent faults, and fall back to local evaluation when attempts
-// run out or no worker remains. Returns the records to install (nil means
-// the coordinator computes the shard's layers itself).
+// runShard drives one shard to completion: dispatch under a lease (hedged
+// when the attempt straggles), steal to the next ring worker on expiry or
+// transient fault (with capped backoff, shortened by a worker's Retry-After
+// hint and skipped entirely when the fault opened the worker's breaker and
+// another candidate is ready), record permanent faults, and fall back to
+// local evaluation when attempts run out or no worker remains. Returns the
+// records to install (nil means the coordinator computes the shard's layers
+// itself).
 func (c *Coordinator) runShard(ctx context.Context, base EvalRequest, sh shard) []evalcache.Record {
 	c.cShards.Inc()
 	tried := make(map[int]bool)
 	prevExpired := false
+	prevWorker := ""
 	for attempt := 1; ; attempt++ {
 		if ctx.Err() != nil {
 			return nil
@@ -418,34 +527,198 @@ func (c *Coordinator) runShard(ctx context.Context, base EvalRequest, sh shard) 
 		}
 		if prevExpired {
 			c.cStolen.Inc()
+			c.journal.steal(sh, prevWorker, w.id, attempt)
 			if c.opts.Warnf != nil {
 				c.opts.Warnf("fleet: shard %s stolen to worker %s (attempt %d)", sh.key, w.id, attempt)
 			}
+		} else {
+			c.journal.grant(sh, w.id, attempt)
 		}
-		recs, err := c.dispatch(ctx, base, sh, w)
+		recs, faultW, err, opened := c.dispatchHedged(ctx, base, sh, w, idx, tried)
 		switch classify(err) {
 		case eval.ClassNone:
 			return recs
 		case eval.ClassPermanent:
-			c.workerCounter("fleet_worker_faults_total", w.id).Inc()
-			c.recordFault(fmt.Sprintf("shard %s on worker %s: %v", sh.key, w.id, err))
+			c.recordFault(fmt.Sprintf("shard %s on worker %s: %v", sh.key, faultW.id, err))
 			c.cLocal.Inc()
 			return nil
 		}
 		// Transient: steal to another worker after a deterministic delay.
-		c.workerCounter("fleet_worker_faults_total", w.id).Inc()
 		prevExpired = true
-		tried[idx] = true
+		prevWorker = faultW.id
 		if attempt >= c.opts.MaxAttempts {
 			c.cLocal.Inc()
 			return nil
 		}
 		c.cRetries.Inc()
-		c.workerCounter("fleet_worker_retries_total", w.id).Inc()
-		if !sleepCtx(ctx, c.delayBefore(attempt)) {
+		c.workerCounter("fleet_worker_retries_total", faultW.id).Inc()
+		if opened && c.pool.pickable(sh.key, tried) {
+			// The fault opened faultW's breaker and another candidate is
+			// ready: shed immediately instead of burning the backoff window
+			// on a worker the breaker just declared gone.
+			c.cShedFast.Inc()
+			continue
+		}
+		if !sleepCtx(ctx, c.retryDelay(attempt, err)) {
 			return nil
 		}
 	}
+}
+
+// retryDelay resolves the pre-retry sleep: the deterministic exponential
+// schedule, shortened by the worker's own Retry-After hint when one
+// accompanied the fault. The hint is trusted only downward-ish — it is
+// capped at the schedule's ceiling so a worker advertising a huge hold-off
+// cannot stall a shard past the campaign's own bound.
+func (c *Coordinator) retryDelay(attempt int, err error) time.Duration {
+	d := c.delayBefore(attempt)
+	var ra *retryAfterError
+	if errors.As(err, &ra) && ra.hint > 0 {
+		d = ra.hint
+		if d > c.opts.BackoffCap {
+			d = c.opts.BackoffCap
+		}
+	}
+	return d
+}
+
+// attemptResult is one dispatch attempt's outcome inside dispatchHedged.
+type attemptResult struct {
+	recs  []evalcache.Record
+	err   error
+	w     *worker
+	idx   int
+	l     *lease
+	hedge bool
+}
+
+// dispatchHedged performs one logical dispatch attempt of sh on w, hedging
+// to the next ring candidate if the attempt is still unanswered after the
+// HedgeAfter threshold. The first complete result wins; the loser's lease is
+// revoked immediately (so a result it still produces is refused by the
+// complete() gate — the records were never installed, nothing double-merges)
+// and its context cancelled to free the connection. Hedging is safe by the
+// same argument as work stealing: workers return only content-addressed
+// records, so duplicated work can never change the merge, only waste a
+// worker's time — which is exactly the trade a straggler rescue wants.
+//
+// Returns the winning records, the worker to blame for the returned error
+// (nil error: the winner), and whether a breaker opened during this attempt
+// (the caller's shed-fast signal). Fault accounting per attempted worker —
+// per-worker fault counters, breaker feedback, tried-set marking — happens
+// here, because only this function knows which workers actually dispatched.
+func (c *Coordinator) dispatchHedged(ctx context.Context, base EvalRequest, sh shard, w *worker, idx int, tried map[int]bool) ([]evalcache.Record, *worker, error, bool) {
+	tr, dispatchSC, _ := obs.SpanFromContext(ctx)
+
+	results := make(chan attemptResult, 2)
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel()
+
+	run := func(actx context.Context, aw *worker, aidx int, l *lease, hedge bool) {
+		recs, err := c.dispatch(actx, base, sh, aw, l)
+		results <- attemptResult{recs: recs, err: err, w: aw, idx: aidx, l: l, hedge: hedge}
+	}
+	primaryLease := c.leases.grant(w.id, c.opts.LeaseTTL, c.opts.MaxShardHold)
+	go run(pctx, w, idx, primaryLease, false)
+	inflight := 1
+
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if c.opts.HedgeAfter > 0 {
+		hedgeTimer = time.NewTimer(c.opts.HedgeAfter)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+
+	var hsp obs.Span // the hedge attempt's covering span
+	var winner attemptResult
+	haveWinner := false
+	var transientErr, permanentErr error
+	var transientW, permanentW *worker
+	opened := false
+
+	for inflight > 0 {
+		select {
+		case <-hedgeC:
+			hedgeC = nil // at most one hedge per attempt
+			ex := map[int]bool{idx: true}
+			for k := range tried {
+				ex[k] = true
+			}
+			hw, hidx := c.pool.pick(sh.key, ex)
+			if hw == nil {
+				continue
+			}
+			c.cHedges.Inc()
+			c.workerCounter("fleet_worker_hedges_total", hw.id).Inc()
+			if c.opts.Warnf != nil {
+				c.opts.Warnf("fleet: shard %s straggling on worker %s; hedging to %s", sh.key, w.id, hw.id)
+			}
+			hsp = tr.StartChild(dispatchSC, obs.SpanHedge, sh.key)
+			hsp.Worker = hw.id
+			hsp.Points = len(sh.points)
+			c.journal.grant(sh, hw.id, 0)
+			hedgeLease := c.leases.grant(hw.id, c.opts.LeaseTTL, c.opts.MaxShardHold)
+			go run(obs.ContextWithSpan(hctx, tr, hsp.Context()), hw, hidx, hedgeLease, true)
+			inflight++
+
+		case res := <-results:
+			inflight--
+			if res.hedge {
+				if res.err != nil {
+					hsp.Err = res.err.Error()
+				}
+				hsp.End()
+			}
+			switch {
+			case haveWinner:
+				// The race is decided; this is the cancelled/refused loser.
+				// Say nothing to the breaker and count no fault: the loser
+				// lost to our own revocation, not to its own health.
+			case res.err == nil:
+				winner, haveWinner = res, true
+				c.pool.breakerResult(res.w, false)
+				// Decide the race for the other attempt, if any: revoke its
+				// lease first (the complete() gate now refuses its result),
+				// then cancel its request to free the connection.
+				if res.hedge {
+					c.leases.revoke(primaryLease)
+					pcancel()
+				} else {
+					hcancel()
+				}
+			default:
+				c.workerCounter("fleet_worker_faults_total", res.w.id).Inc()
+				tried[res.idx] = true
+				if classify(res.err) == eval.ClassPermanent {
+					permanentErr, permanentW = res.err, res.w
+				} else {
+					if transientErr == nil {
+						transientErr, transientW = res.err, res.w
+					}
+					if c.pool.breakerResult(res.w, true) {
+						opened = true
+						bsp := tr.StartChild(dispatchSC, obs.SpanBreaker, res.w.id)
+						bsp.Worker = res.w.id
+						bsp.Err = res.err.Error()
+						bsp.End()
+					}
+				}
+			}
+		}
+	}
+	if haveWinner {
+		if winner.hedge {
+			c.cHedgeWins.Inc()
+		}
+		return winner.recs, winner.w, nil, opened
+	}
+	if permanentErr != nil {
+		return nil, permanentW, permanentErr, opened
+	}
+	return nil, transientW, transientErr, opened
 }
 
 // workerCounter returns the per-worker-attributed variant of a fleet
@@ -471,12 +744,13 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-// dispatch performs one leased attempt of sh on w: grant a lease, start the
-// renew/expiry watcher, POST the shard, and gate the result on lease
-// completion. Any path that ends without complete() revokes the lease
-// (counting it expired). Errors are classified by classify.
-func (c *Coordinator) dispatch(ctx context.Context, base EvalRequest, sh shard, w *worker) (recs []evalcache.Record, err error) {
-	l := c.leases.grant(w.id, c.opts.LeaseTTL, c.opts.MaxShardHold)
+// dispatch performs one leased attempt of sh on w: start the renew/expiry
+// watcher on the caller-granted lease, POST the shard, and gate the result
+// on lease completion. Any path that ends without complete() revokes the
+// lease (counting it expired); a lease revoked elsewhere — expiry, or a
+// hedge race decided against this attempt — makes complete() refuse, and the
+// late result is discarded. Errors are classified by classify.
+func (c *Coordinator) dispatch(ctx context.Context, base EvalRequest, sh shard, w *worker, l *lease) (recs []evalcache.Record, err error) {
 	req := base
 	req.Lease = l.token
 	req.Points = sh.points
@@ -571,11 +845,55 @@ func (c *Coordinator) watchLease(l *lease, w *worker, cancel context.CancelFunc,
 	}
 }
 
+// retryAfterError decorates a transient status fault with the worker's own
+// Retry-After hint, which runShard folds into its backoff (capped at the
+// deterministic schedule's ceiling).
+type retryAfterError struct {
+	err  error
+	hint time.Duration
+}
+
+// Error implements error.
+func (e *retryAfterError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the underlying fault.
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// parseRetryAfter reads a Retry-After header as delay seconds. HTTP-date
+// values (the other legal form) are ignored — honoring them would couple the
+// backoff to wall-clock skew between coordinator and worker.
+func parseRetryAfter(h string) time.Duration {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // postEval performs the HTTP round trip for one shard and classifies the
 // response status: 200 decodes, 412 quarantines (permanent), other 4xx are
-// permanent, 429/5xx/transport errors are transient. A non-zero span context
-// rides the obs.TraceHeader so the worker links its spans under ours.
+// permanent, 429/5xx/transport errors are transient (carrying the worker's
+// Retry-After hint when present). A non-zero span context rides the
+// obs.TraceHeader so the worker links its spans under ours. A configured
+// chaos injector intercepts here — the RPC boundary — consuming one ordinal
+// per call: drops, partitions, delays, and injected statuses act before the
+// real round trip; truncation and corruption mutate the real response body.
 func (c *Coordinator) postEval(ctx context.Context, w *worker, req EvalRequest, sc obs.SpanContext) (*EvalResponse, error) {
+	ord := -1
+	if c.chaos != nil {
+		ord = c.chaos.next()
+		if err := c.chaos.admit(ctx.Done(), ord, w.id); err != nil {
+			var pe *permanentError
+			if errors.As(err, &pe) {
+				return nil, &permanentError{fmt.Errorf("worker %s: %w", w.id, err)}
+			}
+			return nil, fmt.Errorf("worker %s: %w", w.id, err)
+		}
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, &permanentError{fmt.Errorf("encode request: %w", err)}
@@ -597,6 +915,9 @@ func (c *Coordinator) postEval(ctx context.Context, w *worker, req EvalRequest, 
 	if err != nil {
 		return nil, fmt.Errorf("worker %s: read response: %w", w.id, err)
 	}
+	if ord >= 0 {
+		data = c.chaos.mutate(ord, data)
+	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		// Fall through to decode.
@@ -604,7 +925,11 @@ func (c *Coordinator) postEval(ctx context.Context, w *worker, req EvalRequest, 
 		c.pool.quarantine(w, "eval handshake: "+strings.TrimSpace(string(data)))
 		return nil, &permanentError{fmt.Errorf("worker %s: model version skew: %s", w.id, strings.TrimSpace(string(data)))}
 	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
-		return nil, fmt.Errorf("worker %s: status %d", w.id, resp.StatusCode)
+		err := fmt.Errorf("worker %s: status %d", w.id, resp.StatusCode)
+		if hint := parseRetryAfter(resp.Header.Get("Retry-After")); hint > 0 {
+			return nil, &retryAfterError{err: err, hint: hint}
+		}
+		return nil, err
 	default:
 		return nil, &permanentError{fmt.Errorf("worker %s: status %d: %s", w.id, resp.StatusCode, strings.TrimSpace(string(data)))}
 	}

@@ -1,0 +1,231 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeWorker mounts a minimal fleet worker: a /readyz that passes the
+// membership handshake for model version "v-test" and the given /eval
+// handler.
+func fakeWorker(t *testing.T, eval http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"status":"ready","model_version":"v-test"}`)
+	})
+	mux.HandleFunc("POST /eval", eval)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// okEval answers one shard with an empty (but valid) record set.
+func okEval(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, `{"model_version":"v-test","records":[],"evaluated":1}`)
+}
+
+// hedgeTestOptions: long leases (expiry out of the picture), fast probes,
+// hedging tuned per test.
+func hedgeTestOptions() Options {
+	return Options{
+		LeaseTTL:       time.Minute,
+		MaxShardHold:   time.Hour,
+		HealthInterval: 10 * time.Millisecond,
+		ModelVersion:   "v-test",
+		Backoff:        time.Millisecond,
+		BackoffCap:     2 * time.Millisecond,
+		Warnf:          func(string, ...any) {},
+	}
+}
+
+var testBase = EvalRequest{Protocol: ProtocolVersion, ModelVersion: "v-test", Model: "m", Mode: "test", Points: nil}
+
+// TestHedgeRescuesStraggler: the first dispatch anywhere blocks; after
+// HedgeAfter the coordinator launches one hedge to the other worker, whose
+// prompt answer wins, and the straggler's lease is revoked so its eventual
+// answer can never merge.
+func TestHedgeRescuesStraggler(t *testing.T) {
+	var first atomic.Bool
+	handler := func(w http.ResponseWriter, r *http.Request) {
+		if first.CompareAndSwap(false, true) {
+			// Drain the body first: the server only notices the client's
+			// abort (and cancels r.Context()) once the request is read.
+			io.Copy(io.Discard, r.Body)
+			<-r.Context().Done() // straggle until the race is decided against us
+			return
+		}
+		okEval(w, r)
+	}
+	tsA := fakeWorker(t, handler)
+	tsB := fakeWorker(t, handler)
+	opts := hedgeTestOptions()
+	opts.HedgeAfter = 20 * time.Millisecond
+	c, err := New([]string{tsA.Listener.Addr().String(), tsB.Listener.Addr().String()}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.runShard(context.Background(), testBase, shard{key: "m|p1", points: []string{"p1"}})
+
+	m := c.Metrics()
+	if got := m.Counter("fleet_hedges_total").Value(); got != 1 {
+		t.Fatalf("fleet_hedges_total = %d, want 1", got)
+	}
+	if got := m.Counter("fleet_hedge_wins_total").Value(); got != 1 {
+		t.Fatalf("fleet_hedge_wins_total = %d, want 1", got)
+	}
+	if got := m.Counter("fleet_shards_local_total").Value(); got != 0 {
+		t.Fatalf("shard fell back local despite a winning hedge (local=%d)", got)
+	}
+	// Exactly one lease completed (the winner); the loser's was revoked.
+	if got := m.Counter("fleet_leases_completed_total").Value(); got != 1 {
+		t.Fatalf("fleet_leases_completed_total = %d, want 1", got)
+	}
+	if got := m.Counter("fleet_leases_expired_total").Value(); got != 1 {
+		t.Fatalf("fleet_leases_expired_total = %d, want 1 (the revoked loser)", got)
+	}
+	// The loser lost to our own revocation, not to its own health: no worker
+	// fault may be charged, so both breakers stay closed.
+	if got := m.Counter("fleet_breaker_opens_total").Value(); got != 0 {
+		t.Fatalf("hedge race opened a breaker (opens=%d)", got)
+	}
+}
+
+// TestHedgeNoCandidateFallsThrough: with a single worker there is nowhere to
+// hedge to; the timer fires, finds no candidate, and the primary completes
+// normally.
+func TestHedgeNoCandidateFallsThrough(t *testing.T) {
+	ts := fakeWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(50 * time.Millisecond)
+		okEval(w, r)
+	})
+	opts := hedgeTestOptions()
+	opts.HedgeAfter = 10 * time.Millisecond
+	c, err := New([]string{ts.Listener.Addr().String()}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.runShard(context.Background(), testBase, shard{key: "m|p1", points: []string{"p1"}})
+
+	m := c.Metrics()
+	if got := m.Counter("fleet_hedges_total").Value(); got != 0 {
+		t.Fatalf("fleet_hedges_total = %d, want 0 (no candidate)", got)
+	}
+	if got := m.Counter("fleet_leases_completed_total").Value(); got != 1 {
+		t.Fatalf("fleet_leases_completed_total = %d, want 1", got)
+	}
+	if got := m.Counter("fleet_shards_local_total").Value(); got != 0 {
+		t.Fatalf("shard fell back local (local=%d)", got)
+	}
+}
+
+// TestDispatchLateResultDiscarded: a worker whose lease is revoked mid-flight
+// — here by the test, in production by expiry or a lost hedge race — has its
+// perfectly valid response refused by the complete() gate and discarded.
+func TestDispatchLateResultDiscarded(t *testing.T) {
+	arrived := make(chan struct{})
+	release := make(chan struct{})
+	ts := fakeWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		close(arrived)
+		<-release
+		okEval(w, r)
+	})
+	c, err := New([]string{ts.Listener.Addr().String()}, hedgeTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	l := c.leases.grant(c.pool.workers[0].id, time.Minute, time.Hour)
+	go func() {
+		<-arrived
+		c.leases.revoke(l)
+		close(release)
+	}()
+	recs, err := c.dispatch(context.Background(), testBase, shard{key: "m|p1", points: []string{"p1"}}, c.pool.workers[0], l)
+	if err == nil || !strings.Contains(err.Error(), "discarded") {
+		t.Fatalf("dispatch err = %v, want a late-result discard", err)
+	}
+	if recs != nil {
+		t.Fatal("discarded result still returned records")
+	}
+	if got := c.Metrics().Counter("fleet_late_results_discarded_total").Value(); got != 1 {
+		t.Fatalf("fleet_late_results_discarded_total = %d, want 1", got)
+	}
+	if got := c.Metrics().Counter("fleet_leases_completed_total").Value(); got != 0 {
+		t.Fatalf("revoked lease completed anyway (completed=%d)", got)
+	}
+}
+
+// TestBreakerShedSkipsBackoff: a transient fault that opens the faulting
+// worker's breaker re-dispatches immediately to the next candidate instead of
+// sleeping out the backoff schedule.
+func TestBreakerShedSkipsBackoff(t *testing.T) {
+	bad := fakeWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	})
+	good := fakeWorker(t, okEval)
+	opts := hedgeTestOptions()
+	opts.HedgeAfter = -1 // isolate the breaker path
+	opts.BreakerThreshold = 1
+	opts.Backoff = time.Hour // a taken backoff would hang the test loudly
+	opts.BackoffCap = time.Hour
+	badAddr, goodAddr := bad.Listener.Addr().String(), good.Listener.Addr().String()
+	c, err := New([]string{badAddr, goodAddr}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Find a shard key the ring assigns to the bad worker, so the first
+	// dispatch is guaranteed to hit it.
+	badIdx := 0
+	if c.pool.workers[1].id == badAddr {
+		badIdx = 1
+	}
+	key := ""
+	for i := 0; key == ""; i++ {
+		k := fmt.Sprintf("m|p%d", i)
+		if c.pool.owner(k) == badIdx {
+			key = k
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.runShard(context.Background(), testBase, shard{key: key, points: []string{"p"}})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("runShard hung — the breaker shed did not skip the hour-long backoff")
+	}
+
+	m := c.Metrics()
+	if got := m.Counter("fleet_breaker_opens_total").Value(); got != 1 {
+		t.Fatalf("fleet_breaker_opens_total = %d, want 1", got)
+	}
+	if got := m.Counter("fleet_breaker_sheds_total").Value(); got != 1 {
+		t.Fatalf("fleet_breaker_sheds_total = %d, want 1", got)
+	}
+	if got := m.Counter("fleet_leases_completed_total").Value(); got != 1 {
+		t.Fatalf("fleet_leases_completed_total = %d, want 1 (the good worker)", got)
+	}
+	if got := m.Counter("fleet_shards_local_total").Value(); got != 0 {
+		t.Fatalf("shard fell back local (local=%d)", got)
+	}
+}

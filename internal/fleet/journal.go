@@ -1,0 +1,185 @@
+package fleet
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"xdse/internal/checkpoint"
+)
+
+// shardLogFile names the coordinator's shard-state journal inside the
+// campaign checkpoint directory. It shares internal/checkpoint's CRC'd-JSONL
+// line discipline (via checkpoint.FrameLine/UnframeLine) so a torn trailing
+// write from a hard coordinator kill is detected and dropped, never replayed.
+const shardLogFile = "fleet.jsonl"
+
+// shardLogLine is the JSON wire form of one shard-state event. "grant" and
+// "steal" record dispatch history (useful for post-mortems; replay ignores
+// them); "done" is the load-bearing event: it binds a shard's point keys to
+// the content addresses of the records the coordinator installed for it, so
+// a resumed coordinator can re-install exactly those records from the
+// evalcache and skip re-dispatching the shard.
+type shardLogLine struct {
+	Op      string   `json:"op"` // "grant" | "steal" | "done"
+	Shard   string   `json:"shard"`
+	Worker  string   `json:"worker,omitempty"`
+	From    string   `json:"from,omitempty"` // steal: the lapsed worker
+	Attempt int      `json:"attempt,omitempty"`
+	Points  []string `json:"points,omitempty"`  // done: the shard's point keys
+	Records []string `json:"records,omitempty"` // done: installed record IDs
+}
+
+// shardLog is the coordinator's crash journal. Appends fsync immediately:
+// shard completions are orders of magnitude rarer than evaluations, and a
+// "done" line that didn't reach disk before a kill -9 merely costs one
+// re-dispatch on resume — but a line that lies about durability could never
+// be trusted at all. A nil *shardLog is the disabled state; every method
+// no-ops.
+type shardLog struct {
+	warnf func(format string, args ...any)
+
+	mu        sync.Mutex
+	f         *os.File
+	completed map[string][]string // point key → record IDs of its finished shard
+	failed    bool                // a write failed; stop journaling, warn once
+}
+
+// openShardLog opens (creating if needed) dir's shard journal. With resume
+// false any prior journal is truncated — a fresh campaign must not inherit
+// stale completions. With resume true, intact lines are replayed into the
+// completed map; a torn or corrupt line and everything after it is dropped
+// with a warning, mirroring checkpoint.Load.
+func openShardLog(dir string, resume bool, warnf func(string, ...any)) (*shardLog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	warn := func(format string, args ...any) {
+		if warnf != nil {
+			warnf(format, args...)
+		}
+	}
+	path := filepath.Join(dir, shardLogFile)
+	s := &shardLog{warnf: warnf, completed: make(map[string][]string)}
+	if resume {
+		data, err := os.ReadFile(path)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+		rest := string(data)
+		lineNo := 0
+		for rest != "" {
+			lineNo++
+			text, tail, complete := strings.Cut(rest, "\n")
+			if !complete {
+				warn("fleet: %s line %d: torn write (no newline), dropping", path, lineNo)
+				break
+			}
+			rest = tail
+			payload, err := checkpoint.UnframeLine(text)
+			if err != nil {
+				warn("fleet: %s line %d: %v — dropping this and later lines", path, lineNo, err)
+				break
+			}
+			var l shardLogLine
+			if err := json.Unmarshal(payload, &l); err != nil {
+				warn("fleet: %s line %d: bad JSON: %v — dropping this and later lines", path, lineNo, err)
+				break
+			}
+			if l.Op == "done" {
+				for _, pt := range l.Points {
+					s.completed[pt] = l.Records
+				}
+			}
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags = os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.f = f
+	return s, nil
+}
+
+// append frames, writes, and fsyncs one event. Write failures disable the
+// journal (resume degrades to re-dispatching; correctness is untouched).
+func (s *shardLog) append(l shardLogLine) {
+	if s == nil {
+		return
+	}
+	payload, err := json.Marshal(l)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed || s.f == nil {
+		return
+	}
+	_, werr := s.f.Write(checkpoint.FrameLine(payload))
+	if werr == nil {
+		werr = s.f.Sync()
+	}
+	if werr != nil {
+		s.failed = true
+		if s.warnf != nil {
+			s.warnf("fleet: shard journal write failed (journaling disabled): %v", werr)
+		}
+	}
+}
+
+// grant journals one dispatch attempt of sh to worker.
+func (s *shardLog) grant(sh shard, workerID string, attempt int) {
+	s.append(shardLogLine{Op: "grant", Shard: sh.key, Worker: workerID, Attempt: attempt})
+}
+
+// steal journals a re-dispatch of sh from a lapsed worker to another.
+func (s *shardLog) steal(sh shard, from, to string, attempt int) {
+	s.append(shardLogLine{Op: "steal", Shard: sh.key, From: from, Worker: to, Attempt: attempt})
+}
+
+// done journals sh's completion: its points are answerable from the given
+// installed record IDs.
+func (s *shardLog) done(sh shard, recordIDs []string) {
+	if s == nil {
+		return
+	}
+	s.append(shardLogLine{Op: "done", Shard: sh.key, Points: sh.points, Records: recordIDs})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, pt := range sh.points {
+		s.completed[pt] = recordIDs
+	}
+}
+
+// completedFor returns the installed record IDs of the finished shard that
+// covered point key, if any.
+func (s *shardLog) completedFor(pointKey string) ([]string, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids, ok := s.completed[pointKey]
+	return ids, ok
+}
+
+// close flushes and closes the journal file.
+func (s *shardLog) close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f != nil {
+		s.f.Sync()
+		s.f.Close()
+		s.f = nil
+	}
+}

@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestShardJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openShardLog(dir, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh1 := shard{key: "m|p1", points: []string{"p1", "p2"}}
+	sh2 := shard{key: "m|p3", points: []string{"p3"}}
+	j.grant(sh1, "w1", 1)
+	j.steal(sh1, "w1", "w2", 2)
+	j.done(sh1, []string{"id-a", "id-b"})
+	j.grant(sh2, "w2", 1) // granted but never done: must not resume as completed
+	// The live journal answers its own completions too (hedge grants of an
+	// already-done shard would be wasteful but harmless).
+	if ids, ok := j.completedFor("p2"); !ok || len(ids) != 2 {
+		t.Fatalf("live completedFor(p2) = %v, %v", ids, ok)
+	}
+	j.close()
+
+	r, err := openShardLog(dir, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	for _, pt := range []string{"p1", "p2"} {
+		ids, ok := r.completedFor(pt)
+		if !ok || len(ids) != 2 || ids[0] != "id-a" || ids[1] != "id-b" {
+			t.Fatalf("resumed completedFor(%s) = %v, %v", pt, ids, ok)
+		}
+	}
+	if _, ok := r.completedFor("p3"); ok {
+		t.Fatal("granted-but-unfinished shard resumed as completed")
+	}
+	// Appends after a resume land after the replayed history.
+	r.done(sh2, []string{"id-c"})
+	if ids, ok := r.completedFor("p3"); !ok || len(ids) != 1 || ids[0] != "id-c" {
+		t.Fatalf("post-resume done not visible: %v, %v", ids, ok)
+	}
+}
+
+func TestShardJournalFreshTruncates(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openShardLog(dir, false, nil)
+	j.done(shard{key: "m|p1", points: []string{"p1"}}, []string{"id-a"})
+	j.close()
+
+	f, err := openShardLog(dir, false, nil) // a fresh campaign, not a resume
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.close()
+	if _, ok := f.completedFor("p1"); ok {
+		t.Fatal("fresh open inherited a stale completion")
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, shardLogFile))
+	if len(data) != 0 {
+		t.Fatalf("fresh open left %d stale bytes in the journal", len(data))
+	}
+}
+
+// TestShardJournalTornTail: a half-written trailing line — what a kill -9
+// mid-append leaves behind — is dropped with a warning; everything before it
+// replays.
+func TestShardJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openShardLog(dir, false, nil)
+	j.done(shard{key: "m|p1", points: []string{"p1"}}, []string{"id-a"})
+	j.close()
+	path := filepath.Join(dir, shardLogFile)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`deadbeef {"op":"done","shard":"m|p2","poin`) // no newline
+	f.Close()
+
+	var warned []string
+	r, err := openShardLog(dir, true, func(format string, args ...any) {
+		warned = append(warned, format)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	if _, ok := r.completedFor("p1"); !ok {
+		t.Fatal("torn tail destroyed the intact line before it")
+	}
+	if _, ok := r.completedFor("p2"); ok {
+		t.Fatal("torn line replayed as a completion")
+	}
+	if len(warned) == 0 || !strings.Contains(warned[0], "torn") {
+		t.Fatalf("no torn-write warning: %v", warned)
+	}
+}
+
+// TestShardJournalCorruptLine: a line whose CRC does not match (bit rot, or a
+// write interleaved with the kill) drops that line and everything after it —
+// conservative, mirroring checkpoint.Load — while earlier lines survive.
+func TestShardJournalCorruptLine(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openShardLog(dir, false, nil)
+	j.done(shard{key: "m|p1", points: []string{"p1"}}, []string{"id-a"})
+	j.done(shard{key: "m|p2", points: []string{"p2"}}, []string{"id-b"})
+	j.done(shard{key: "m|p3", points: []string{"p3"}}, []string{"id-c"})
+	j.close()
+	path := filepath.Join(dir, shardLogFile)
+	data, _ := os.ReadFile(path)
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("journal has %d lines, want 3", len(lines)-1)
+	}
+	// Flip one payload byte of the second line; its CRC prefix now lies.
+	mut := []byte(lines[1])
+	mut[12] ^= 0xFF
+	lines[1] = string(mut)
+	os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644)
+
+	var warned int
+	r, err := openShardLog(dir, true, func(string, ...any) { warned++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	if _, ok := r.completedFor("p1"); !ok {
+		t.Fatal("line before the corruption lost")
+	}
+	if _, ok := r.completedFor("p2"); ok {
+		t.Fatal("corrupt line replayed as a completion")
+	}
+	if _, ok := r.completedFor("p3"); ok {
+		t.Fatal("line after the corruption replayed — resume trusted data past damage")
+	}
+	if warned == 0 {
+		t.Fatal("corruption replayed silently")
+	}
+}
+
+// TestShardJournalNilNoOps: a coordinator without a JournalDir carries a nil
+// *shardLog, and every method must be safe on it.
+func TestShardJournalNilNoOps(t *testing.T) {
+	var s *shardLog
+	sh := shard{key: "k", points: []string{"p"}}
+	s.grant(sh, "w", 1)
+	s.steal(sh, "w", "x", 2)
+	s.done(sh, []string{"id"})
+	if _, ok := s.completedFor("p"); ok {
+		t.Fatal("nil journal claims a completion")
+	}
+	s.close()
+}

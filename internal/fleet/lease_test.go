@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -85,6 +86,79 @@ func TestLeaseRenewRespectsHardCeiling(t *testing.T) {
 	}
 }
 
+// lockedClock is a thread-safe hand-cranked clock for tests that race
+// renewals against time advances.
+type lockedClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *lockedClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *lockedClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// TestLeaseRenewalStormRespectsHardCeiling hammers one lease with concurrent
+// renewals racing a steadily advancing clock: no interleaving may ever push
+// the soft deadline past the MaxShardHold ceiling, and once the clock passes
+// the ceiling the lease is expired no matter how hard renewals keep landing.
+func TestLeaseRenewalStormRespectsHardCeiling(t *testing.T) {
+	clock := &lockedClock{t: time.Unix(1000, 0)}
+	tab := newLeaseTable("storm", clock.now, obs.NewRegistry())
+	const (
+		ttl     = 50 * time.Millisecond
+		maxHold = 200 * time.Millisecond
+	)
+	l := tab.grant("w1", ttl, maxHold)
+	hard := clock.now().Add(maxHold)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.renew(clock.now(), ttl)
+				l.mu.Lock()
+				over := l.expiry.After(hard)
+				l.mu.Unlock()
+				if over {
+					t.Error("renewal pushed the lease past its hard ceiling")
+					return
+				}
+			}
+		}()
+	}
+	// Walk the clock well past the ceiling while the storm rages.
+	for i := 0; i < 300; i++ {
+		clock.advance(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if !l.expired(clock.now()) {
+		t.Fatal("lease survived past MaxShardHold under a renewal storm — straggler unbounded")
+	}
+	// Even one last renewal at the very moment of the check cannot revive it.
+	l.renew(clock.now(), ttl)
+	if !l.expired(clock.now()) {
+		t.Fatal("a post-ceiling renewal revived an expired lease")
+	}
+}
+
 func TestLeaseTokensUniqueAcrossTables(t *testing.T) {
 	clock := &testClock{t: time.Unix(0, 0)}
 	a := newLeaseTable("c1", clock.now, obs.NewRegistry())
@@ -104,8 +178,8 @@ func TestLeaseTokensUniqueAcrossTables(t *testing.T) {
 func TestRingOwnerDeterministicAndLocal(t *testing.T) {
 	reg := obs.NewRegistry()
 	addrs := []string{"a:1", "b:2", "c:3"}
-	p1 := newPool(addrs, "v", time.Second, nil, reg, nil)
-	p2 := newPool(addrs, "v", time.Second, nil, obs.NewRegistry(), nil)
+	p1 := newPool(addrs, "v", time.Second, 3, nil, reg, nil)
+	p2 := newPool(addrs, "v", time.Second, 3, nil, obs.NewRegistry(), nil)
 	keys := []string{"ResNet18|k1", "ResNet18|k2", "BERT|k1", "x|y", "m|n"}
 	spread := map[int]bool{}
 	for _, k := range keys {
@@ -122,7 +196,7 @@ func TestRingOwnerDeterministicAndLocal(t *testing.T) {
 func TestPickPrefersOwnerAndFailsOver(t *testing.T) {
 	reg := obs.NewRegistry()
 	addrs := []string{"a:1", "b:2", "c:3"}
-	p := newPool(addrs, "v", time.Second, nil, reg, nil)
+	p := newPool(addrs, "v", time.Second, 3, nil, reg, nil)
 	for _, w := range p.workers {
 		w.setState(workerHealthy)
 	}
@@ -157,7 +231,7 @@ func TestPickPrefersOwnerAndFailsOver(t *testing.T) {
 }
 
 func TestQuarantinedWorkerNeverPicked(t *testing.T) {
-	p := newPool([]string{"a:1", "b:2"}, "v", time.Second, nil, obs.NewRegistry(), nil)
+	p := newPool([]string{"a:1", "b:2"}, "v", time.Second, 3, nil, obs.NewRegistry(), nil)
 	p.workers[0].setState(workerQuarantined)
 	p.workers[1].setState(workerHealthy)
 	for _, key := range []string{"k1", "k2", "k3", "k4", "k5"} {

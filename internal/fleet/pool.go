@@ -36,12 +36,44 @@ const (
 	workerQuarantined
 )
 
+// breakerState is a worker's circuit-breaker position. The breaker guards
+// the /eval dispatch path specifically: a worker can answer /readyz promptly
+// (so the membership monitor keeps it healthy) while every dispatch to it
+// fails or times out — an overloaded or partially partitioned worker. The
+// breaker notices that pattern from dispatch outcomes and sheds traffic
+// without waiting out per-shard backoff schedules.
+type breakerState int32
+
+const (
+	// breakerClosed passes dispatches through (the normal state).
+	breakerClosed breakerState = iota
+	// breakerHalfOpen admits exactly one trial dispatch after a successful
+	// readyz probe; its outcome decides closed vs re-open.
+	breakerHalfOpen
+	// breakerOpen sheds all dispatches. Only the health monitor's next
+	// successful readyz probe moves it to half-open — wall-clock cooldowns
+	// would make chaos runs unreplayable.
+	breakerOpen
+)
+
+// breaker is one worker's circuit breaker. Guarded by its own mutex; the
+// hot-path check is a few instructions under an uncontended lock.
+type breaker struct {
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int  // consecutive classified-transient dispatch faults
+	probing     bool // the single half-open trial is outstanding
+}
+
 // worker is one fleet member. State is atomic so dispatch paths read it
 // without locks while the monitor goroutine updates it.
 type worker struct {
 	id    string // address as configured (host:port), used in logs/faults
 	url   string // normalized base URL (http://host:port)
 	state atomic.Int32
+
+	br       breaker
+	gBreaker *obs.Gauge // 0 closed, 1 half-open, 2 open
 }
 
 // setState transitions the worker, returning the previous state.
@@ -80,6 +112,7 @@ type pool struct {
 	client   *http.Client
 	version  string // expected perf.ModelVersion for the handshake
 	interval time.Duration
+	breakerK int // consecutive transient faults that open a breaker
 	warnf    func(format string, args ...any)
 
 	stop chan struct{}
@@ -88,28 +121,35 @@ type pool struct {
 	gHealthy      *obs.Gauge
 	cQuarantined  *obs.Counter
 	cTransitions  *obs.Counter
+	cBreakerOpens *obs.Counter
 	probeInflight sync.WaitGroup
 }
 
 // newPool builds the membership ring and metric instruments; call start to
 // begin probing.
-func newPool(addrs []string, version string, interval time.Duration, client *http.Client, reg *obs.Registry, warnf func(string, ...any)) *pool {
+func newPool(addrs []string, version string, interval time.Duration, breakerK int, client *http.Client, reg *obs.Registry, warnf func(string, ...any)) *pool {
 	p := &pool{
-		client:       client,
-		version:      version,
-		interval:     interval,
-		warnf:        warnf,
-		stop:         make(chan struct{}),
-		gHealthy:     reg.Gauge("fleet_workers_healthy"),
-		cQuarantined: reg.Counter("fleet_workers_quarantined_total"),
-		cTransitions: reg.Counter("fleet_worker_transitions_total"),
+		client:        client,
+		version:       version,
+		interval:      interval,
+		breakerK:      breakerK,
+		warnf:         warnf,
+		stop:          make(chan struct{}),
+		gHealthy:      reg.Gauge("fleet_workers_healthy"),
+		cQuarantined:  reg.Counter("fleet_workers_quarantined_total"),
+		cTransitions:  reg.Counter("fleet_worker_transitions_total"),
+		cBreakerOpens: reg.Counter("fleet_breaker_opens_total"),
 	}
 	for _, a := range addrs {
 		url := strings.TrimRight(a, "/")
 		if !strings.Contains(url, "://") {
 			url = "http://" + url
 		}
-		p.workers = append(p.workers, &worker{id: a, url: url})
+		p.workers = append(p.workers, &worker{
+			id:       a,
+			url:      url,
+			gBreaker: reg.Gauge(`fleet_breaker_state{worker="` + a + `"}`),
+		})
 	}
 	for i, w := range p.workers {
 		for v := 0; v < ringVirtualNodes; v++ {
@@ -221,6 +261,102 @@ func (p *pool) probe(w *worker) {
 		return
 	}
 	p.transition(w, workerHealthy, "")
+	p.breakerProbeHealthy(w)
+}
+
+// breakerProbeHealthy is the open → half-open edge: a successful readyz
+// probe of a worker whose breaker is open earns it exactly one trial
+// dispatch. The probe loop is the breaker's only clock, so an open breaker
+// with no probing (tests, stopped monitor) stays open deterministically.
+func (p *pool) breakerProbeHealthy(w *worker) {
+	w.br.mu.Lock()
+	defer w.br.mu.Unlock()
+	if w.br.state != breakerOpen {
+		return
+	}
+	w.br.state = breakerHalfOpen
+	w.br.probing = false
+	w.gBreaker.Set(float64(breakerHalfOpen))
+	if p.warnf != nil {
+		p.warnf("fleet: worker %s breaker half-open (readyz ok; one trial dispatch allowed)", w.id)
+	}
+}
+
+// breakerAdmit reports whether w's breaker passes a dispatch right now,
+// consuming the single half-open trial slot when it takes it. Callers must
+// follow every admitted dispatch with breakerResult.
+func (p *pool) breakerAdmit(w *worker) bool {
+	w.br.mu.Lock()
+	defer w.br.mu.Unlock()
+	switch w.br.state {
+	case breakerOpen:
+		return false
+	case breakerHalfOpen:
+		if w.br.probing {
+			return false
+		}
+		w.br.probing = true
+	}
+	return true
+}
+
+// breakerResult feeds one dispatch outcome into w's breaker. transientFault
+// is true for classified-transient faults only — permanent faults (version
+// skew, bad request) quarantine or report instead and say nothing about the
+// worker's dispatch path health. Returns true when this outcome opened
+// (or re-opened) the breaker, so the caller can shed to the next ring
+// candidate immediately instead of burning its backoff schedule.
+func (p *pool) breakerResult(w *worker, transientFault bool) bool {
+	w.br.mu.Lock()
+	defer w.br.mu.Unlock()
+	w.br.probing = false
+	if !transientFault {
+		w.br.consecutive = 0
+		if w.br.state != breakerClosed {
+			w.br.state = breakerClosed
+			w.gBreaker.Set(float64(breakerClosed))
+			if p.warnf != nil {
+				p.warnf("fleet: worker %s breaker closed (trial dispatch succeeded)", w.id)
+			}
+		}
+		return false
+	}
+	w.br.consecutive++
+	opened := false
+	switch w.br.state {
+	case breakerHalfOpen:
+		// The trial failed: straight back to open.
+		opened = true
+	case breakerClosed:
+		opened = w.br.consecutive >= p.breakerK
+	}
+	if opened {
+		w.br.state = breakerOpen
+		w.gBreaker.Set(float64(breakerOpen))
+		p.cBreakerOpens.Inc()
+		if p.warnf != nil {
+			p.warnf("fleet: worker %s breaker open after %d consecutive transient faults", w.id, w.br.consecutive)
+		}
+	}
+	return opened
+}
+
+// breakerLines renders the non-closed breakers for the campaign fault
+// report.
+func (p *pool) breakerLines() []string {
+	var out []string
+	for _, w := range p.workers {
+		w.br.mu.Lock()
+		st, n := w.br.state, w.br.consecutive
+		w.br.mu.Unlock()
+		switch st {
+		case breakerOpen:
+			out = append(out, fmt.Sprintf("worker %s: breaker open (%d consecutive transient faults)", w.id, n))
+		case breakerHalfOpen:
+			out = append(out, fmt.Sprintf("worker %s: breaker half-open (awaiting trial dispatch)", w.id))
+		}
+	}
+	return out
 }
 
 // transition applies a probed state, counting and logging edges only.
@@ -278,10 +414,29 @@ func (p *pool) owner(key string) int {
 }
 
 // pick walks the ring clockwise from key's owner and returns the first
-// healthy worker whose index is not in tried, preserving locality (the owner
-// is preferred; failover order is deterministic). Returns (nil, -1) when no
-// healthy untried worker exists.
+// healthy, breaker-admitted worker whose index is not in tried, preserving
+// locality (the owner is preferred; failover order is deterministic).
+// Picking a half-open worker consumes its single trial slot, so callers must
+// dispatch to what pick returns and report the outcome via breakerResult.
+// Returns (nil, -1) when no dispatchable untried worker exists.
 func (p *pool) pick(key string, tried map[int]bool) (*worker, int) {
+	return p.walk(key, tried, p.breakerAdmit)
+}
+
+// pickable reports whether pick would currently find a worker, without
+// consuming any half-open trial slot — the "is there somewhere to shed to"
+// check of the open-breaker fast path.
+func (p *pool) pickable(key string, tried map[int]bool) bool {
+	w, _ := p.walk(key, tried, func(w *worker) bool {
+		w.br.mu.Lock()
+		defer w.br.mu.Unlock()
+		return w.br.state == breakerClosed || (w.br.state == breakerHalfOpen && !w.br.probing)
+	})
+	return w != nil
+}
+
+// walk implements pick's ring traversal with a pluggable breaker gate.
+func (p *pool) walk(key string, tried map[int]bool, admit func(*worker) bool) (*worker, int) {
 	if len(p.ring) == 0 {
 		return nil, -1
 	}
@@ -298,7 +453,7 @@ func (p *pool) pick(key string, tried map[int]bool) (*worker, int) {
 			continue
 		}
 		w := p.workers[slot.idx]
-		if w.healthy() {
+		if w.healthy() && admit(w) {
 			return w, slot.idx
 		}
 		if len(seen) == len(p.workers) {

@@ -67,7 +67,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
-	mux.HandleFunc("POST /eval", s.handleEval)
+	// The chaos decorator (inert when unconfigured) sits exactly at the RPC
+	// boundary the fleet coordinator talks to, so injected faults exercise
+	// the real wire path: aborted connections, injected statuses, and
+	// mutated bodies all reach the coordinator as genuine HTTP outcomes.
+	mux.Handle("POST /eval", s.chaos.Wrap(http.HandlerFunc(s.handleEval)))
 	mux.HandleFunc("GET /cache/{id}", s.handleCacheGet)
 	if s.opts.Debug {
 		s.mountDebug(mux)

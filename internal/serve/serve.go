@@ -37,6 +37,7 @@ import (
 	"xdse/internal/eval"
 	"xdse/internal/evalcache"
 	"xdse/internal/exp"
+	"xdse/internal/fleet"
 	"xdse/internal/obs"
 	"xdse/internal/workload"
 )
@@ -85,6 +86,16 @@ type Options struct {
 	// requests beyond it are shed with 429 + Retry-After so coordinator
 	// leases fail fast instead of expiring in a queue (default 2).
 	EvalConcurrent int
+	// Chaos, when non-nil (and non-empty), deterministically injects
+	// faults into this worker's POST /eval surface — dropped connections,
+	// delays, injected statuses, truncated/corrupted response bodies — by
+	// request ordinal: the worker half of fleet.ChaosPolicy, driven by the
+	// chaos-smoke CI job and resilience tests. Production deployments
+	// leave it nil.
+	Chaos *fleet.ChaosPolicy
+	// ChaosSelf names this worker for Chaos partition matching (Partition
+	// entries whose Worker equals it, "", or "*" apply).
+	ChaosSelf string
 	// CacheDir, when non-empty, opens the cross-run persistent evaluation
 	// store (internal/evalcache) there and shares it across every job: a
 	// resubmitted or related job answers repeated layer searches from disk
@@ -160,6 +171,9 @@ type Server struct {
 
 	sampler *obs.RuntimeSampler
 
+	// chaos, when non-nil, injects Options.Chaos faults around POST /eval.
+	chaos *fleet.ChaosInjector
+
 	// Fleet-worker state: shard admission semaphore and the bounded pool of
 	// per-configuration evaluators behind POST /eval (see eval_endpoint.go).
 	evalSem   chan struct{}
@@ -226,6 +240,7 @@ func New(opts Options) (*Server, error) {
 		evalSem:  make(chan struct{}, opts.EvalConcurrent),
 		evalPool: make(map[evalPoolKey]*eval.Evaluator),
 	}
+	s.chaos = opts.Chaos.NewInjector(opts.ChaosSelf, reg)
 	s.evalEndpointMetrics(reg)
 	s.sampler = obs.NewRuntimeSampler(reg, opts.RuntimeSample)
 	s.drainCtx, s.drainCancel = context.WithCancelCause(context.Background())
